@@ -1,0 +1,124 @@
+//! Plain-text table rendering for experiment outputs.
+//!
+//! Benches and examples print paper-style rows; this keeps the formatting in
+//! one place and testable.
+
+use std::fmt;
+
+/// A simple left-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use malsim_analysis::table::Table;
+///
+/// let mut t = Table::new(vec!["family".into(), "infections".into()]);
+/// t.row(vec!["stuxnet".into(), "42".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("stuxnet"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: Vec<String>) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Table { headers, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the headers.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.len());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (cell, w) in cells.iter().zip(&widths) {
+                write!(f, " {cell:<w$} |")?;
+            }
+            writeln!(f)
+        };
+        let rule = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "+")?;
+            for w in &widths {
+                write!(f, "{}+", "-".repeat(w + 2))?;
+            }
+            writeln!(f)
+        };
+        rule(f)?;
+        line(f, &self.headers)?;
+        rule(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        rule(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["a".into(), "bbbb".into()]);
+        t.row(vec!["xxxxx".into(), "1".into()]);
+        t.row(vec!["y".into(), "22".into()]);
+        let s = t.to_string();
+        assert!(s.contains("| xxxxx | 1    |"));
+        assert!(s.contains("| y     | 22   |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_headers_panic() {
+        let _ = Table::new(vec![]);
+    }
+}

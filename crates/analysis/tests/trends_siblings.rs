@@ -1,0 +1,72 @@
+//! The trend matrix includes the lineage siblings only when their campaigns
+//! saw activity, and derives their §I-claimed properties.
+
+use malsim_analysis::trends::derive_profiles;
+use malsim_kernel::metrics::Metrics;
+use malsim_malware::common::Family;
+use malsim_malware::siblings::{duqu, gauss};
+use malsim_malware::world::{World, WorldSim};
+use malsim_kernel::time::SimTime;
+use malsim_os::host::{Host, HostId, HostRole, WindowsVersion};
+
+fn two_host_world() -> (World, WorldSim, HostId, HostId) {
+    let mut world = World::new();
+    let sim = WorldSim::new(SimTime::from_utc(2011, 9, 1, 0, 0, 0), 3);
+    let zone = world.topology.add_zone("lan", true);
+    let a = world.hosts.push(Host::new("target-1", WindowsVersion::Seven, HostRole::Workstation, sim.now()));
+    let b = world.hosts.push(Host::new("bystander", WindowsVersion::Xp, HostRole::Workstation, sim.now()));
+    world.topology.place(a, zone);
+    world.topology.place(b, zone);
+    (world, sim, a, b)
+}
+
+#[test]
+fn quiet_siblings_are_absent_from_the_matrix() {
+    let world = World::new();
+    let profiles = derive_profiles(&world, &Metrics::new());
+    assert_eq!(profiles.len(), 3, "only the three dissected families by default");
+    assert!(!profiles.iter().any(|p| p.family == Family::Duqu || p.family == Family::Gauss));
+}
+
+#[test]
+fn active_duqu_appears_with_lineage_properties() {
+    let (mut world, mut sim, a, _b) = two_host_world();
+    world.campaigns.duqu.target_list = vec!["target-1".into()];
+    assert!(duqu::infect_if_targeted(&mut world, &mut sim, a, "spearphish"));
+    let profiles = derive_profiles(&world, &sim.metrics);
+    assert_eq!(profiles.len(), 4);
+    let d = profiles.iter().find(|p| p.family == Family::Duqu).unwrap();
+    assert_eq!(d.infections, 1);
+    assert!(d.targeted, "explicit target list");
+    assert_eq!(d.modular_updates, 1, "one unique build per infection");
+    assert!(d.certified);
+}
+
+#[test]
+fn active_gauss_appears_with_keyed_payload_targeting() {
+    let (mut world, mut sim, a, b) = two_host_world();
+    let payload = gauss::build_keyed_payload(&world.hosts[a], b"module");
+    world.campaigns.gauss.keyed_payload = Some(payload);
+    gauss::infect_host(&mut world, &mut sim, a, "usb-autorun");
+    gauss::infect_host(&mut world, &mut sim, b, "usb-autorun");
+    let profiles = derive_profiles(&world, &sim.metrics);
+    let g = profiles.iter().find(|p| p.family == Family::Gauss).unwrap();
+    assert_eq!(g.infections, 2);
+    assert!(g.targeted, "keyed payload is the targeting mechanism");
+    assert!(g.usb_vector);
+    // The payload detonated on exactly the intended host.
+    assert_eq!(sim.metrics.counter("gauss.payload_detonations"), 1);
+}
+
+#[test]
+fn expired_duqu_implants_count_as_suicides() {
+    use malsim_kernel::time::SimDuration;
+    let (mut world, mut sim, a, _b) = two_host_world();
+    world.campaigns.duqu.target_list = vec!["target-1".into()];
+    duqu::infect_if_targeted(&mut world, &mut sim, a, "spearphish");
+    sim.run_until(&mut world, sim.now() + SimDuration::from_days(duqu::LIFETIME_DAYS + 1));
+    let profiles = derive_profiles(&world, &sim.metrics);
+    let d = profiles.iter().find(|p| p.family == Family::Duqu).unwrap();
+    assert_eq!(d.suicides, 1);
+    assert_eq!(d.infections, 1, "expired implants still count as infections");
+}

@@ -1,0 +1,187 @@
+//! One benchmark group per experiment in DESIGN.md's index (E1–E12).
+//!
+//! Besides timing, each bench prints the experiment's headline rows once at
+//! startup so `cargo bench` regenerates the paper-shaped numbers recorded in
+//! EXPERIMENTS.md. Scales are kept modest so the suite completes quickly;
+//! the examples run the larger versions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use malsim::prelude::*;
+use std::hint::black_box;
+
+fn print_once(title: &str, body: impl FnOnce()) {
+    println!("\n=== {title} ===");
+    body();
+}
+
+fn e1(c: &mut Criterion) {
+    print_once("E1 (Fig.1) stuxnet end-to-end", || {
+        let r = experiments::e1_stuxnet_end_to_end(42, 30);
+        println!(
+            "infected={} plc_implanted={} destroyed={}/{} safety_tripped={} operator_anomalies={}",
+            r.infected_hosts,
+            r.plc_implanted,
+            r.destroyed,
+            r.total_centrifuges,
+            r.safety_tripped,
+            r.operator_anomalies
+        );
+    });
+    c.bench_function("e1_stuxnet_endtoend_10d", |b| {
+        b.iter(|| black_box(experiments::e1_stuxnet_end_to_end(black_box(42), 10)))
+    });
+}
+
+fn e2(c: &mut Criterion) {
+    print_once("E2 zero-day ablation (50-host LAN, 5 days)", || {
+        for row in experiments::e2_zero_day_ablation(42, 50, 5, &[0.0, 0.25, 0.5, 0.75, 1.0]) {
+            println!("patch_rate={:.2} infected_fraction={:.2}", row.patch_rate, row.infected_fraction);
+        }
+    });
+    c.bench_function("e2_zero_day_ablation", |b| {
+        b.iter(|| black_box(experiments::e2_zero_day_ablation(black_box(42), 30, 3, &[0.0, 0.5, 1.0])))
+    });
+}
+
+fn e3(c: &mut Criterion) {
+    print_once("E3 plc targeting discipline", || {
+        for row in experiments::e3_plc_targeting(42, 10) {
+            println!("{}: armed={} destroyed={}", row.configuration, row.armed, row.destroyed);
+        }
+    });
+    c.bench_function("e3_plc_payload", |b| {
+        b.iter(|| black_box(experiments::e3_plc_targeting(black_box(42), 5)))
+    });
+}
+
+fn e4(c: &mut Criterion) {
+    print_once("E4 (Fig.2) wpad mitm spread (72h)", || {
+        for row in experiments::e4_wpad_mitm(42, &[8, 16, 32], 72) {
+            println!(
+                "lan={} mitm={} infected_fraction={:.2}",
+                row.lan_size, row.mitm_active, row.infected_fraction
+            );
+        }
+    });
+    c.bench_function("e4_wpad_mitm", |b| {
+        b.iter(|| black_box(experiments::e4_wpad_mitm(black_box(42), &[8], 48)))
+    });
+}
+
+fn e5(c: &mut Criterion) {
+    print_once("E5 (Fig.3) certificate forgery policy matrix", || {
+        for row in experiments::e5_cert_forgery(42) {
+            println!("{}: accepted={}", row.policy, row.accepted);
+        }
+    });
+    c.bench_function("e5_cert_forgery", |b| {
+        b.iter(|| black_box(experiments::e5_cert_forgery(black_box(42))))
+    });
+}
+
+fn e6(c: &mut Criterion) {
+    print_once("E6 (Fig.4) c2 takedown resilience (30 clients)", || {
+        for row in experiments::e6_candc_resilience(42, 30, &[0.0, 0.25, 0.5, 0.75, 0.9, 1.0]) {
+            println!(
+                "takedown={:.2} reachable(80-domain)={:.2} reachable(single)={:.0}",
+                row.takedown_fraction, row.reachable_many, row.reachable_single
+            );
+        }
+    });
+    c.bench_function("e6_candc_resilience", |b| {
+        b.iter(|| black_box(experiments::e6_candc_resilience(black_box(42), 15, &[0.5])))
+    });
+}
+
+fn e7(c: &mut Criterion) {
+    print_once("E7 (Fig.5) c2 dataflow, one week, 20 clients / 4 servers", || {
+        let r = experiments::e7_candc_dataflow(42, 20, 4, 7);
+        println!(
+            "uploaded={:.1}MB per_server_week={:.1}MB retrieved={} residual={} attack_center={:.1}MB",
+            r.bytes_uploaded as f64 / 1e6,
+            r.bytes_per_server_week / 1e6,
+            r.entries_retrieved,
+            r.entries_residual,
+            r.attack_center_bytes as f64 / 1e6
+        );
+    });
+    c.bench_function("e7_candc_dataflow", |b| {
+        b.iter(|| black_box(experiments::e7_candc_dataflow(black_box(42), 8, 4, 3)))
+    });
+}
+
+fn e8(c: &mut Criterion) {
+    print_once("E8 exfil-intelligence ablation", || {
+        for row in experiments::e8_exfil_ablation(42, 6, 4) {
+            println!(
+                "{}: uploaded={:.1}MB juicy={:.1}MB",
+                row.strategy,
+                row.bytes_uploaded as f64 / 1e6,
+                row.juicy_bytes as f64 / 1e6
+            );
+        }
+    });
+    c.bench_function("e8_flame_modules", |b| {
+        b.iter(|| black_box(experiments::e8_exfil_ablation(black_box(42), 3, 2)))
+    });
+}
+
+fn e9(c: &mut Criterion) {
+    print_once("E9 (Fig.6) shamoon wipe, 10 sites x 50 hosts", || {
+        let r = experiments::e9_shamoon_wipe(815, 10, 49, 5);
+        println!(
+            "fleet={} infected={} bricked={} reports={} hours_to_trigger={:.1}",
+            r.fleet, r.infected, r.bricked, r.reports, r.hours_to_trigger
+        );
+    });
+    c.bench_function("e9_shamoon_wipe", |b| {
+        b.iter(|| black_box(experiments::e9_shamoon_wipe(black_box(815), 4, 24, 2)))
+    });
+}
+
+fn e10(c: &mut Criterion) {
+    print_once("E10 (§V) derived trend matrix", || {
+        print!("{}", trend_table(&experiments::e10_trend_matrix(5)));
+    });
+    let mut group = c.benchmark_group("e10");
+    group.sample_size(10);
+    group.bench_function("e10_trend_matrix", |b| {
+        b.iter(|| black_box(experiments::e10_trend_matrix(black_box(5))))
+    });
+    group.finish();
+}
+
+fn e11(c: &mut Criterion) {
+    print_once("E11 stealth vs spread", || {
+        for row in experiments::e11_stealth_tradeoff(5, 20, &[1.0, 4.0, 12.0]) {
+            println!(
+                "aggressiveness={:.0} infected={} alerts={}",
+                row.aggressiveness, row.infected, row.alerts
+            );
+        }
+    });
+    c.bench_function("e11_stealth_tradeoff", |b| {
+        b.iter(|| black_box(experiments::e11_stealth_tradeoff(black_box(5), 10, &[1.0, 12.0])))
+    });
+}
+
+fn e12(c: &mut Criterion) {
+    print_once("E12 suicide vs forensics", || {
+        for row in experiments::e12_suicide_forensics(5, 8) {
+            println!(
+                "{}: recovery={:.2} server_logs={}",
+                row.scenario, row.recovery_score, row.server_logs_remaining
+            );
+        }
+    });
+    c.bench_function("e12_suicide_forensics", |b| {
+        b.iter(|| black_box(experiments::e12_suicide_forensics(black_box(5), 4)))
+    });
+}
+
+criterion_group! {
+    name = experiments_benches;
+    config = Criterion::default().sample_size(10);
+    targets = e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12
+}
+criterion_main!(experiments_benches);

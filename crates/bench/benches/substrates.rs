@@ -1,0 +1,140 @@
+//! Substrate microbenchmarks: event-kernel throughput, MZSM parse/build,
+//! Flua compile/execute, and the PKI verification path. These bound the
+//! cost of the building blocks the experiments are assembled from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn kernel_event_throughput(c: &mut Criterion) {
+    use malsim_kernel::prelude::*;
+    c.bench_function("kernel_schedule_run_10k_events", |b| {
+        b.iter(|| {
+            let mut sim: Sim<u64> = Sim::new(SimTime::EPOCH, 1);
+            let mut world = 0u64;
+            for i in 0..10_000u64 {
+                sim.schedule_in(SimDuration::from_millis(i % 977), |w: &mut u64, _| {
+                    *w = w.wrapping_add(1);
+                });
+            }
+            sim.run(&mut world);
+            black_box(world)
+        })
+    });
+    c.bench_function("kernel_nested_cascade_10k", |b| {
+        b.iter(|| {
+            let mut sim: Sim<u64> = Sim::new(SimTime::EPOCH, 1);
+            let mut world = 0u64;
+            fn step(w: &mut u64, sim: &mut Sim<u64>) {
+                *w += 1;
+                if *w < 10_000 {
+                    sim.schedule_in(SimDuration::from_millis(1), step);
+                }
+            }
+            sim.schedule_in(SimDuration::from_millis(1), step);
+            sim.run(&mut world);
+            black_box(world)
+        })
+    });
+}
+
+fn pe_roundtrip(c: &mut Criterion) {
+    use malsim_pe::prelude::*;
+    let image = ImageBuilder::new("TrkSvr.exe", Machine::X86)
+        .section(".text", SectionKind::Code, vec![0x90; 64 * 1024])
+        .section(".data", SectionKind::Data, vec![0x00; 32 * 1024])
+        .resource_encrypted("PKCS12", XorKey::new(0xFB), vec![0x41; 128 * 1024])
+        .resource_encrypted("PKCS7", XorKey::new(0x91), vec![0x42; 64 * 1024])
+        .import("CreateServiceW")
+        .import("WriteRawSectors")
+        .build();
+    let bytes = image.to_bytes();
+    c.bench_function("pe_build_300k", |b| {
+        b.iter(|| black_box(image.to_bytes()))
+    });
+    c.bench_function("pe_parse_300k", |b| {
+        b.iter(|| black_box(Image::parse(black_box(&bytes)).unwrap()))
+    });
+    c.bench_function("pe_xor_crack_128k", |b| {
+        let ct = &image.resource("PKCS12").unwrap().data;
+        b.iter(|| black_box(XorKey::crack(black_box(ct), 0x41)))
+    });
+}
+
+fn script_vm(c: &mut Criterion) {
+    use malsim_script::prelude::*;
+    let jimmy_like = r#"
+        let hits = []
+        for f in files do
+            if contains(f, ".docx") or contains(f, ".dwg") then
+                hits = push(hits, f)
+            end
+        end
+        return len(hits)
+    "#;
+    c.bench_function("flua_compile_jimmy", |b| {
+        b.iter(|| black_box(compile(black_box(jimmy_like)).unwrap()))
+    });
+    let chunk = compile(jimmy_like).unwrap();
+    let files: Vec<Value> = (0..200)
+        .map(|i| Value::str(format!("C:\\docs\\file-{i}.{}", if i % 3 == 0 { "docx" } else { "txt" })))
+        .collect();
+    c.bench_function("flua_run_jimmy_200_files", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new();
+            vm.set_global("files", Value::list(files.clone()));
+            black_box(vm.run(&chunk, &mut NoHost, VmLimits::default()).unwrap())
+        })
+    });
+    let fib = compile("fn fib(n) if n < 2 then return n end return fib(n-1) + fib(n-2) end\nreturn fib(15)").unwrap();
+    c.bench_function("flua_fib_15", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new();
+            black_box(vm.run(&fib, &mut NoHost, VmLimits::default()).unwrap())
+        })
+    });
+}
+
+fn certs_path(c: &mut Criterion) {
+    use malsim_certs::prelude::*;
+    use malsim_kernel::time::SimTime;
+    let far = SimTime::from_utc(2035, 1, 1, 0, 0, 0);
+    let ca = CertificateAuthority::new_root("Root", 1, SimTime::EPOCH, far);
+    let mut store = TrustStore::new();
+    store.add_root(ca.root_certificate().clone());
+    let kp = KeyPair::from_seed(7);
+    let cert = ca.issue("Vendor", kp.public(), vec![Eku::CodeSigning], HashAlgorithm::Strong64, SimTime::EPOCH, far);
+    let content = vec![0xAB; 256 * 1024];
+    let sig = CodeSignature::sign(&kp, cert, HashAlgorithm::Strong64, &content);
+    c.bench_function("certs_verify_code_256k", |b| {
+        b.iter(|| {
+            black_box(
+                store
+                    .verify_code(
+                        black_box(&content),
+                        black_box(&sig),
+                        SimTime::EPOCH,
+                        Eku::CodeSigning,
+                        VerifyPolicy::strict(),
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+    let (lkey, lcert) = ca.activate_terminal_services_licensing("Org", 9, SimTime::EPOCH, far);
+    c.bench_function("certs_forge_weak_collision", |b| {
+        b.iter(|| {
+            black_box(malsim_certs::forgery::leverage_licensing_credential(
+                black_box(&lkey),
+                lcert.clone(),
+                black_box(b"malicious update binary"),
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = substrate_benches;
+    config = Criterion::default();
+    targets = kernel_event_throughput, pe_roundtrip, script_vm, certs_path
+}
+criterion_main!(substrate_benches);

@@ -1,0 +1,175 @@
+//! Certificate authorities and the Terminal Services licensing flow.
+
+use malsim_kernel::time::SimTime;
+
+use crate::cert::{Certificate, Eku};
+use crate::hash::HashAlgorithm;
+use crate::key::{KeyPair, PublicKey};
+
+/// A certificate authority: a root (or intermediate) key that can issue
+/// certificates.
+///
+/// # Examples
+///
+/// ```
+/// use malsim_certs::authority::CertificateAuthority;
+/// use malsim_certs::cert::Eku;
+/// use malsim_certs::hash::HashAlgorithm;
+/// use malsim_certs::key::KeyPair;
+/// use malsim_kernel::time::SimTime;
+///
+/// let far = SimTime::from_utc(2030, 1, 1, 0, 0, 0);
+/// let ca = CertificateAuthority::new_root("Microsoft Root", 1, SimTime::EPOCH, far);
+/// let vendor = KeyPair::from_seed(9);
+/// let cert = ca.issue(
+///     "Realtek Semiconductor Corp",
+///     vendor.public(),
+///     vec![Eku::DriverSigning],
+///     HashAlgorithm::Strong64,
+///     SimTime::EPOCH,
+///     far,
+/// );
+/// assert_eq!(cert.issuer_serial, ca.root_certificate().serial);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CertificateAuthority {
+    key: KeyPair,
+    root: Certificate,
+    next_serial: std::cell::Cell<u64>,
+}
+
+impl CertificateAuthority {
+    /// Creates a self-signed root CA.
+    ///
+    /// `seed` derives the CA key; the root certificate gets serial
+    /// `seed * 1_000_000 + 1` so multiple CAs in one scenario don't collide
+    /// as long as their seeds differ.
+    pub fn new_root(subject: impl Into<String>, seed: u64, not_before: SimTime, not_after: SimTime) -> Self {
+        let key = KeyPair::from_seed(seed.wrapping_mul(0x9e37_79b9).wrapping_add(17));
+        let serial = seed * 1_000_000 + 1;
+        let mut root = Certificate {
+            serial,
+            subject: subject.into(),
+            issuer_serial: serial,
+            public_key: key.public(),
+            ekus: vec![Eku::CertificateAuthority],
+            hash_alg: HashAlgorithm::Strong64,
+            not_before,
+            not_after,
+            issuer_sig: key.sign_digest(HashAlgorithm::Strong64.digest(&[])),
+        };
+        root.issuer_sig = key.sign_digest(root.tbs_digest());
+        CertificateAuthority { key, root, next_serial: std::cell::Cell::new(serial + 1) }
+    }
+
+    /// The CA's self-signed certificate.
+    pub fn root_certificate(&self) -> &Certificate {
+        &self.root
+    }
+
+    /// Issues a certificate binding `subject_key` to `subject`.
+    pub fn issue(
+        &self,
+        subject: impl Into<String>,
+        subject_key: PublicKey,
+        ekus: Vec<Eku>,
+        hash_alg: HashAlgorithm,
+        not_before: SimTime,
+        not_after: SimTime,
+    ) -> Certificate {
+        let serial = self.next_serial.get();
+        self.next_serial.set(serial + 1);
+        let mut cert = Certificate {
+            serial,
+            subject: subject.into(),
+            issuer_serial: self.root.serial,
+            public_key: subject_key,
+            ekus,
+            hash_alg,
+            not_before,
+            not_after,
+            issuer_sig: self.key.sign_digest(HashAlgorithm::Strong64.digest(&[])),
+        };
+        cert.issuer_sig = self.key.sign_digest(cert.tbs_digest());
+        cert
+    }
+
+    /// The Terminal Services licensing flow from the paper's Figure 3: an
+    /// enterprise activates a Terminal Services Licensing Server with the
+    /// vendor, and receives a **limited-use** certificate meant only to
+    /// verify license ownership — but issued on the **legacy weak-hash
+    /// signing path**. Returns the enterprise's key pair and its licensing
+    /// certificate.
+    pub fn activate_terminal_services_licensing(
+        &self,
+        enterprise: impl Into<String>,
+        enterprise_seed: u64,
+        not_before: SimTime,
+        not_after: SimTime,
+    ) -> (KeyPair, Certificate) {
+        let key = KeyPair::from_seed(enterprise_seed);
+        let cert = self.issue(
+            enterprise,
+            key.public(),
+            vec![Eku::LicenseVerification],
+            HashAlgorithm::WeakXor32,
+            not_before,
+            not_after,
+        );
+        (key, cert)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn far() -> SimTime {
+        SimTime::from_utc(2030, 1, 1, 0, 0, 0)
+    }
+
+    #[test]
+    fn root_is_self_signed_and_verifies() {
+        let ca = CertificateAuthority::new_root("Root", 3, SimTime::EPOCH, far());
+        let root = ca.root_certificate();
+        assert!(root.is_root());
+        assert!(root.public_key.verify_digest(root.tbs_digest(), root.issuer_sig));
+    }
+
+    #[test]
+    fn issued_cert_verifies_against_root_key() {
+        let ca = CertificateAuthority::new_root("Root", 3, SimTime::EPOCH, far());
+        let subj = KeyPair::from_seed(77);
+        let cert = ca.issue(
+            "JMicron Technology Corp",
+            subj.public(),
+            vec![Eku::DriverSigning],
+            HashAlgorithm::Strong64,
+            SimTime::EPOCH,
+            far(),
+        );
+        assert!(ca.root_certificate().public_key.verify_digest(cert.tbs_digest(), cert.issuer_sig));
+        assert_eq!(cert.issuer_serial, ca.root_certificate().serial);
+    }
+
+    #[test]
+    fn serials_are_unique() {
+        let ca = CertificateAuthority::new_root("Root", 3, SimTime::EPOCH, far());
+        let k = KeyPair::from_seed(1);
+        let a = ca.issue("A", k.public(), vec![], HashAlgorithm::Strong64, SimTime::EPOCH, far());
+        let b = ca.issue("B", k.public(), vec![], HashAlgorithm::Strong64, SimTime::EPOCH, far());
+        assert_ne!(a.serial, b.serial);
+        assert_ne!(a.serial, ca.root_certificate().serial);
+    }
+
+    #[test]
+    fn ts_licensing_cert_is_weak_and_limited() {
+        let ca = CertificateAuthority::new_root("Microsoft Root", 3, SimTime::EPOCH, far());
+        let (key, cert) =
+            ca.activate_terminal_services_licensing("Contoso Ltd", 42, SimTime::EPOCH, far());
+        assert_eq!(cert.hash_alg, HashAlgorithm::WeakXor32);
+        assert!(cert.has_eku(Eku::LicenseVerification));
+        assert!(!cert.has_eku(Eku::CodeSigning));
+        assert_eq!(cert.public_key, key.public());
+    }
+}

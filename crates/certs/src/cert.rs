@@ -1,0 +1,214 @@
+//! Certificates: subjects, extended key usage, validity, issuer signatures.
+
+use serde::{Deserialize, Serialize};
+
+use malsim_kernel::time::SimTime;
+
+use crate::hash::{Digest, HashAlgorithm};
+use crate::key::{PublicKey, SignatureTag};
+
+/// Extended key usage: what a certificate is *allowed* to vouch for.
+///
+/// The Flame forgery story (paper Fig. 3) is precisely an EKU story: a
+/// certificate issued for *license verification* ended up accepted on a
+/// *code-signing* path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Eku {
+    /// Signing user-mode executables.
+    CodeSigning,
+    /// Signing kernel-mode drivers (what Stuxnet's stolen certs enabled).
+    DriverSigning,
+    /// TLS-style server identity (C&C servers posing as web servers).
+    ServerAuth,
+    /// Verifying Terminal Services license ownership only.
+    LicenseVerification,
+    /// Issuing further certificates (CA).
+    CertificateAuthority,
+}
+
+/// A certificate: a public key bound to a subject by an issuer's signature.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Certificate {
+    /// Unique serial within the simulation.
+    pub serial: u64,
+    /// Human-readable subject, e.g. `"Realtek Semiconductor Corp"`.
+    pub subject: String,
+    /// Serial of the issuing certificate (equal to `serial` for roots).
+    pub issuer_serial: u64,
+    /// The key this certificate binds.
+    pub public_key: PublicKey,
+    /// What the key may vouch for.
+    pub ekus: Vec<Eku>,
+    /// Digest algorithm the issuer used to sign this certificate — also the
+    /// algorithm *this* certificate's key is presumed to sign with on legacy
+    /// paths (the flaw).
+    pub hash_alg: HashAlgorithm,
+    /// Start of validity.
+    pub not_before: SimTime,
+    /// End of validity.
+    pub not_after: SimTime,
+    /// Issuer's signature over [`Certificate::tbs_bytes`].
+    pub issuer_sig: SignatureTag,
+}
+
+impl Certificate {
+    /// The to-be-signed byte encoding: everything except the issuer
+    /// signature, in a canonical order.
+    pub fn tbs_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.subject.len());
+        out.extend_from_slice(&self.serial.to_le_bytes());
+        out.extend_from_slice(&(self.subject.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.subject.as_bytes());
+        out.extend_from_slice(&self.issuer_serial.to_le_bytes());
+        out.extend_from_slice(&self.public_key.as_u64().to_le_bytes());
+        out.push(self.ekus.len() as u8);
+        for eku in &self.ekus {
+            out.push(match eku {
+                Eku::CodeSigning => 1,
+                Eku::DriverSigning => 2,
+                Eku::ServerAuth => 3,
+                Eku::LicenseVerification => 4,
+                Eku::CertificateAuthority => 5,
+            });
+        }
+        out.push(match self.hash_alg {
+            HashAlgorithm::WeakXor32 => 1,
+            HashAlgorithm::Strong64 => 2,
+        });
+        out.extend_from_slice(&self.not_before.as_millis().to_le_bytes());
+        out.extend_from_slice(&self.not_after.as_millis().to_le_bytes());
+        out
+    }
+
+    /// Digest of the TBS bytes under this certificate's hash algorithm.
+    pub fn tbs_digest(&self) -> Digest {
+        self.hash_alg.digest(&self.tbs_bytes())
+    }
+
+    /// Rebuilds a certificate from its TBS encoding plus the issuer
+    /// signature. Returns `None` on any malformation. Inverse of
+    /// [`Certificate::tbs_bytes`].
+    pub(crate) fn from_tbs_bytes(tbs: &[u8], issuer_sig: SignatureTag) -> Option<Certificate> {
+        let mut pos = 0usize;
+        fn take<'a>(b: &'a [u8], pos: &mut usize, n: usize) -> Option<&'a [u8]> {
+            let out = b.get(*pos..*pos + n)?;
+            *pos += n;
+            Some(out)
+        }
+        let serial = u64::from_le_bytes(take(tbs, &mut pos, 8)?.try_into().ok()?);
+        let subj_len = u32::from_le_bytes(take(tbs, &mut pos, 4)?.try_into().ok()?) as usize;
+        let subject = String::from_utf8(take(tbs, &mut pos, subj_len)?.to_vec()).ok()?;
+        let issuer_serial = u64::from_le_bytes(take(tbs, &mut pos, 8)?.try_into().ok()?);
+        let public_key = crate::key::PublicKey::from_bits(u64::from_le_bytes(
+            take(tbs, &mut pos, 8)?.try_into().ok()?,
+        ));
+        let n_ekus = *take(tbs, &mut pos, 1)?.first()? as usize;
+        let mut ekus = Vec::with_capacity(n_ekus);
+        for _ in 0..n_ekus {
+            ekus.push(match *take(tbs, &mut pos, 1)?.first()? {
+                1 => Eku::CodeSigning,
+                2 => Eku::DriverSigning,
+                3 => Eku::ServerAuth,
+                4 => Eku::LicenseVerification,
+                5 => Eku::CertificateAuthority,
+                _ => return None,
+            });
+        }
+        let hash_alg = match *take(tbs, &mut pos, 1)?.first()? {
+            1 => HashAlgorithm::WeakXor32,
+            2 => HashAlgorithm::Strong64,
+            _ => return None,
+        };
+        let not_before = SimTime::from_millis(u64::from_le_bytes(take(tbs, &mut pos, 8)?.try_into().ok()?));
+        let not_after = SimTime::from_millis(u64::from_le_bytes(take(tbs, &mut pos, 8)?.try_into().ok()?));
+        if pos != tbs.len() {
+            return None;
+        }
+        Some(Certificate {
+            serial,
+            subject,
+            issuer_serial,
+            public_key,
+            ekus,
+            hash_alg,
+            not_before,
+            not_after,
+            issuer_sig,
+        })
+    }
+
+    /// Whether the certificate is self-signed (a root).
+    pub fn is_root(&self) -> bool {
+        self.issuer_serial == self.serial
+    }
+
+    /// Whether `now` falls inside the validity window.
+    pub fn is_valid_at(&self, now: SimTime) -> bool {
+        self.not_before <= now && now <= self.not_after
+    }
+
+    /// Whether the certificate carries the given usage.
+    pub fn has_eku(&self, eku: Eku) -> bool {
+        self.ekus.contains(&eku)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::CertificateAuthority;
+
+    #[test]
+    fn tbs_changes_with_fields() {
+        let ca = CertificateAuthority::new_root("Root", 1, SimTime::EPOCH, SimTime::from_millis(u64::MAX / 2));
+        let kp = crate::key::KeyPair::from_seed(5);
+        let c1 = ca.issue(
+            "Subject A",
+            kp.public(),
+            vec![Eku::CodeSigning],
+            HashAlgorithm::Strong64,
+            SimTime::EPOCH,
+            SimTime::from_millis(1_000_000),
+        );
+        let mut c2 = c1.clone();
+        c2.subject = "Subject B".into();
+        assert_ne!(c1.tbs_bytes(), c2.tbs_bytes());
+        assert_ne!(c1.tbs_digest(), c2.tbs_digest());
+    }
+
+    #[test]
+    fn validity_window() {
+        let ca = CertificateAuthority::new_root("Root", 1, SimTime::EPOCH, SimTime::from_millis(u64::MAX / 2));
+        let kp = crate::key::KeyPair::from_seed(5);
+        let c = ca.issue(
+            "S",
+            kp.public(),
+            vec![Eku::ServerAuth],
+            HashAlgorithm::Strong64,
+            SimTime::from_millis(100),
+            SimTime::from_millis(200),
+        );
+        assert!(!c.is_valid_at(SimTime::from_millis(99)));
+        assert!(c.is_valid_at(SimTime::from_millis(100)));
+        assert!(c.is_valid_at(SimTime::from_millis(200)));
+        assert!(!c.is_valid_at(SimTime::from_millis(201)));
+    }
+
+    #[test]
+    fn eku_query() {
+        let ca = CertificateAuthority::new_root("Root", 1, SimTime::EPOCH, SimTime::from_millis(u64::MAX / 2));
+        let kp = crate::key::KeyPair::from_seed(5);
+        let c = ca.issue(
+            "S",
+            kp.public(),
+            vec![Eku::LicenseVerification],
+            HashAlgorithm::WeakXor32,
+            SimTime::EPOCH,
+            SimTime::from_millis(1_000),
+        );
+        assert!(c.has_eku(Eku::LicenseVerification));
+        assert!(!c.has_eku(Eku::CodeSigning));
+        assert!(!c.is_root());
+        assert!(ca.root_certificate().is_root());
+    }
+}

@@ -1,0 +1,97 @@
+//! Verification errors.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cert::Eku;
+
+/// Why a certificate chain or code signature failed to verify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VerifyCertError {
+    /// The chain does not terminate at a trusted root.
+    UntrustedRoot {
+        /// Serial of the missing issuer.
+        serial: u64,
+    },
+    /// A certificate in the chain is in the untrusted store.
+    Distrusted {
+        /// The distrusted serial.
+        serial: u64,
+    },
+    /// A certificate is outside its validity window.
+    Expired {
+        /// The expired serial.
+        serial: u64,
+    },
+    /// A signature (issuer-over-cert or key-over-content) does not verify.
+    BadSignature {
+        /// Serial of the certificate whose signature failed.
+        serial: u64,
+    },
+    /// The end-entity lacks the extended key usage the operation requires.
+    MissingEku {
+        /// Serial of the offending certificate.
+        serial: u64,
+        /// The usage that was required.
+        required: Eku,
+    },
+    /// Policy rejects signatures made with a broken hash algorithm.
+    WeakHashRejected {
+        /// Serial of the offending certificate.
+        serial: u64,
+    },
+    /// An intermediate does not chain to the next certificate.
+    ChainBroken {
+        /// Serial of the certificate whose issuer was not found next.
+        serial: u64,
+    },
+}
+
+impl fmt::Display for VerifyCertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyCertError::UntrustedRoot { serial } => {
+                write!(f, "chain terminates at unknown issuer {serial}")
+            }
+            VerifyCertError::Distrusted { serial } => {
+                write!(f, "certificate {serial} is explicitly distrusted")
+            }
+            VerifyCertError::Expired { serial } => write!(f, "certificate {serial} is expired"),
+            VerifyCertError::BadSignature { serial } => {
+                write!(f, "signature on certificate {serial} does not verify")
+            }
+            VerifyCertError::MissingEku { serial, required } => {
+                write!(f, "certificate {serial} lacks required usage {required:?}")
+            }
+            VerifyCertError::WeakHashRejected { serial } => {
+                write!(f, "certificate {serial} uses a rejected weak hash algorithm")
+            }
+            VerifyCertError::ChainBroken { serial } => {
+                write!(f, "issuer of certificate {serial} not adjacent in chain")
+            }
+        }
+    }
+}
+
+impl Error for VerifyCertError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_serials() {
+        assert!(VerifyCertError::Expired { serial: 9 }.to_string().contains('9'));
+        assert!(VerifyCertError::MissingEku { serial: 4, required: Eku::CodeSigning }
+            .to_string()
+            .contains("CodeSigning"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>(_: E) {}
+        assert_err(VerifyCertError::ChainBroken { serial: 1 });
+    }
+}

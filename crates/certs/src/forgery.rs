@@ -1,0 +1,163 @@
+//! The certificate-leveraging forgery (paper Figure 3).
+//!
+//! Given any *legitimately issued* signature made on the weak-hash path, an
+//! attacker can mint content of their choosing that carries a valid
+//! signature — without ever holding a private key. The steps, mirrored from
+//! the paper's account of the Flame attack:
+//!
+//! 1. An enterprise activates Terminal Services licensing and receives a
+//!    limited-use certificate chained to the platform vendor's root, issued
+//!    with the legacy weak-hash algorithm
+//!    ([`crate::authority::CertificateAuthority::activate_terminal_services_licensing`]).
+//! 2. The attacker, in possession of that licensing key pair (they are a
+//!    licensed enterprise themselves — no theft needed), signs a harmless
+//!    license blob, producing a signature over its *weak* digest.
+//! 3. For any malicious payload, the attacker computes a collision suffix so
+//!    the padded payload's weak digest equals the blob's, then transplants
+//!    the signature ([`forge_signed_content`]).
+//! 4. Verifiers on the legacy policy accept the result as vendor-rooted
+//!    signed code; the strict post-advisory policy rejects it.
+
+use crate::hash::{forge_collision_suffix, HashAlgorithm};
+use crate::key::KeyPair;
+use crate::store::CodeSignature;
+
+/// Output of a forgery: the padded content and the transplanted signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForgedCode {
+    /// The malicious content, padded with the collision suffix. Starts with
+    /// the attacker's chosen bytes.
+    pub content: Vec<u8>,
+    /// A signature that verifies over `content` on weak-hash-accepting
+    /// policies.
+    pub signature: CodeSignature,
+}
+
+/// Forges signed content by weak-hash collision.
+///
+/// `licensed_key` and the certificate inside `benign_signature` are the
+/// attacker's *own, legitimately obtained* licensing credential;
+/// `benign_content` is whatever that credential legitimately signed; and
+/// `malicious_content` is the payload to smuggle (e.g. a fake Windows Update
+/// binary).
+///
+/// Returns `None` if the signature was not made on the weak-hash path — the
+/// attack has no purchase against a collision-resistant digest.
+pub fn forge_signed_content(
+    benign_content: &[u8],
+    benign_signature: &CodeSignature,
+    malicious_content: &[u8],
+) -> Option<ForgedCode> {
+    if benign_signature.content_hash_alg != HashAlgorithm::WeakXor32 {
+        return None;
+    }
+    let target = HashAlgorithm::WeakXor32.digest(benign_content);
+    let suffix = forge_collision_suffix(malicious_content, target);
+    let mut content = malicious_content.to_vec();
+    content.extend_from_slice(&suffix);
+    debug_assert_eq!(HashAlgorithm::WeakXor32.digest(&content), target);
+    Some(ForgedCode { content, signature: benign_signature.clone() })
+}
+
+/// Convenience wrapper for the full Figure-3 flow: sign a benign license
+/// blob with the licensing credential, then forge a signature over
+/// `malicious_content`.
+pub fn leverage_licensing_credential(
+    licensing_key: &KeyPair,
+    licensing_cert: crate::cert::Certificate,
+    malicious_content: &[u8],
+) -> ForgedCode {
+    let benign = b"terminal services client access license";
+    let sig = CodeSignature::sign(licensing_key, licensing_cert, HashAlgorithm::WeakXor32, benign);
+    forge_signed_content(benign, &sig, malicious_content)
+        .expect("licensing signatures use the weak-hash path")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::CertificateAuthority;
+    use crate::cert::Eku;
+    use crate::store::{TrustStore, VerifyPolicy};
+    use malsim_kernel::time::SimTime;
+
+    fn far() -> SimTime {
+        SimTime::from_utc(2030, 1, 1, 0, 0, 0)
+    }
+
+    fn microsoft_like_setup() -> (TrustStore, CertificateAuthority) {
+        let ca = CertificateAuthority::new_root("Platform Vendor Root", 11, SimTime::EPOCH, far());
+        let mut store = TrustStore::new();
+        store.add_root(ca.root_certificate().clone());
+        (store, ca)
+    }
+
+    #[test]
+    fn forged_update_verifies_on_legacy_policy() {
+        let (store, ca) = microsoft_like_setup();
+        let (key, cert) = ca.activate_terminal_services_licensing("Attacker Org", 5, SimTime::EPOCH, far());
+        let forged = leverage_licensing_credential(&key, cert, b"fake windows update payload");
+        assert!(forged.content.starts_with(b"fake windows update payload"));
+        store
+            .verify_code(
+                &forged.content,
+                &forged.signature,
+                SimTime::from_millis(10),
+                Eku::CodeSigning,
+                VerifyPolicy::legacy(),
+            )
+            .expect("legacy policy accepts the forgery — the Flame flaw");
+    }
+
+    #[test]
+    fn forged_update_rejected_on_strict_policy() {
+        let (store, ca) = microsoft_like_setup();
+        let (key, cert) = ca.activate_terminal_services_licensing("Attacker Org", 5, SimTime::EPOCH, far());
+        let forged = leverage_licensing_credential(&key, cert, b"fake windows update payload");
+        assert!(store
+            .verify_code(
+                &forged.content,
+                &forged.signature,
+                SimTime::from_millis(10),
+                Eku::CodeSigning,
+                VerifyPolicy::strict(),
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn advisory_distrust_also_kills_forgery_under_legacy_policy() {
+        // MS advisory 2718704 moved the certificates to the untrusted store —
+        // effective even for verifiers still running the legacy policy.
+        let (mut store, ca) = microsoft_like_setup();
+        let (key, cert) = ca.activate_terminal_services_licensing("Attacker Org", 5, SimTime::EPOCH, far());
+        let serial = cert.serial;
+        let forged = leverage_licensing_credential(&key, cert, b"payload");
+        store.distrust(serial);
+        assert!(store
+            .verify_code(
+                &forged.content,
+                &forged.signature,
+                SimTime::from_millis(10),
+                Eku::CodeSigning,
+                VerifyPolicy::legacy(),
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn strong_hash_signatures_cannot_be_leveraged() {
+        let (_store, ca) = microsoft_like_setup();
+        let key = KeyPair::from_seed(8);
+        let cert = ca.issue(
+            "Legit Vendor",
+            key.public(),
+            vec![Eku::CodeSigning],
+            HashAlgorithm::Strong64,
+            SimTime::EPOCH,
+            far(),
+        );
+        let sig = CodeSignature::sign(&key, cert, HashAlgorithm::Strong64, b"benign");
+        assert_eq!(forge_signed_content(b"benign", &sig, b"evil"), None);
+    }
+}

@@ -1,0 +1,147 @@
+//! Digest algorithms for the toy PKI.
+//!
+//! Two algorithms exist, modelling the real-world split the Flame forgery
+//! exploited (a legacy MD5 signing path versus modern hashes):
+//!
+//! - [`HashAlgorithm::WeakXor32`] — an XOR fold over 4-byte words. Collisions
+//!   are *computable by construction* ([`forge_collision_suffix`]), which is
+//!   the in-model analogue of the chosen-prefix collision used to leverage a
+//!   Terminal Services licensing certificate into a code-signing forgery.
+//! - [`HashAlgorithm::Strong64`] — FNV-1a/64. The crate exposes no inversion
+//!   or collision API for it, and the simulation treats it as
+//!   collision-resistant.
+//!
+//! Neither is real cryptography; signatures in this workspace are secure
+//! *structurally* (by Rust API visibility), not cryptographically. See the
+//! crate docs for the threat-model note.
+
+use serde::{Deserialize, Serialize};
+
+/// A digest value. Width depends on the algorithm; stored widened to 64 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Digest(pub u64);
+
+/// Supported digest algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HashAlgorithm {
+    /// Legacy, collision-broken 32-bit XOR fold (the "flawed signing
+    /// algorithm" of the paper's Figure 3 narrative).
+    WeakXor32,
+    /// Modern 64-bit FNV-1a, treated as collision-resistant in-model.
+    Strong64,
+}
+
+impl HashAlgorithm {
+    /// Computes the digest of `data` under this algorithm.
+    pub fn digest(self, data: &[u8]) -> Digest {
+        match self {
+            HashAlgorithm::WeakXor32 => Digest(u64::from(weak_xor32(data))),
+            HashAlgorithm::Strong64 => Digest(fnv64(data)),
+        }
+    }
+
+    /// Whether this algorithm has known (in-model) collision attacks.
+    pub fn is_broken(self) -> bool {
+        matches!(self, HashAlgorithm::WeakXor32)
+    }
+}
+
+fn weak_xor32(data: &[u8]) -> u32 {
+    let mut acc: u32 = 0x5EED_CAFE;
+    for chunk in data.chunks(4) {
+        let mut word = [0u8; 4];
+        word[..chunk.len()].copy_from_slice(chunk);
+        acc ^= u32::from_le_bytes(word);
+    }
+    // Mix in the word count so plain zero-padding isn't free; the forgery
+    // below accounts for this.
+    acc ^ (data.len().div_ceil(4) as u32).rotate_left(16)
+}
+
+fn fnv64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Computes a suffix such that `prefix ++ suffix` has the given target digest
+/// under [`HashAlgorithm::WeakXor32`].
+///
+/// This is the crate's model of a chosen-prefix collision: the attacker picks
+/// arbitrary `prefix` content (the malicious update binary) and appends an
+/// opaque blob that steers the weak digest onto the value an existing,
+/// legitimately issued signature covers.
+///
+/// The prefix is padded to a 4-byte boundary before the correcting word is
+/// appended, so the returned suffix includes that padding.
+pub fn forge_collision_suffix(prefix: &[u8], target: Digest) -> Vec<u8> {
+    let pad = (4 - prefix.len() % 4) % 4;
+    let mut suffix = vec![0u8; pad];
+    // After padding, appending one word changes the word count by 1 and XORs
+    // the word in. Solve for the word.
+    let padded_len_words = (prefix.len() + pad) / 4;
+    let acc_with_pad = {
+        let mut v = prefix.to_vec();
+        v.extend_from_slice(&suffix);
+        weak_xor32(&v) ^ (padded_len_words as u32).rotate_left(16)
+    };
+    let final_words = (padded_len_words + 1) as u32;
+    let target32 = target.0 as u32;
+    let word = acc_with_pad ^ target32 ^ final_words.rotate_left(16);
+    suffix.extend_from_slice(&word.to_le_bytes());
+    suffix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digests_are_deterministic() {
+        for alg in [HashAlgorithm::WeakXor32, HashAlgorithm::Strong64] {
+            assert_eq!(alg.digest(b"hello"), alg.digest(b"hello"));
+            assert_ne!(alg.digest(b"hello"), alg.digest(b"hellp"));
+        }
+    }
+
+    #[test]
+    fn weak_is_broken_strong_is_not() {
+        assert!(HashAlgorithm::WeakXor32.is_broken());
+        assert!(!HashAlgorithm::Strong64.is_broken());
+    }
+
+    #[test]
+    fn forged_suffix_hits_target() {
+        let legit = b"terminal services license blob, weak-signed by vendor root";
+        let target = HashAlgorithm::WeakXor32.digest(legit);
+        for prefix in [&b"evil update binary"[..], b"", b"xyz", b"0123", b"a much longer malicious payload...."] {
+            let suffix = forge_collision_suffix(prefix, target);
+            let mut forged = prefix.to_vec();
+            forged.extend_from_slice(&suffix);
+            assert_eq!(HashAlgorithm::WeakXor32.digest(&forged), target, "prefix {prefix:?}");
+            if !prefix.is_empty() {
+                assert!(forged.starts_with(prefix));
+            }
+        }
+    }
+
+    #[test]
+    fn forgery_does_not_transfer_to_strong() {
+        let legit = b"license blob";
+        let weak_target = HashAlgorithm::WeakXor32.digest(legit);
+        let suffix = forge_collision_suffix(b"evil", weak_target);
+        let mut forged = b"evil".to_vec();
+        forged.extend_from_slice(&suffix);
+        assert_ne!(HashAlgorithm::Strong64.digest(&forged), HashAlgorithm::Strong64.digest(legit));
+    }
+
+    #[test]
+    fn zero_padding_is_not_a_free_collision() {
+        let a = HashAlgorithm::WeakXor32.digest(b"abcd");
+        let b = HashAlgorithm::WeakXor32.digest(b"abcd\0\0\0\0");
+        assert_ne!(a, b);
+    }
+}

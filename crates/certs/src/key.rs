@@ -1,0 +1,165 @@
+//! Toy signing keys.
+//!
+//! A [`KeyPair`] holds a private scalar; [`PublicKey`] is derived from it.
+//! Signatures are *structurally* secure: the only way to produce a valid
+//! [`SignatureTag`] over a digest is to call [`KeyPair::sign_digest`], which
+//! requires possession of the `KeyPair` value — and the verifier's
+//! [`PublicKey::verify_digest`] recomputes the tag from the public key alone,
+//! so within the simulation any holder of the public key can check a
+//! signature. "Certificate theft" (Stuxnet's JMicron/Realtek driver
+//! signing) is therefore modelled as an attacker obtaining the `KeyPair`
+//! object, and "forgery" is only possible through the weak-hash collision
+//! path in [`crate::hash`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::hash::Digest;
+
+/// Public half of a key pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PublicKey(u64);
+
+/// A signature tag over a digest, bound to a public key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SignatureTag(u64);
+
+/// A private signing key with its derived public key.
+///
+/// # Examples
+///
+/// ```
+/// use malsim_certs::hash::HashAlgorithm;
+/// use malsim_certs::key::KeyPair;
+///
+/// let kp = KeyPair::from_seed(7);
+/// let digest = HashAlgorithm::Strong64.digest(b"driver image");
+/// let tag = kp.sign_digest(digest);
+/// assert!(kp.public().verify_digest(digest, tag));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeyPair {
+    secret: u64,
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+const KEY_SALT: u64 = 0x6d61_6c73_696d_6b65; // "malsimke"
+const SIG_SALT: u64 = 0x7369_676e_6174_7572; // "signatur"
+
+impl KeyPair {
+    /// Derives a key pair from seed material (deterministic; scenarios draw
+    /// the seed from the simulation rng).
+    pub fn from_seed(seed: u64) -> Self {
+        KeyPair { secret: splitmix(seed ^ KEY_SALT) }
+    }
+
+    /// The public key.
+    pub fn public(&self) -> PublicKey {
+        PublicKey(splitmix(self.secret))
+    }
+
+    /// Signs a digest.
+    ///
+    /// The tag is a function of the *public* key and the digest, so verifiers
+    /// can recompute it; unforgeability is enforced by API visibility, not
+    /// mathematics (see module docs).
+    pub fn sign_digest(&self, digest: Digest) -> SignatureTag {
+        self.public().expected_tag(digest)
+    }
+}
+
+impl SignatureTag {
+    /// Raw bits, for the crate's internal wire encodings only.
+    pub(crate) fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a tag from raw bits, for the crate's internal wire decoders
+    /// only — exposing this publicly would let simulation code mint tags
+    /// without holding a key.
+    pub(crate) fn from_bits(bits: u64) -> Self {
+        SignatureTag(bits)
+    }
+}
+
+impl PublicKey {
+    fn expected_tag(self, digest: Digest) -> SignatureTag {
+        SignatureTag(splitmix(self.0 ^ digest.0.rotate_left(13) ^ SIG_SALT))
+    }
+
+    /// Checks a signature tag over a digest.
+    pub fn verify_digest(self, digest: Digest, tag: SignatureTag) -> bool {
+        self.expected_tag(digest) == tag
+    }
+
+    /// The raw key value (stable identity for stores and reports).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a public key from raw bits, for the crate's internal wire
+    /// decoders only. Public keys are not secrets, but keeping this
+    /// `pub(crate)` keeps the construction surface small.
+    pub(crate) fn from_bits(bits: u64) -> Self {
+        PublicKey(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::HashAlgorithm;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = KeyPair::from_seed(42);
+        let d = HashAlgorithm::Strong64.digest(b"content");
+        let tag = kp.sign_digest(d);
+        assert!(kp.public().verify_digest(d, tag));
+    }
+
+    #[test]
+    fn wrong_digest_fails() {
+        let kp = KeyPair::from_seed(42);
+        let d1 = HashAlgorithm::Strong64.digest(b"content");
+        let d2 = HashAlgorithm::Strong64.digest(b"tampered");
+        let tag = kp.sign_digest(d1);
+        assert!(!kp.public().verify_digest(d2, tag));
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let a = KeyPair::from_seed(1);
+        let b = KeyPair::from_seed(2);
+        let d = HashAlgorithm::Strong64.digest(b"content");
+        let tag = a.sign_digest(d);
+        assert!(!b.public().verify_digest(d, tag));
+    }
+
+    #[test]
+    fn same_seed_same_keys() {
+        assert_eq!(KeyPair::from_seed(9).public(), KeyPair::from_seed(9).public());
+        assert_ne!(KeyPair::from_seed(9).public(), KeyPair::from_seed(10).public());
+    }
+
+    #[test]
+    fn collision_on_weak_digest_transfers_signature() {
+        // The core of the Flame forgery: a signature binds to a digest value,
+        // so two messages with the same (weak) digest share valid signatures.
+        let kp = KeyPair::from_seed(3);
+        let legit = b"licensing blob";
+        let d = HashAlgorithm::WeakXor32.digest(legit);
+        let tag = kp.sign_digest(d);
+        let suffix = crate::hash::forge_collision_suffix(b"malicious", d);
+        let mut forged = b"malicious".to_vec();
+        forged.extend_from_slice(&suffix);
+        let d2 = HashAlgorithm::WeakXor32.digest(&forged);
+        assert_eq!(d, d2);
+        assert!(kp.public().verify_digest(d2, tag));
+    }
+}

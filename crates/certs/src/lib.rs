@@ -1,0 +1,72 @@
+//! # malsim-certs
+//!
+//! Toy public-key infrastructure for the `malsim` simulation workspace.
+//!
+//! The paper's three campaigns are, among other things, three abuses of the
+//! code-signing ecosystem: Stuxnet loaded kernel drivers under certificates
+//! stolen from JMicron and Realtek; Flame leveraged a limited-use Terminal
+//! Services licensing certificate into a code-signing forgery via a flawed
+//! (weak-hash) signing algorithm; Shamoon reused a legitimately signed
+//! third-party disk driver. This crate provides the policy machinery those
+//! stories run on:
+//!
+//! - [`key`] — key pairs and signature tags;
+//! - [`hash`] — a deliberately collision-broken legacy algorithm next to a
+//!   collision-resistant one;
+//! - [`cert`] / [`authority`] — certificates with EKU purposes, validity,
+//!   and issuing CAs (including the Terminal Services licensing flow);
+//! - [`store`] — trust/untrusted stores, verification policies
+//!   ([`store::VerifyPolicy::legacy`] vs [`store::VerifyPolicy::strict`]),
+//!   and [`store::CodeSignature`] blobs for executable images;
+//! - [`forgery`] — the Figure-3 collision attack, end to end.
+//!
+//! ## Threat-model note
+//!
+//! Nothing here is real cryptography. Signatures are *structurally* secure:
+//! within the simulation, minting a valid tag requires holding the
+//! [`key::KeyPair`] value, and the only forgery path is the deliberately
+//! modelled weak-hash collision. This is sufficient — and honest — for a
+//! behavioural simulation, and useless for any real-world signing purpose.
+//!
+//! # Examples
+//!
+//! ```
+//! use malsim_certs::prelude::*;
+//! use malsim_kernel::time::SimTime;
+//!
+//! let far = SimTime::from_utc(2030, 1, 1, 0, 0, 0);
+//! let ca = CertificateAuthority::new_root("Vendor Root", 1, SimTime::EPOCH, far);
+//! let mut store = TrustStore::new();
+//! store.add_root(ca.root_certificate().clone());
+//!
+//! // A vendor signs a driver; the OS verifies it for driver loading.
+//! let vendor = KeyPair::from_seed(7);
+//! let cert = ca.issue("Realtek", vendor.public(), vec![Eku::DriverSigning],
+//!                     HashAlgorithm::Strong64, SimTime::EPOCH, far);
+//! let sig = CodeSignature::sign(&vendor, cert, HashAlgorithm::Strong64, b"driver");
+//! store.verify_code(b"driver", &sig, SimTime::EPOCH, Eku::DriverSigning,
+//!                   VerifyPolicy::strict())?;
+//! # Ok::<(), malsim_certs::error::VerifyCertError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod authority;
+pub mod cert;
+pub mod error;
+pub mod forgery;
+pub mod hash;
+pub mod key;
+pub mod store;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::authority::CertificateAuthority;
+    pub use crate::cert::{Certificate, Eku};
+    pub use crate::error::VerifyCertError;
+    pub use crate::forgery::{forge_signed_content, leverage_licensing_credential, ForgedCode};
+    pub use crate::hash::{Digest, HashAlgorithm};
+    pub use crate::key::{KeyPair, PublicKey, SignatureTag};
+    pub use crate::store::{CodeSignature, TrustStore, VerifyPolicy};
+}

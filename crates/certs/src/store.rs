@@ -1,0 +1,389 @@
+//! Trust stores, verification policy, and code signatures.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use malsim_kernel::time::SimTime;
+
+use crate::cert::{Certificate, Eku};
+use crate::error::VerifyCertError;
+use crate::hash::HashAlgorithm;
+use crate::key::{KeyPair, SignatureTag};
+
+/// A signature over content, carrying the signing certificate and the chain
+/// back toward a root. This is what goes into an executable's signature slot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CodeSignature {
+    /// The end-entity certificate whose key signed the content.
+    pub signer: Certificate,
+    /// Intermediate certificates, leaf-to-root order (roots themselves live
+    /// in the verifier's store, not the chain).
+    pub chain: Vec<Certificate>,
+    /// Digest algorithm used over the content.
+    pub content_hash_alg: HashAlgorithm,
+    /// The signature tag over the content digest.
+    pub tag: SignatureTag,
+}
+
+impl CodeSignature {
+    /// Signs `content` with `key`, presenting `signer` as the credential.
+    ///
+    /// No check is made here that `key` matches `signer` — presenting a
+    /// mismatched pair is exactly what verification must catch.
+    pub fn sign(key: &KeyPair, signer: Certificate, content_hash_alg: HashAlgorithm, content: &[u8]) -> Self {
+        let digest = content_hash_alg.digest(content);
+        CodeSignature { signer, chain: Vec::new(), content_hash_alg, tag: key.sign_digest(digest) }
+    }
+
+    /// Compact binary encoding for embedding in an image signature slot.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        // serde-free, stable encoding: serial + subject + tag are enough for
+        // the parser below because full certs are re-encoded via tbs bytes.
+        let mut out = Vec::new();
+        encode_cert(&mut out, &self.signer);
+        out.push(self.chain.len() as u8);
+        for c in &self.chain {
+            encode_cert(&mut out, c);
+        }
+        out.push(match self.content_hash_alg {
+            HashAlgorithm::WeakXor32 => 1,
+            HashAlgorithm::Strong64 => 2,
+        });
+        out.extend_from_slice(&self.tag.bits().to_le_bytes());
+        out
+    }
+
+    /// Parses the encoding produced by [`CodeSignature::to_bytes`].
+    ///
+    /// Returns `None` on any malformation (truncation, bad enum codes).
+    pub fn parse(bytes: &[u8]) -> Option<CodeSignature> {
+        let mut pos = 0usize;
+        let signer = decode_cert(bytes, &mut pos)?;
+        let n = *bytes.get(pos)? as usize;
+        pos += 1;
+        let mut chain = Vec::with_capacity(n);
+        for _ in 0..n {
+            chain.push(decode_cert(bytes, &mut pos)?);
+        }
+        let alg = match *bytes.get(pos)? {
+            1 => HashAlgorithm::WeakXor32,
+            2 => HashAlgorithm::Strong64,
+            _ => return None,
+        };
+        pos += 1;
+        let raw: [u8; 8] = bytes.get(pos..pos + 8)?.try_into().ok()?;
+        let tag = SignatureTag::from_bits(u64::from_le_bytes(raw));
+        Some(CodeSignature { signer, chain, content_hash_alg: alg, tag })
+    }
+}
+
+fn encode_cert(out: &mut Vec<u8>, cert: &Certificate) {
+    let tbs = cert.tbs_bytes();
+    out.extend_from_slice(&(tbs.len() as u32).to_le_bytes());
+    out.extend_from_slice(&tbs);
+    out.extend_from_slice(&cert.issuer_sig.bits().to_le_bytes());
+}
+
+fn decode_cert(bytes: &[u8], pos: &mut usize) -> Option<Certificate> {
+    let len: [u8; 4] = bytes.get(*pos..*pos + 4)?.try_into().ok()?;
+    *pos += 4;
+    let len = u32::from_le_bytes(len) as usize;
+    let tbs = bytes.get(*pos..*pos + len)?.to_vec();
+    *pos += len;
+    let sig: [u8; 8] = bytes.get(*pos..*pos + 8)?.try_into().ok()?;
+    *pos += 8;
+    Certificate::from_tbs_bytes(&tbs, SignatureTag::from_bits(u64::from_le_bytes(sig)))
+}
+
+/// How strictly a verifier applies policy. Captures the historical states the
+/// paper describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerifyPolicy {
+    /// Accept signatures whose content digest uses a broken hash. The
+    /// pre-advisory Windows Update path effectively did.
+    pub accept_weak_hash: bool,
+    /// Require the signer certificate to carry the EKU matching the
+    /// operation. The flawed legacy path did not.
+    pub enforce_eku: bool,
+}
+
+impl VerifyPolicy {
+    /// The permissive legacy policy that made the Flame forgery viable.
+    pub fn legacy() -> Self {
+        VerifyPolicy { accept_weak_hash: true, enforce_eku: false }
+    }
+
+    /// The post-advisory strict policy.
+    pub fn strict() -> Self {
+        VerifyPolicy { accept_weak_hash: false, enforce_eku: true }
+    }
+}
+
+/// A verifier's view of the PKI: trusted roots plus an explicit untrusted
+/// (revoked) list — the mechanism of Microsoft advisory 2718704.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrustStore {
+    roots: BTreeMap<u64, Certificate>,
+    untrusted: BTreeSet<u64>,
+}
+
+impl TrustStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        TrustStore::default()
+    }
+
+    /// Adds a trusted root certificate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the certificate is not self-signed.
+    pub fn add_root(&mut self, cert: Certificate) {
+        assert!(cert.is_root(), "only self-signed certificates can be roots");
+        self.roots.insert(cert.serial, cert);
+    }
+
+    /// Moves a certificate serial to the untrusted store. Any chain that
+    /// includes it (as signer, intermediate, or root) then fails.
+    pub fn distrust(&mut self, serial: u64) {
+        self.untrusted.insert(serial);
+    }
+
+    /// Whether a serial has been explicitly distrusted.
+    pub fn is_distrusted(&self, serial: u64) -> bool {
+        self.untrusted.contains(&serial)
+    }
+
+    /// Number of trusted roots.
+    pub fn root_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Verifies a certificate chain at time `now` for an operation requiring
+    /// `required_eku` (checked on the end-entity only, when policy enforces
+    /// EKU).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first policy violation found, walking leaf to root.
+    pub fn verify_chain(
+        &self,
+        signer: &Certificate,
+        chain: &[Certificate],
+        now: SimTime,
+        required_eku: Eku,
+        policy: VerifyPolicy,
+    ) -> Result<(), VerifyCertError> {
+        if policy.enforce_eku && !signer.has_eku(required_eku) {
+            return Err(VerifyCertError::MissingEku { serial: signer.serial, required: required_eku });
+        }
+        let mut current = signer;
+        let mut walked: Vec<&Certificate> = vec![signer];
+        walked.extend(chain.iter());
+        for cert in &walked {
+            if self.untrusted.contains(&cert.serial) {
+                return Err(VerifyCertError::Distrusted { serial: cert.serial });
+            }
+            if !cert.is_valid_at(now) {
+                return Err(VerifyCertError::Expired { serial: cert.serial });
+            }
+            if !policy.accept_weak_hash && cert.hash_alg.is_broken() {
+                return Err(VerifyCertError::WeakHashRejected { serial: cert.serial });
+            }
+        }
+        for next in chain {
+            if current.issuer_serial != next.serial {
+                return Err(VerifyCertError::ChainBroken { serial: current.serial });
+            }
+            if !next.has_eku(Eku::CertificateAuthority) {
+                return Err(VerifyCertError::MissingEku {
+                    serial: next.serial,
+                    required: Eku::CertificateAuthority,
+                });
+            }
+            if !next.public_key.verify_digest(current.tbs_digest(), current.issuer_sig) {
+                return Err(VerifyCertError::BadSignature { serial: current.serial });
+            }
+            current = next;
+        }
+        let root = self
+            .roots
+            .get(&current.issuer_serial)
+            .ok_or(VerifyCertError::UntrustedRoot { serial: current.issuer_serial })?;
+        if self.untrusted.contains(&root.serial) {
+            return Err(VerifyCertError::Distrusted { serial: root.serial });
+        }
+        if !root.is_valid_at(now) {
+            return Err(VerifyCertError::Expired { serial: root.serial });
+        }
+        if !root.public_key.verify_digest(current.tbs_digest(), current.issuer_sig) {
+            return Err(VerifyCertError::BadSignature { serial: current.serial });
+        }
+        Ok(())
+    }
+
+    /// Verifies a [`CodeSignature`] over `content` for an operation requiring
+    /// `required_eku`.
+    ///
+    /// # Errors
+    ///
+    /// Chain errors as in [`TrustStore::verify_chain`], plus
+    /// [`VerifyCertError::BadSignature`] when the content tag does not verify
+    /// and [`VerifyCertError::WeakHashRejected`] when the content digest uses
+    /// a broken hash under a strict policy.
+    pub fn verify_code(
+        &self,
+        content: &[u8],
+        sig: &CodeSignature,
+        now: SimTime,
+        required_eku: Eku,
+        policy: VerifyPolicy,
+    ) -> Result<(), VerifyCertError> {
+        if !policy.accept_weak_hash && sig.content_hash_alg.is_broken() {
+            return Err(VerifyCertError::WeakHashRejected { serial: sig.signer.serial });
+        }
+        self.verify_chain(&sig.signer, &sig.chain, now, required_eku, policy)?;
+        let digest = sig.content_hash_alg.digest(content);
+        if !sig.signer.public_key.verify_digest(digest, sig.tag) {
+            return Err(VerifyCertError::BadSignature { serial: sig.signer.serial });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::CertificateAuthority;
+    use crate::key::KeyPair;
+
+    fn far() -> SimTime {
+        SimTime::from_utc(2030, 1, 1, 0, 0, 0)
+    }
+
+    fn setup() -> (TrustStore, CertificateAuthority, KeyPair, Certificate) {
+        let ca = CertificateAuthority::new_root("Root CA", 1, SimTime::EPOCH, far());
+        let mut store = TrustStore::new();
+        store.add_root(ca.root_certificate().clone());
+        let key = KeyPair::from_seed(50);
+        let cert = ca.issue(
+            "Vendor",
+            key.public(),
+            vec![Eku::CodeSigning, Eku::DriverSigning],
+            HashAlgorithm::Strong64,
+            SimTime::EPOCH,
+            far(),
+        );
+        (store, ca, key, cert)
+    }
+
+    #[test]
+    fn valid_code_signature_verifies() {
+        let (store, _ca, key, cert) = setup();
+        let content = b"driver bytes";
+        let sig = CodeSignature::sign(&key, cert, HashAlgorithm::Strong64, content);
+        store
+            .verify_code(content, &sig, SimTime::from_millis(5), Eku::DriverSigning, VerifyPolicy::strict())
+            .unwrap();
+    }
+
+    #[test]
+    fn tampered_content_fails() {
+        let (store, _ca, key, cert) = setup();
+        let sig = CodeSignature::sign(&key, cert, HashAlgorithm::Strong64, b"original");
+        let err = store
+            .verify_code(b"tampered", &sig, SimTime::from_millis(5), Eku::CodeSigning, VerifyPolicy::strict())
+            .unwrap_err();
+        assert!(matches!(err, VerifyCertError::BadSignature { .. }));
+    }
+
+    #[test]
+    fn mismatched_key_and_cert_fails() {
+        let (store, _ca, _key, cert) = setup();
+        let other = KeyPair::from_seed(999);
+        let sig = CodeSignature::sign(&other, cert, HashAlgorithm::Strong64, b"content");
+        let err = store
+            .verify_code(b"content", &sig, SimTime::from_millis(5), Eku::CodeSigning, VerifyPolicy::strict())
+            .unwrap_err();
+        assert!(matches!(err, VerifyCertError::BadSignature { .. }));
+    }
+
+    #[test]
+    fn unknown_root_fails() {
+        let (_, _ca, key, cert) = setup();
+        let empty = TrustStore::new();
+        let sig = CodeSignature::sign(&key, cert, HashAlgorithm::Strong64, b"x");
+        let err = empty
+            .verify_code(b"x", &sig, SimTime::from_millis(5), Eku::CodeSigning, VerifyPolicy::strict())
+            .unwrap_err();
+        assert!(matches!(err, VerifyCertError::UntrustedRoot { .. }));
+    }
+
+    #[test]
+    fn distrust_kills_chain() {
+        let (mut store, _ca, key, cert) = setup();
+        let serial = cert.serial;
+        let sig = CodeSignature::sign(&key, cert, HashAlgorithm::Strong64, b"x");
+        store.verify_code(b"x", &sig, SimTime::from_millis(5), Eku::CodeSigning, VerifyPolicy::strict()).unwrap();
+        store.distrust(serial);
+        assert!(store.is_distrusted(serial));
+        let err = store
+            .verify_code(b"x", &sig, SimTime::from_millis(5), Eku::CodeSigning, VerifyPolicy::strict())
+            .unwrap_err();
+        assert!(matches!(err, VerifyCertError::Distrusted { .. }));
+    }
+
+    #[test]
+    fn expiry_is_enforced() {
+        let (mut store, _, _, _) = setup();
+        let ca = CertificateAuthority::new_root("Root2", 2, SimTime::EPOCH, far());
+        store.add_root(ca.root_certificate().clone());
+        let key = KeyPair::from_seed(5);
+        let cert = ca.issue(
+            "Short lived",
+            key.public(),
+            vec![Eku::CodeSigning],
+            HashAlgorithm::Strong64,
+            SimTime::EPOCH,
+            SimTime::from_millis(100),
+        );
+        let sig = CodeSignature::sign(&key, cert, HashAlgorithm::Strong64, b"x");
+        let err = store
+            .verify_code(b"x", &sig, SimTime::from_millis(200), Eku::CodeSigning, VerifyPolicy::strict())
+            .unwrap_err();
+        assert!(matches!(err, VerifyCertError::Expired { .. }));
+    }
+
+    #[test]
+    fn eku_enforcement_depends_on_policy() {
+        let (mut store, _, _, _) = setup();
+        let ca = CertificateAuthority::new_root("MS Root", 7, SimTime::EPOCH, far());
+        store.add_root(ca.root_certificate().clone());
+        let (key, lic_cert) = ca.activate_terminal_services_licensing("Org", 9, SimTime::EPOCH, far());
+        let sig = CodeSignature::sign(&key, lic_cert, HashAlgorithm::WeakXor32, b"update.exe");
+        // Legacy path: licensing cert signs code successfully — the Flame flaw.
+        store
+            .verify_code(b"update.exe", &sig, SimTime::from_millis(5), Eku::CodeSigning, VerifyPolicy::legacy())
+            .unwrap();
+        // Strict path: rejected for EKU (or weak hash, whichever fires first).
+        let err = store
+            .verify_code(b"update.exe", &sig, SimTime::from_millis(5), Eku::CodeSigning, VerifyPolicy::strict())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            VerifyCertError::MissingEku { .. } | VerifyCertError::WeakHashRejected { .. }
+        ));
+    }
+
+    #[test]
+    fn code_signature_bytes_roundtrip() {
+        let (_, _ca, key, cert) = setup();
+        let sig = CodeSignature::sign(&key, cert, HashAlgorithm::Strong64, b"content");
+        let bytes = sig.to_bytes();
+        let back = CodeSignature::parse(&bytes).unwrap();
+        assert_eq!(back, sig);
+        assert_eq!(CodeSignature::parse(&bytes[..bytes.len() - 1]), None);
+        assert_eq!(CodeSignature::parse(&[]), None);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the toy PKI: forgery always lands on the weak digest,
+//! never on the strong one; chain verification is sound under random inputs;
+//! the CodeSignature wire encoding round-trips.
+
+use malsim_certs::prelude::*;
+use malsim_kernel::time::SimTime;
+use proptest::prelude::*;
+
+fn far() -> SimTime {
+    SimTime::from_utc(2035, 1, 1, 0, 0, 0)
+}
+
+proptest! {
+    #[test]
+    fn weak_collision_always_lands(
+        benign in proptest::collection::vec(any::<u8>(), 0..300),
+        evil in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let target = HashAlgorithm::WeakXor32.digest(&benign);
+        let suffix = malsim_certs::hash::forge_collision_suffix(&evil, target);
+        let mut forged = evil.clone();
+        forged.extend_from_slice(&suffix);
+        prop_assert_eq!(HashAlgorithm::WeakXor32.digest(&forged), target);
+        prop_assert!(forged.starts_with(&evil));
+        // Strong digests of distinct contents stay distinct.
+        if forged != benign {
+            prop_assert_ne!(
+                HashAlgorithm::Strong64.digest(&forged),
+                HashAlgorithm::Strong64.digest(&benign)
+            );
+        }
+    }
+
+    #[test]
+    fn sign_verify_consistency(seed in any::<u64>(), content in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let kp = KeyPair::from_seed(seed);
+        let d = HashAlgorithm::Strong64.digest(&content);
+        let tag = kp.sign_digest(d);
+        prop_assert!(kp.public().verify_digest(d, tag));
+        let other = KeyPair::from_seed(seed.wrapping_add(1));
+        prop_assert!(!other.public().verify_digest(d, tag));
+    }
+
+    #[test]
+    fn issued_certs_verify_and_tamper_fails(
+        seed in any::<u64>(),
+        subject in "[a-zA-Z ]{1,40}",
+        mutate_subject in any::<bool>(),
+    ) {
+        let ca = CertificateAuthority::new_root("Root", seed % 1000, SimTime::EPOCH, far());
+        let kp = KeyPair::from_seed(seed);
+        let cert = ca.issue(
+            subject,
+            kp.public(),
+            vec![Eku::CodeSigning],
+            HashAlgorithm::Strong64,
+            SimTime::EPOCH,
+            far(),
+        );
+        let root_key = ca.root_certificate().public_key;
+        prop_assert!(root_key.verify_digest(cert.tbs_digest(), cert.issuer_sig));
+        if mutate_subject {
+            let mut bad = cert.clone();
+            bad.subject.push('!');
+            prop_assert!(!root_key.verify_digest(bad.tbs_digest(), bad.issuer_sig));
+        }
+    }
+
+    #[test]
+    fn code_signature_roundtrip(
+        seed in any::<u64>(),
+        content in proptest::collection::vec(any::<u8>(), 0..200),
+        weak in any::<bool>(),
+    ) {
+        let ca = CertificateAuthority::new_root("Root", 3, SimTime::EPOCH, far());
+        let kp = KeyPair::from_seed(seed);
+        let alg = if weak { HashAlgorithm::WeakXor32 } else { HashAlgorithm::Strong64 };
+        let cert = ca.issue("Subj", kp.public(), vec![Eku::CodeSigning], alg, SimTime::EPOCH, far());
+        let sig = CodeSignature::sign(&kp, cert, alg, &content);
+        let bytes = sig.to_bytes();
+        prop_assert_eq!(CodeSignature::parse(&bytes), Some(sig));
+    }
+
+    #[test]
+    fn code_signature_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = CodeSignature::parse(&bytes);
+    }
+
+    #[test]
+    fn store_end_to_end(seed in any::<u64>(), distrust in any::<bool>()) {
+        let ca = CertificateAuthority::new_root("Root", 9, SimTime::EPOCH, far());
+        let mut store = TrustStore::new();
+        store.add_root(ca.root_certificate().clone());
+        let kp = KeyPair::from_seed(seed);
+        let cert = ca.issue(
+            "V",
+            kp.public(),
+            vec![Eku::DriverSigning],
+            HashAlgorithm::Strong64,
+            SimTime::EPOCH,
+            far(),
+        );
+        let serial = cert.serial;
+        let sig = CodeSignature::sign(&kp, cert, HashAlgorithm::Strong64, b"driver");
+        let now = SimTime::from_millis(100);
+        prop_assert!(store.verify_code(b"driver", &sig, now, Eku::DriverSigning, VerifyPolicy::strict()).is_ok());
+        if distrust {
+            store.distrust(serial);
+            prop_assert!(store.verify_code(b"driver", &sig, now, Eku::DriverSigning, VerifyPolicy::strict()).is_err());
+        }
+    }
+}

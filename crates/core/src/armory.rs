@@ -1,0 +1,196 @@
+//! PKI setup and campaign "arming" helpers.
+//!
+//! Scenarios need the certificate world wired up before the campaigns run:
+//! a platform-vendor root every host trusts, the stolen driver credential
+//! for Stuxnet's rootkit, the leveraged Terminal Services certificate for
+//! Flame's fake update, and the borrowed signed disk driver for Shamoon.
+
+use malsim_certs::authority::CertificateAuthority;
+use malsim_certs::cert::Eku;
+use malsim_certs::forgery::leverage_licensing_credential;
+use malsim_certs::hash::HashAlgorithm;
+use malsim_certs::key::KeyPair;
+use malsim_certs::store::CodeSignature;
+use malsim_kernel::time::SimTime;
+use malsim_malware::flame::candc::FlamePlatform;
+use malsim_malware::stuxnet::candc::C2_DOMAINS;
+use malsim_malware::world::{World, WorldSim};
+use malsim_net::addr::{Domain, Ipv4};
+use malsim_net::dns::Registrant;
+
+fn far_future() -> SimTime {
+    SimTime::from_utc(2035, 1, 1, 0, 0, 0)
+}
+
+/// The scenario's certificate world: the vendor root plus the credentials
+/// each campaign abuses.
+#[derive(Debug)]
+pub struct Pki {
+    /// The platform-vendor CA (think "the OS vendor's root").
+    pub vendor_ca: CertificateAuthority,
+    /// The hardware-vendor CA whose customers' keys get stolen.
+    pub hardware_ca: CertificateAuthority,
+}
+
+impl Pki {
+    /// Builds both CAs and installs their roots into every existing host's
+    /// trust store.
+    pub fn install(world: &mut World) -> Pki {
+        let vendor_ca = CertificateAuthority::new_root("Platform Vendor Root", 1, SimTime::EPOCH, far_future());
+        let hardware_ca = CertificateAuthority::new_root("Hsinchu Hardware Root", 2, SimTime::EPOCH, far_future());
+        for (_, host) in world.hosts.iter_mut() {
+            host.trust.add_root(vendor_ca.root_certificate().clone());
+            host.trust.add_root(hardware_ca.root_certificate().clone());
+        }
+        Pki { vendor_ca, hardware_ca }
+    }
+
+    /// Arms Stuxnet with a stolen driver-signing credential (the
+    /// JMicron/Realtek story): a legitimate hardware vendor's key pair plus
+    /// certificate, obtained by the attackers.
+    pub fn arm_stuxnet(&self, world: &mut World) {
+        let stolen_key = KeyPair::from_seed(0x5105);
+        let cert = self.hardware_ca.issue(
+            "Realtek Semiconductor Corp",
+            stolen_key.public(),
+            vec![Eku::DriverSigning],
+            HashAlgorithm::Strong64,
+            SimTime::EPOCH,
+            far_future(),
+        );
+        let driver = b"stuxnet kernel driver (mrxcls/mrxnet)".to_vec();
+        let sig = CodeSignature::sign(&stolen_key, cert, HashAlgorithm::Strong64, &driver);
+        world.campaigns.stuxnet.stolen_driver_signature = Some((driver, sig));
+    }
+
+    /// Registers the Stuxnet C&C domains in DNS.
+    pub fn register_stuxnet_c2(&self, world: &mut World) {
+        for (i, d) in C2_DOMAINS.iter().enumerate() {
+            world.dns.register(
+                Domain::new(d),
+                Ipv4::new(203, 0, 113, 10 + i as u8),
+                Registrant {
+                    name: "futbol fan".into(),
+                    country: "MY".into(),
+                    registrar: "reg-sport".into(),
+                },
+            );
+        }
+    }
+
+    /// Builds the Flame platform (22 servers / 80 domains by default) and
+    /// arms it with the forged-update credential leveraged from a Terminal
+    /// Services licensing certificate.
+    pub fn arm_flame(&self, world: &mut World, sim: &mut WorldSim, servers: usize, domains: usize) {
+        let mut platform = FlamePlatform::build(&mut world.dns, &mut sim.rng, servers, domains);
+        let (key, cert) = self.vendor_ca.activate_terminal_services_licensing(
+            "Front Company LLC",
+            0xF1A3,
+            SimTime::EPOCH,
+            far_future(),
+        );
+        let forged = leverage_licensing_credential(&key, cert, b"flame installer payload");
+        platform.forged_update = Some((forged.content, forged.signature));
+        world.campaigns.flame_platform = Some(platform);
+    }
+
+    /// Arms Shamoon with the legitimately signed third-party raw-disk
+    /// driver (the Eldos story).
+    pub fn arm_shamoon(&self, world: &mut World) {
+        let vendor_key = KeyPair::from_seed(0xE1D0);
+        let cert = self.vendor_ca.issue(
+            "EldoS Corporation",
+            vendor_key.public(),
+            vec![Eku::DriverSigning],
+            HashAlgorithm::Strong64,
+            SimTime::EPOCH,
+            far_future(),
+        );
+        let driver = b"rawdisk access driver".to_vec();
+        let sig = CodeSignature::sign(&vendor_key, cert, HashAlgorithm::Strong64, &driver);
+        world.campaigns.shamoon.signed_disk_driver = Some((driver, sig));
+    }
+
+    /// Applies advisory 2718704 to a host: distrusts the leveraged
+    /// certificate chain and switches verification to the strict policy.
+    pub fn apply_advisory(&self, world: &mut World, host: malsim_os::host::HostId) {
+        world.hosts[host].patches.apply(malsim_os::patches::Bulletin::Advisory2718704);
+        // Distrust every licensing certificate the vendor CA issued on the
+        // weak path — modelled by distrusting the vendor root's weak-hash
+        // children via serial scan is impossible from here, so the advisory
+        // distrusts the specific forged-update signer when present.
+        if let Some(platform) = &world.campaigns.flame_platform {
+            if let Some((_, sig)) = &platform.forged_update {
+                let serial = sig.signer.serial;
+                world.hosts[host].trust.distrust(serial);
+            }
+        }
+        world.hosts[host].verify_policy = malsim_certs::store::VerifyPolicy::strict();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioBuilder;
+
+    #[test]
+    fn install_adds_roots_to_all_hosts() {
+        let (mut world, _) = ScenarioBuilder::new(1).office_lan(3);
+        let _pki = Pki::install(&mut world);
+        for (_, h) in world.hosts.iter() {
+            assert_eq!(h.trust.root_count(), 2);
+        }
+    }
+
+    #[test]
+    fn arm_stuxnet_provides_loadable_driver_credential() {
+        let (mut world, _) = ScenarioBuilder::new(1).office_lan(1);
+        let pki = Pki::install(&mut world);
+        pki.arm_stuxnet(&mut world);
+        let (content, sig) = world.campaigns.stuxnet.stolen_driver_signature.clone().unwrap();
+        let host = &mut world.hosts[malsim_os::host::HostId::new(0)];
+        host.load_driver("mrxcls.sys", &content, Some(&sig), false, SimTime::EPOCH).unwrap();
+    }
+
+    #[test]
+    fn arm_flame_builds_platform_with_forged_update() {
+        let (mut world, mut sim) = ScenarioBuilder::new(1).office_lan(1);
+        let pki = Pki::install(&mut world);
+        pki.arm_flame(&mut world, &mut sim, 22, 80);
+        let p = world.campaigns.flame_platform.as_ref().unwrap();
+        assert_eq!(p.servers.len(), 22);
+        assert_eq!(p.domains.len(), 80);
+        assert!(p.forged_update.is_some());
+        assert_eq!(world.dns.live_ips().len(), 22);
+    }
+
+    #[test]
+    fn advisory_blocks_forged_update_on_host() {
+        use malsim_net::winupdate::{client_accepts_update, UpdatePackage};
+        let (mut world, mut sim) = ScenarioBuilder::new(1).office_lan(1);
+        let pki = Pki::install(&mut world);
+        pki.arm_flame(&mut world, &mut sim, 4, 10);
+        let host_id = malsim_os::host::HostId::new(0);
+        let (binary, sig) = world.campaigns.flame_platform.as_ref().unwrap().forged_update.clone().unwrap();
+        let pkg = UpdatePackage { name: "x".into(), binary, signature: Some(sig) };
+        // Pre-advisory: accepted.
+        let h = &world.hosts[host_id];
+        assert!(client_accepts_update(&pkg, &h.trust, h.verify_policy, sim.now()).is_ok());
+        // Post-advisory: rejected.
+        pki.apply_advisory(&mut world, host_id);
+        let h = &world.hosts[host_id];
+        assert!(client_accepts_update(&pkg, &h.trust, h.verify_policy, sim.now()).is_err());
+    }
+
+    #[test]
+    fn arm_shamoon_driver_loads() {
+        let (mut world, _) = ScenarioBuilder::new(1).office_lan(1);
+        let pki = Pki::install(&mut world);
+        pki.arm_shamoon(&mut world);
+        let (content, sig) = world.campaigns.shamoon.signed_disk_driver.clone().unwrap();
+        let host = &mut world.hosts[malsim_os::host::HostId::new(0)];
+        host.load_driver("drdisk.sys", &content, Some(&sig), true, SimTime::EPOCH).unwrap();
+        assert!(host.has_raw_disk_access());
+    }
+}

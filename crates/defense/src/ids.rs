@@ -1,0 +1,130 @@
+//! Network intrusion detection: rule matching over HTTP traffic.
+
+use malsim_net::addr::Domain;
+use malsim_net::http::HttpRequest;
+
+/// One IDS rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IdsRule {
+    /// Alert when the request targets this domain.
+    DomainBlacklist(Domain),
+    /// Alert when the rendered request line contains this substring.
+    RequestPattern(String),
+    /// Alert when a single request body exceeds this many bytes
+    /// (bulk-exfiltration indicator).
+    BodyLarger(usize),
+}
+
+/// An alert produced by the sensor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdsAlert {
+    /// Index of the matching rule.
+    pub rule_index: usize,
+    /// Human-readable description.
+    pub description: String,
+}
+
+/// A passive network sensor.
+///
+/// # Examples
+///
+/// ```
+/// use malsim_defense::ids::{Ids, IdsRule};
+/// use malsim_net::addr::Domain;
+/// use malsim_net::http::HttpRequest;
+///
+/// let mut ids = Ids::new();
+/// ids.add_rule(IdsRule::DomainBlacklist(Domain::new("www.mypremierfutbol.com")));
+/// let req = HttpRequest::get(Domain::new("www.mypremierfutbol.com"), "/index.php");
+/// assert!(ids.inspect(&req).is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Ids {
+    rules: Vec<IdsRule>,
+    alerts: Vec<IdsAlert>,
+    inspected: u64,
+}
+
+impl Ids {
+    /// Creates a sensor with no rules.
+    pub fn new() -> Self {
+        Ids::default()
+    }
+
+    /// Adds a rule, returning its index.
+    pub fn add_rule(&mut self, rule: IdsRule) -> usize {
+        self.rules.push(rule);
+        self.rules.len() - 1
+    }
+
+    /// Inspects one request; records and returns an alert on first match.
+    pub fn inspect(&mut self, request: &HttpRequest) -> Option<IdsAlert> {
+        self.inspected += 1;
+        let line = request.request_line();
+        for (i, rule) in self.rules.iter().enumerate() {
+            let hit = match rule {
+                IdsRule::DomainBlacklist(d) => request.host == *d,
+                IdsRule::RequestPattern(p) => line.contains(p.as_str()),
+                IdsRule::BodyLarger(n) => request.body.len() > *n,
+            };
+            if hit {
+                let alert = IdsAlert { rule_index: i, description: format!("rule {i} matched: {line}") };
+                self.alerts.push(alert.clone());
+                return Some(alert);
+            }
+        }
+        None
+    }
+
+    /// All alerts so far.
+    pub fn alerts(&self) -> &[IdsAlert] {
+        &self.alerts
+    }
+
+    /// Requests inspected.
+    pub fn inspected(&self) -> u64 {
+        self.inspected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_blacklist() {
+        let mut ids = Ids::new();
+        ids.add_rule(IdsRule::DomainBlacklist(Domain::new("evil.example")));
+        assert!(ids.inspect(&HttpRequest::get(Domain::new("EVIL.example"), "/")).is_some());
+        assert!(ids.inspect(&HttpRequest::get(Domain::new("ok.example"), "/")).is_none());
+        assert_eq!(ids.inspected(), 2);
+        assert_eq!(ids.alerts().len(), 1);
+    }
+
+    #[test]
+    fn request_pattern() {
+        let mut ids = Ids::new();
+        ids.add_rule(IdsRule::RequestPattern("GET_NEWS".into()));
+        let req = HttpRequest::get(Domain::new("c2.example"), "/newsforyou").with_query("cmd", "GET_NEWS");
+        assert!(ids.inspect(&req).is_some());
+    }
+
+    #[test]
+    fn body_size_threshold() {
+        let mut ids = Ids::new();
+        ids.add_rule(IdsRule::BodyLarger(1_000));
+        let small = HttpRequest::post(Domain::new("x.example"), "/u", vec![0; 100]);
+        let big = HttpRequest::post(Domain::new("x.example"), "/u", vec![0; 10_000]);
+        assert!(ids.inspect(&small).is_none());
+        assert!(ids.inspect(&big).is_some());
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let mut ids = Ids::new();
+        ids.add_rule(IdsRule::RequestPattern("/a".into()));
+        ids.add_rule(IdsRule::DomainBlacklist(Domain::new("both.example")));
+        let req = HttpRequest::get(Domain::new("both.example"), "/a");
+        assert_eq!(ids.inspect(&req).unwrap().rule_index, 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # malsim-defense
+//!
+//! Defensive instrumentation for the `malsim` workspace: the security
+//! products the modelled campaigns had to evade, plus the forensic analysis
+//! their suicide modules were designed to defeat.
+//!
+//! - [`av`] — an antivirus engine with the three channels that mattered in
+//!   the paper's narrative: content-hash signatures (shipped after public
+//!   analysis), structural heuristics (suspicious imports, encrypted
+//!   resources, unsigned drivers), and a behaviour budget that aggressive
+//!   spreading blows but "do-not-disturb" malware stays under;
+//! - [`ids`] — a passive network sensor with domain blacklists, request
+//!   patterns, and bulk-upload thresholds;
+//! - [`forensics`] — an offline indicator sweep producing a recovery score,
+//!   used to quantify the effect of SUICIDE/LogWiper anti-forensics.
+//!
+//! # Examples
+//!
+//! ```
+//! use malsim_defense::prelude::*;
+//! use malsim_net::addr::Domain;
+//! use malsim_net::http::HttpRequest;
+//!
+//! let mut ids = Ids::new();
+//! ids.add_rule(IdsRule::RequestPattern("ADD_ENTRY".into()));
+//! let beacon = HttpRequest::get(Domain::new("c2.example"), "/newsforyou")
+//!     .with_query("cmd", "ADD_ENTRY");
+//! assert!(ids.inspect(&beacon).is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod av;
+pub mod forensics;
+pub mod ids;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::av::{Antivirus, ScanVerdict};
+    pub use crate::forensics::{analyze_host, ForensicReport, Indicator};
+    pub use crate::ids::{Ids, IdsAlert, IdsRule};
+}

@@ -1,0 +1,221 @@
+//! Typed integer identifiers.
+//!
+//! Domain crates identify hosts, networks, certificates, PLCs, etc. with
+//! small integer handles into arena-style tables. [`crate::define_id!`] stamps out a
+//! newtype per entity kind so the compiler rejects cross-kind mix-ups
+//! (C-NEWTYPE).
+
+/// Defines a `u32`-backed identifier newtype.
+///
+/// The generated type provides `new`, `index`, `as_u32`, ordering, hashing,
+/// `Display` (`prefix#n`), and serde support.
+///
+/// # Examples
+///
+/// ```
+/// malsim_kernel::define_id!(
+///     /// Identifies a widget.
+///     pub struct WidgetId("widget")
+/// );
+///
+/// let w = WidgetId::new(3);
+/// assert_eq!(w.index(), 3);
+/// assert_eq!(w.to_string(), "widget#3");
+/// ```
+#[macro_export]
+macro_rules! define_id {
+    ($(#[$meta:meta])* $vis:vis struct $name:ident($prefix:literal)) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+            serde::Serialize, serde::Deserialize,
+        )]
+        $vis struct $name(u32);
+
+        impl $name {
+            /// Creates an id from an arena index.
+            $vis const fn new(index: usize) -> Self {
+                Self(index as u32)
+            }
+
+            /// The arena index this id denotes.
+            $vis const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// The raw numeric value.
+            $vis const fn as_u32(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl ::std::fmt::Display for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                write!(f, concat!($prefix, "#{}"), self.0)
+            }
+        }
+    };
+}
+
+/// A typed arena: push-only storage addressed by a [`crate::define_id!`] id.
+///
+/// # Examples
+///
+/// ```
+/// use malsim_kernel::ids::Arena;
+///
+/// malsim_kernel::define_id!(pub struct ThingId("thing"));
+/// malsim_kernel::impl_arena_id!(ThingId);
+///
+/// let mut arena: Arena<ThingId, String> = Arena::new();
+/// let id = arena.push("hello".to_owned());
+/// assert_eq!(arena[id], "hello");
+/// assert_eq!(arena.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Arena<I, T> {
+    items: Vec<T>,
+    _marker: std::marker::PhantomData<I>,
+}
+
+/// Minimal interface [`Arena`] needs from an id type; implemented
+/// automatically for every [`crate::define_id!`] type via `new`/`index`.
+pub trait ArenaId: Copy {
+    /// Builds the id for an index.
+    fn from_index(index: usize) -> Self;
+    /// The index the id denotes.
+    fn to_index(self) -> usize;
+}
+
+/// Implements [`ArenaId`] for one or more [`crate::define_id!`] types.
+#[macro_export]
+macro_rules! impl_arena_id {
+    ($($name:ident),+ $(,)?) => {
+        $(
+            impl $crate::ids::ArenaId for $name {
+                fn from_index(index: usize) -> Self {
+                    Self::new(index)
+                }
+                fn to_index(self) -> usize {
+                    self.index()
+                }
+            }
+        )+
+    };
+}
+
+impl<I: ArenaId, T> Arena<I, T> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Arena { items: Vec::new(), _marker: std::marker::PhantomData }
+    }
+
+    /// Appends an item, returning its id.
+    pub fn push(&mut self, item: T) -> I {
+        let id = I::from_index(self.items.len());
+        self.items.push(item);
+        id
+    }
+
+    /// Shared access by id, if in range.
+    pub fn get(&self, id: I) -> Option<&T> {
+        self.items.get(id.to_index())
+    }
+
+    /// Mutable access by id, if in range.
+    pub fn get_mut(&mut self, id: I) -> Option<&mut T> {
+        self.items.get_mut(id.to_index())
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the arena holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates `(id, &item)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (I, &T)> {
+        self.items.iter().enumerate().map(|(i, t)| (I::from_index(i), t))
+    }
+
+    /// Iterates `(id, &mut item)` pairs in insertion order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (I, &mut T)> {
+        self.items.iter_mut().enumerate().map(|(i, t)| (I::from_index(i), t))
+    }
+
+    /// Iterates all ids.
+    pub fn ids(&self) -> impl Iterator<Item = I> + '_ {
+        (0..self.items.len()).map(I::from_index)
+    }
+}
+
+impl<I: ArenaId, T> Default for Arena<I, T> {
+    fn default() -> Self {
+        Arena::new()
+    }
+}
+
+impl<I: ArenaId, T> std::ops::Index<I> for Arena<I, T> {
+    type Output = T;
+    fn index(&self, id: I) -> &T {
+        &self.items[id.to_index()]
+    }
+}
+
+impl<I: ArenaId, T> std::ops::IndexMut<I> for Arena<I, T> {
+    fn index_mut(&mut self, id: I) -> &mut T {
+        &mut self.items[id.to_index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    crate::define_id!(pub struct TestId("test"));
+    crate::impl_arena_id!(TestId);
+
+    #[test]
+    fn id_basics() {
+        let a = TestId::new(0);
+        let b = TestId::new(1);
+        assert_ne!(a, b);
+        assert!(a < b);
+        assert_eq!(b.to_string(), "test#1");
+        assert_eq!(b.index(), 1);
+        assert_eq!(b.as_u32(), 1);
+    }
+
+    #[test]
+    fn arena_push_get_index() {
+        let mut arena: Arena<TestId, &str> = Arena::new();
+        assert!(arena.is_empty());
+        let a = arena.push("a");
+        let b = arena.push("b");
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena[a], "a");
+        assert_eq!(arena.get(b), Some(&"b"));
+        assert_eq!(arena.get(TestId::new(5)), None);
+        arena[a] = "z";
+        assert_eq!(arena[a], "z");
+    }
+
+    #[test]
+    fn arena_iteration() {
+        let mut arena: Arena<TestId, u32> = Arena::new();
+        for v in [10, 20, 30] {
+            arena.push(v);
+        }
+        let pairs: Vec<(usize, u32)> = arena.iter().map(|(i, v)| (i.index(), *v)).collect();
+        assert_eq!(pairs, vec![(0, 10), (1, 20), (2, 30)]);
+        for (_, v) in arena.iter_mut() {
+            *v += 1;
+        }
+        assert_eq!(arena[TestId::new(2)], 31);
+        assert_eq!(arena.ids().count(), 3);
+    }
+}

@@ -1,0 +1,57 @@
+//! # malsim-kernel
+//!
+//! Deterministic discrete-event simulation core for the `malsim` workspace.
+//!
+//! The kernel is domain-agnostic: it knows nothing about hosts, networks, or
+//! malware. It provides:
+//!
+//! - [`time::SimTime`] / [`time::SimDuration`] — calendar-anchored millisecond
+//!   clock, so scenarios can express wall-clock triggers.
+//! - [`sched::Sim`] — the event queue and scheduler. Events are closures over
+//!   a caller-owned world; ordering is total and deterministic.
+//! - [`rng::SimRng`] — a seeded, forkable ChaCha8 random source; the same
+//!   `(scenario, seed)` pair always yields the same trace.
+//! - [`trace::TraceLog`] — the structured forensic record of a run.
+//! - [`metrics::Metrics`] — counters, histograms, and time series that
+//!   experiments read back out.
+//! - [`crate::define_id!`] / [`ids::Arena`] — typed handles for entity tables.
+//!
+//! # Examples
+//!
+//! ```
+//! use malsim_kernel::prelude::*;
+//!
+//! #[derive(Default)]
+//! struct World {
+//!     infected: u32,
+//! }
+//!
+//! let mut sim: Sim<World> = Sim::new(SimTime::from_utc(2012, 8, 1, 0, 0, 0), 7);
+//! let mut world = World::default();
+//! sim.schedule_in(SimDuration::from_hours(1), |w: &mut World, sim| {
+//!     w.infected += 1;
+//!     sim.record(TraceCategory::Infection, "host:0", "patient zero");
+//! });
+//! sim.run(&mut world);
+//! assert_eq!(world.infected, 1);
+//! assert_eq!(sim.trace.count(TraceCategory::Infection), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ids;
+pub mod metrics;
+pub mod rng;
+pub mod sched;
+pub mod time;
+pub mod trace;
+
+/// Convenient glob-import of the kernel's commonly used items.
+pub mod prelude {
+    pub use crate::metrics::Metrics;
+    pub use crate::rng::SimRng;
+    pub use crate::sched::{EventHandle, Sim};
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::trace::{TraceCategory, TraceEvent, TraceLog};
+}

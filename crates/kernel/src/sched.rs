@@ -1,0 +1,410 @@
+//! The discrete-event scheduler.
+//!
+//! A [`Sim<W>`] owns the clock, the pending-event queue, the rng, the trace
+//! log, and the metric registry. The *world* `W` (hosts, networks, PLCs, …)
+//! is owned by the caller and threaded through every step, which keeps the
+//! kernel generic and keeps borrows simple: when an event fires, its action
+//! receives `(&mut W, &mut Sim<W>)` and may freely schedule follow-up events.
+//!
+//! Ordering is total and deterministic: events fire in `(time, sequence)`
+//! order, where sequence is assignment order. Two events scheduled for the
+//! same instant therefore fire in the order they were scheduled.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+use crate::metrics::Metrics;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceCategory, TraceLog};
+
+/// An event action: invoked once with the world and the scheduler.
+pub type Action<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
+
+/// Handle identifying a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+struct Scheduled<W> {
+    time: SimTime,
+    seq: u64,
+    action: Action<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic discrete-event simulation core.
+///
+/// # Examples
+///
+/// ```
+/// use malsim_kernel::sched::Sim;
+/// use malsim_kernel::time::{SimDuration, SimTime};
+///
+/// let mut sim: Sim<Vec<&str>> = Sim::new(SimTime::EPOCH, 42);
+/// let mut world = Vec::new();
+/// sim.schedule_in(SimDuration::from_secs(1), |w: &mut Vec<&str>, _| w.push("one"));
+/// sim.schedule_in(SimDuration::from_secs(2), |w: &mut Vec<&str>, _| w.push("two"));
+/// sim.run(&mut world);
+/// assert_eq!(world, vec!["one", "two"]);
+/// ```
+pub struct Sim<W> {
+    now: SimTime,
+    next_seq: u64,
+    queue: BinaryHeap<Scheduled<W>>,
+    cancelled: HashSet<u64>,
+    executed: u64,
+    /// Deterministic random source for the run.
+    pub rng: SimRng,
+    /// Structured event trace.
+    pub trace: TraceLog,
+    /// Metric registry.
+    pub metrics: Metrics,
+}
+
+impl<W> fmt::Debug for Sim<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+impl<W> Sim<W> {
+    /// Creates a scheduler starting at `start` with the given rng seed.
+    pub fn new(start: SimTime, seed: u64) -> Self {
+        Sim {
+            now: start,
+            next_seq: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            executed: 0,
+            rng: SimRng::seed_from(seed),
+            trace: TraceLog::new(),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending (including cancelled, not yet reaped).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `action` at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to *now*: the event fires at the
+    /// current instant, after already-queued events for that instant.
+    pub fn schedule_at<F>(&mut self, at: SimTime, action: F) -> EventHandle
+    where
+        F: FnOnce(&mut W, &mut Sim<W>) + 'static,
+    {
+        let time = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled { time, seq, action: Box::new(action) });
+        EventHandle(seq)
+    }
+
+    /// Schedules `action` after a delay from now.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, action: F) -> EventHandle
+    where
+        F: FnOnce(&mut W, &mut Sim<W>) + 'static,
+    {
+        self.schedule_at(self.now + delay, action)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event had not yet fired or been cancelled.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if handle.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(handle.0)
+    }
+
+    /// Schedules a repeating action every `period`, starting one period from
+    /// now, until `action` returns `false`.
+    pub fn schedule_every<F>(&mut self, period: SimDuration, action: F) -> EventHandle
+    where
+        F: FnMut(&mut W, &mut Sim<W>) -> bool + 'static,
+    {
+        assert!(!period.is_zero(), "repeating events require a non-zero period");
+        fn rearm<W>(
+            period: SimDuration,
+            mut action: impl FnMut(&mut W, &mut Sim<W>) -> bool + 'static,
+        ) -> Action<W> {
+            Box::new(move |w, sim| {
+                if action(w, sim) {
+                    let next = rearm(period, action);
+                    let time = sim.now + period;
+                    let seq = sim.next_seq;
+                    sim.next_seq += 1;
+                    sim.queue.push(Scheduled { time, seq, action: next });
+                }
+            })
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let time = self.now + period;
+        self.queue.push(Scheduled { time, seq, action: rearm(period, action) });
+        EventHandle(seq)
+    }
+
+    /// Executes the next pending event, advancing the clock to it.
+    ///
+    /// Returns `false` when the queue is empty.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        loop {
+            let Some(ev) = self.queue.pop() else { return false };
+            debug_assert!(ev.time >= self.now, "event queue went backwards");
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            self.now = ev.time;
+            self.executed += 1;
+            (ev.action)(world, self);
+            return true;
+        }
+    }
+
+    /// Runs until the queue drains.
+    pub fn run(&mut self, world: &mut W) {
+        while self.step(world) {}
+    }
+
+    /// Runs events with `time <= until`, then sets the clock to `until`.
+    ///
+    /// Later events remain queued, so the run can be resumed.
+    pub fn run_until(&mut self, world: &mut W, until: SimTime) {
+        loop {
+            let next_time = loop {
+                match self.queue.peek() {
+                    Some(ev) if self.cancelled.contains(&ev.seq) => {
+                        let ev = self.queue.pop().expect("peeked event exists");
+                        self.cancelled.remove(&ev.seq);
+                    }
+                    Some(ev) => break Some(ev.time),
+                    None => break None,
+                }
+            };
+            match next_time {
+                Some(t) if t <= until => {
+                    self.step(world);
+                }
+                _ => break,
+            }
+        }
+        self.now = self.now.max(until);
+    }
+
+    /// Runs at most `max_events` events; returns how many were executed.
+    pub fn run_steps(&mut self, world: &mut W, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step(world) {
+            n += 1;
+        }
+        n
+    }
+
+    /// Records a trace event stamped with the current time.
+    pub fn record(&mut self, category: TraceCategory, actor: impl Into<String>, message: impl Into<String>) {
+        let now = self.now;
+        self.trace.record(now, category, actor, message);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type World = Vec<u32>;
+
+    fn sim() -> Sim<World> {
+        Sim::new(SimTime::EPOCH, 1)
+    }
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut s = sim();
+        let mut w = Vec::new();
+        s.schedule_in(SimDuration::from_secs(3), |w: &mut World, _| w.push(3));
+        s.schedule_in(SimDuration::from_secs(1), |w: &mut World, _| w.push(1));
+        s.schedule_in(SimDuration::from_secs(2), |w: &mut World, _| w.push(2));
+        s.run(&mut w);
+        assert_eq!(w, vec![1, 2, 3]);
+        assert_eq!(s.executed(), 3);
+    }
+
+    #[test]
+    fn ties_fire_in_scheduling_order() {
+        let mut s = sim();
+        let mut w = Vec::new();
+        let t = SimTime::EPOCH + SimDuration::from_secs(5);
+        for i in 0..10 {
+            s.schedule_at(t, move |w: &mut World, _| w.push(i));
+        }
+        s.run(&mut w);
+        assert_eq!(w, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_scheduling_works() {
+        let mut s = sim();
+        let mut w = Vec::new();
+        s.schedule_in(SimDuration::from_secs(1), |w: &mut World, sim| {
+            w.push(1);
+            sim.schedule_in(SimDuration::from_secs(1), |w: &mut World, _| w.push(2));
+        });
+        s.run(&mut w);
+        assert_eq!(w, vec![1, 2]);
+        assert_eq!(s.now(), SimTime::EPOCH + SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut s = sim();
+        let mut w = Vec::new();
+        s.schedule_in(SimDuration::from_secs(10), |w: &mut World, sim| {
+            w.push(1);
+            sim.schedule_at(SimTime::EPOCH, |w: &mut World, _| w.push(2));
+        });
+        s.run(&mut w);
+        assert_eq!(w, vec![1, 2]);
+        assert_eq!(s.now(), SimTime::EPOCH + SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut s = sim();
+        let mut w = Vec::new();
+        let h = s.schedule_in(SimDuration::from_secs(1), |w: &mut World, _| w.push(1));
+        s.schedule_in(SimDuration::from_secs(2), |w: &mut World, _| w.push(2));
+        assert!(s.cancel(h));
+        assert!(!s.cancel(h), "double-cancel reports false");
+        assert!(!s.cancel(EventHandle(999)), "unknown handle reports false");
+        s.run(&mut w);
+        assert_eq!(w, vec![2]);
+    }
+
+    #[test]
+    fn run_until_stops_and_resumes() {
+        let mut s = sim();
+        let mut w = Vec::new();
+        for sec in 1..=5 {
+            s.schedule_in(SimDuration::from_secs(sec), move |w: &mut World, _| w.push(sec as u32));
+        }
+        s.run_until(&mut w, SimTime::EPOCH + SimDuration::from_secs(3));
+        assert_eq!(w, vec![1, 2, 3]);
+        assert_eq!(s.now(), SimTime::EPOCH + SimDuration::from_secs(3));
+        s.run(&mut w);
+        assert_eq!(w, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_idle() {
+        let mut s = sim();
+        let mut w = Vec::new();
+        s.run_until(&mut w, SimTime::EPOCH + SimDuration::from_hours(4));
+        assert_eq!(s.now(), SimTime::EPOCH + SimDuration::from_hours(4));
+    }
+
+    #[test]
+    fn repeating_event_until_false() {
+        let mut s = sim();
+        let mut w = Vec::new();
+        s.schedule_every(SimDuration::from_secs(10), |w: &mut World, _| {
+            w.push(w.len() as u32);
+            w.len() < 4
+        });
+        s.run(&mut w);
+        assert_eq!(w, vec![0, 1, 2, 3]);
+        assert_eq!(s.now(), SimTime::EPOCH + SimDuration::from_secs(40));
+    }
+
+    #[test]
+    fn cancel_repeating_before_first_fire() {
+        let mut s = sim();
+        let mut w = Vec::new();
+        let h = s.schedule_every(SimDuration::from_secs(1), |w: &mut World, _| {
+            w.push(0);
+            true
+        });
+        s.schedule_in(SimDuration::from_secs(5), |_w, _s| {});
+        assert!(s.cancel(h));
+        s.run(&mut w);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn run_steps_bounds_execution() {
+        let mut s = sim();
+        let mut w = Vec::new();
+        for sec in 1..=10 {
+            s.schedule_in(SimDuration::from_secs(sec), move |w: &mut World, _| w.push(sec as u32));
+        }
+        assert_eq!(s.run_steps(&mut w, 4), 4);
+        assert_eq!(w.len(), 4);
+        assert_eq!(s.pending(), 6);
+    }
+
+    #[test]
+    fn trace_recording_uses_sim_clock() {
+        let mut s = sim();
+        let mut w = Vec::new();
+        s.schedule_in(SimDuration::from_secs(7), |_w, sim| {
+            sim.record(TraceCategory::Scenario, "test", "fired");
+        });
+        s.run(&mut w);
+        let e = s.trace.first_of(TraceCategory::Scenario).unwrap();
+        assert_eq!(e.time, SimTime::EPOCH + SimDuration::from_secs(7));
+    }
+
+    #[test]
+    fn deterministic_with_rng_interleaving() {
+        fn run(seed: u64) -> Vec<u32> {
+            let mut s: Sim<World> = Sim::new(SimTime::EPOCH, seed);
+            let mut w = Vec::new();
+            for _ in 0..20 {
+                let d = SimDuration::from_millis(s.rng.range(1..1000u64));
+                s.schedule_in(d, |w: &mut World, sim| {
+                    let v = sim.rng.range(0..100u32);
+                    w.push(v);
+                });
+            }
+            s.run(&mut w);
+            w
+        }
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

@@ -1,0 +1,332 @@
+//! Simulation time.
+//!
+//! Simulation time is a monotone counter of **milliseconds** since the Unix
+//! epoch. Using a calendar-anchored epoch (rather than "ms since simulation
+//! start") lets scenarios express wall-clock triggers the way the modelled
+//! campaigns did — e.g. the Shamoon wiper arming itself at a hard-coded UTC
+//! date — while still being a plain integer that orders totally.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, in milliseconds since the Unix epoch (UTC).
+///
+/// # Examples
+///
+/// ```
+/// use malsim_kernel::time::{SimDuration, SimTime};
+///
+/// let t = SimTime::from_utc(2012, 8, 15, 8, 8, 0);
+/// let later = t + SimDuration::from_hours(2);
+/// assert!(later > t);
+/// assert_eq!(later - t, SimDuration::from_hours(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span between two [`SimTime`]s, in milliseconds.
+///
+/// # Examples
+///
+/// ```
+/// use malsim_kernel::time::SimDuration;
+///
+/// assert_eq!(SimDuration::from_secs(90), SimDuration::from_mins(1) + SimDuration::from_secs(30));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The zero point (Unix epoch, 1970-01-01T00:00:00Z).
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// Creates a time from raw milliseconds since the Unix epoch.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Creates a time from a UTC calendar date and time of day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the date is not a valid calendar date at or after 1970,
+    /// or if the time of day is out of range.
+    pub fn from_utc(year: u32, month: u32, day: u32, hour: u32, minute: u32, second: u32) -> Self {
+        assert!(year >= 1970, "year {year} precedes the epoch");
+        assert!((1..=12).contains(&month), "month {month} out of range");
+        assert!(
+            day >= 1 && day <= days_in_month(year, month),
+            "day {day} out of range for {year}-{month:02}"
+        );
+        assert!(hour < 24 && minute < 60 && second < 60, "time of day out of range");
+        let days = days_from_epoch(year, month, day);
+        let secs = days * 86_400 + u64::from(hour) * 3_600 + u64::from(minute) * 60 + u64::from(second);
+        SimTime(secs * 1_000)
+    }
+
+    /// Raw milliseconds since the Unix epoch.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since the Unix epoch.
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Breaks this time into `(year, month, day, hour, minute, second)` UTC.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use malsim_kernel::time::SimTime;
+    ///
+    /// let t = SimTime::from_utc(2012, 8, 15, 8, 8, 0);
+    /// assert_eq!(t.to_utc(), (2012, 8, 15, 8, 8, 0));
+    /// ```
+    pub fn to_utc(self) -> (u32, u32, u32, u32, u32, u32) {
+        let secs = self.as_secs();
+        let day_secs = (secs % 86_400) as u32;
+        let mut days = secs / 86_400;
+        let (hour, minute, second) = (day_secs / 3_600, day_secs % 3_600 / 60, day_secs % 60);
+        let mut year = 1970u32;
+        loop {
+            let len = if is_leap(year) { 366 } else { 365 };
+            if days < len {
+                break;
+            }
+            days -= len;
+            year += 1;
+        }
+        let mut month = 1u32;
+        loop {
+            let len = u64::from(days_in_month(year, month));
+            if days < len {
+                break;
+            }
+            days -= len;
+            month += 1;
+        }
+        (year, month, days as u32 + 1, hour, minute, second)
+    }
+
+    /// Saturating addition of a duration.
+    pub const fn saturating_add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+
+    /// Duration since an earlier time, or zero if `earlier` is later.
+    pub const fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000)
+    }
+
+    /// Creates a duration from whole minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60_000)
+    }
+
+    /// Creates a duration from whole hours.
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * 3_600_000)
+    }
+
+    /// Creates a duration from whole days.
+    pub const fn from_days(d: u64) -> Self {
+        SimDuration(d * 86_400_000)
+    }
+
+    /// Length in milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Length in whole seconds (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Length in fractional hours.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3_600_000.0
+    }
+
+    /// Multiplies the duration by an integer factor, saturating on overflow.
+    pub const fn saturating_mul(self, factor: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(factor))
+    }
+
+    /// Returns true if the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, mo, d, h, mi, s) = self.to_utc();
+        let ms = self.0 % 1_000;
+        if ms == 0 {
+            write!(f, "{y:04}-{mo:02}-{d:02}T{h:02}:{mi:02}:{s:02}Z")
+        } else {
+            write!(f, "{y:04}-{mo:02}-{d:02}T{h:02}:{mi:02}:{s:02}.{ms:03}Z")
+        }
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms = self.0;
+        if ms < 1_000 {
+            write!(f, "{ms}ms")
+        } else if ms < 60_000 {
+            write!(f, "{:.3}s", ms as f64 / 1_000.0)
+        } else if ms < 3_600_000 {
+            write!(f, "{:.2}min", ms as f64 / 60_000.0)
+        } else if ms < 86_400_000 {
+            write!(f, "{:.2}h", ms as f64 / 3_600_000.0)
+        } else {
+            write!(f, "{:.2}d", ms as f64 / 86_400_000.0)
+        }
+    }
+}
+
+const fn is_leap(year: u32) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+const fn days_in_month(year: u32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+fn days_from_epoch(year: u32, month: u32, day: u32) -> u64 {
+    let mut days = 0u64;
+    for y in 1970..year {
+        days += if is_leap(y) { 366 } else { 365 };
+    }
+    for m in 1..month {
+        days += u64::from(days_in_month(year, m));
+    }
+    days + u64::from(day - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(SimTime::from_utc(1970, 1, 1, 0, 0, 0), SimTime::EPOCH);
+    }
+
+    #[test]
+    fn known_date_round_trips() {
+        // The Shamoon trigger date from the paper.
+        let t = SimTime::from_utc(2012, 8, 15, 8, 8, 0);
+        assert_eq!(t.to_utc(), (2012, 8, 15, 8, 8, 0));
+        // Cross-checked against `date -d @1345018080`.
+        assert_eq!(t.as_secs(), 1_345_018_080);
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        let t = SimTime::from_utc(2012, 2, 29, 12, 0, 0);
+        assert_eq!(t.to_utc(), (2012, 2, 29, 12, 0, 0));
+        assert_eq!(
+            SimTime::from_utc(2012, 3, 1, 0, 0, 0) - SimTime::from_utc(2012, 2, 28, 0, 0, 0),
+            SimDuration::from_days(2)
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = SimTime::from_utc(2010, 7, 13, 9, 30, 5);
+        assert_eq!(t.to_string(), "2010-07-13T09:30:05Z");
+        assert_eq!(SimDuration::from_millis(250).to_string(), "250ms");
+        assert_eq!(SimDuration::from_secs(90).to_string(), "1.50min");
+        assert_eq!(SimDuration::from_days(3).to_string(), "3.00d");
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_millis(1_000);
+        assert_eq!((t + SimDuration::from_secs(2)).as_millis(), 3_000);
+        assert_eq!(t.saturating_since(SimTime::from_millis(5_000)), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_mins(2).saturating_mul(30), SimDuration::from_hours(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "day 31 out of range")]
+    fn invalid_date_panics() {
+        let _ = SimTime::from_utc(2012, 4, 31, 0, 0, 0);
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        let a = SimTime::from_utc(2010, 6, 1, 0, 0, 0);
+        let b = SimTime::from_utc(2012, 5, 28, 0, 0, 0);
+        assert!(a < b);
+        assert!((b - a).as_hours_f64() > 17_000.0);
+    }
+}

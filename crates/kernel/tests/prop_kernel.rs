@@ -1,0 +1,129 @@
+//! Property tests for the event kernel: ordering, clock monotonicity,
+//! cancellation soundness, and rng/fork determinism.
+
+use malsim_kernel::prelude::*;
+use proptest::prelude::*;
+
+type World = Vec<(u64, u32)>; // (fire time ms, tag)
+
+proptest! {
+    #[test]
+    fn events_fire_in_nondecreasing_time_order(
+        delays in proptest::collection::vec(0u64..100_000, 1..200)
+    ) {
+        let mut sim: Sim<World> = Sim::new(SimTime::EPOCH, 1);
+        let mut world = Vec::new();
+        for (tag, d) in delays.iter().enumerate() {
+            let tag = tag as u32;
+            sim.schedule_in(SimDuration::from_millis(*d), move |w: &mut World, s| {
+                w.push((s.now().as_millis(), tag));
+            });
+        }
+        sim.run(&mut world);
+        prop_assert_eq!(world.len(), delays.len());
+        for pair in world.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "clock went backwards: {:?}", pair);
+        }
+        // Ties preserve scheduling order.
+        for pair in world.windows(2) {
+            if pair[0].0 == pair[1].0 {
+                prop_assert!(pair[0].1 < pair[1].1, "tie broke scheduling order: {:?}", pair);
+            }
+        }
+    }
+
+    #[test]
+    fn cancellation_removes_exactly_the_cancelled(
+        delays in proptest::collection::vec(1u64..10_000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut sim: Sim<World> = Sim::new(SimTime::EPOCH, 1);
+        let mut world = Vec::new();
+        let mut handles = Vec::new();
+        for (tag, d) in delays.iter().enumerate() {
+            let tag = tag as u32;
+            let h = sim.schedule_in(SimDuration::from_millis(*d), move |w: &mut World, s| {
+                w.push((s.now().as_millis(), tag));
+            });
+            handles.push(h);
+        }
+        let mut expected: Vec<u32> = Vec::new();
+        for (i, h) in handles.iter().enumerate() {
+            let cancel = cancel_mask.get(i).copied().unwrap_or(false);
+            if cancel {
+                prop_assert!(sim.cancel(*h));
+            } else {
+                expected.push(i as u32);
+            }
+        }
+        sim.run(&mut world);
+        let mut fired: Vec<u32> = world.iter().map(|(_, t)| *t).collect();
+        fired.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(fired, expected);
+    }
+
+    #[test]
+    fn run_until_never_overshoots(
+        delays in proptest::collection::vec(0u64..50_000, 1..100),
+        cut in 0u64..50_000,
+    ) {
+        let mut sim: Sim<World> = Sim::new(SimTime::EPOCH, 1);
+        let mut world = Vec::new();
+        for (tag, d) in delays.iter().enumerate() {
+            let tag = tag as u32;
+            sim.schedule_in(SimDuration::from_millis(*d), move |w: &mut World, s| {
+                w.push((s.now().as_millis(), tag));
+            });
+        }
+        let cut_time = SimTime::from_millis(cut);
+        sim.run_until(&mut world, cut_time);
+        prop_assert_eq!(sim.now(), cut_time.max(SimTime::EPOCH));
+        prop_assert!(world.iter().all(|(t, _)| *t <= cut));
+        let expected_fired = delays.iter().filter(|d| **d <= cut).count();
+        prop_assert_eq!(world.len(), expected_fired);
+        // The rest still fire afterwards.
+        sim.run(&mut world);
+        prop_assert_eq!(world.len(), delays.len());
+    }
+
+    #[test]
+    fn rng_forks_commute_with_draw_order(seed in any::<u64>(), label in "[a-z]{1,12}") {
+        let root = SimRng::seed_from(seed);
+        let mut a = root.fork(&label);
+        let mut root2 = SimRng::seed_from(seed);
+        // Drawing from the root before forking must not change the fork.
+        let _ = root2.bits();
+        let _ = root2.bits();
+        let mut b = root2.fork(&label);
+        for _ in 0..8 {
+            prop_assert_eq!(a.bits(), b.bits());
+        }
+    }
+
+    #[test]
+    fn repeating_events_fire_exactly_n_times(period in 1u64..1_000, n in 1u32..50) {
+        let mut sim: Sim<World> = Sim::new(SimTime::EPOCH, 1);
+        let mut world = Vec::new();
+        let mut remaining = n;
+        sim.schedule_every(SimDuration::from_millis(period), move |w: &mut World, s| {
+            w.push((s.now().as_millis(), 0));
+            remaining -= 1;
+            remaining > 0
+        });
+        sim.run(&mut world);
+        prop_assert_eq!(world.len(), n as usize);
+        prop_assert_eq!(
+            sim.now(),
+            SimTime::EPOCH + SimDuration::from_millis(period).saturating_mul(u64::from(n))
+        );
+    }
+
+    #[test]
+    fn time_roundtrip_through_calendar(secs in 0u64..4_000_000_000) {
+        let t = SimTime::from_millis(secs * 1_000);
+        let (y, mo, d, h, mi, s) = t.to_utc();
+        let back = SimTime::from_utc(y, mo, d, h, mi, s);
+        prop_assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,111 @@
+//! Addresses and names.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An IPv4 address.
+///
+/// # Examples
+///
+/// ```
+/// use malsim_net::addr::Ipv4;
+///
+/// let ip = Ipv4::new(192, 168, 1, 10);
+/// assert_eq!(ip.to_string(), "192.168.1.10");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Ipv4(u32);
+
+impl Ipv4 {
+    /// Creates an address from octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4(u32::from_be_bytes([a, b, c, d]))
+    }
+
+    /// Creates an address from a raw big-endian u32.
+    pub const fn from_u32(raw: u32) -> Self {
+        Ipv4(raw)
+    }
+
+    /// The octets.
+    pub const fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+}
+
+impl fmt::Display for Ipv4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+/// A DNS domain name (case-insensitive).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Domain(String);
+
+impl Domain {
+    /// Creates a domain, folding to lowercase.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Domain(name.as_ref().to_lowercase())
+    }
+
+    /// The name as a string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq for Domain {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl Eq for Domain {}
+impl PartialOrd for Domain {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Domain {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+impl std::hash::Hash for Domain {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Domain {
+    fn from(s: &str) -> Self {
+        Domain::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipv4_display_and_octets() {
+        let ip = Ipv4::new(10, 0, 0, 255);
+        assert_eq!(ip.to_string(), "10.0.0.255");
+        assert_eq!(ip.octets(), [10, 0, 0, 255]);
+        assert_eq!(Ipv4::from_u32(u32::from_be_bytes([1, 2, 3, 4])), Ipv4::new(1, 2, 3, 4));
+    }
+
+    #[test]
+    fn domains_fold_case() {
+        assert_eq!(Domain::new("WWW.MyPremierFutbol.COM"), Domain::new("www.mypremierfutbol.com"));
+        assert_eq!(Domain::new("A.b").to_string(), "a.b");
+    }
+}

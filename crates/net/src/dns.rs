@@ -1,0 +1,154 @@
+//! DNS registry with registrant metadata and takedown support.
+//!
+//! The Flame C&C platform registered ~80 domains under fake identities
+//! (addresses mostly in Germany and Austria) across many registrars, all
+//! resolving to ~22 server IPs. Modelling registration metadata and
+//! takedowns lets experiment E6 sweep takedown pressure against C&C
+//! reachability.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{Domain, Ipv4};
+
+/// Who registered a domain (fake identities, per the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Registrant {
+    /// Registrant name as filed.
+    pub name: String,
+    /// Country of the (fake) address.
+    pub country: String,
+    /// Registrar used.
+    pub registrar: String,
+}
+
+/// One DNS record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnsRecord {
+    /// Resolved address.
+    pub ip: Ipv4,
+    /// Registration metadata.
+    pub registrant: Registrant,
+    /// Whether the record has been seized/taken down.
+    pub taken_down: bool,
+}
+
+/// The (global) name system.
+///
+/// # Examples
+///
+/// ```
+/// use malsim_net::addr::{Domain, Ipv4};
+/// use malsim_net::dns::{Dns, Registrant};
+///
+/// let mut dns = Dns::new();
+/// let d = Domain::new("www.todayfutbol.com");
+/// dns.register(d.clone(), Ipv4::new(203, 0, 113, 7), Registrant {
+///     name: "J. Doe".into(), country: "DE".into(), registrar: "reg-a".into(),
+/// });
+/// assert_eq!(dns.resolve(&d), Some(Ipv4::new(203, 0, 113, 7)));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dns {
+    records: BTreeMap<Domain, DnsRecord>,
+}
+
+impl Dns {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Dns::default()
+    }
+
+    /// Registers (or replaces) a record.
+    pub fn register(&mut self, domain: Domain, ip: Ipv4, registrant: Registrant) {
+        self.records.insert(domain, DnsRecord { ip, registrant, taken_down: false });
+    }
+
+    /// Resolves a domain; `None` when unregistered or taken down.
+    pub fn resolve(&self, domain: &Domain) -> Option<Ipv4> {
+        self.records.get(domain).filter(|r| !r.taken_down).map(|r| r.ip)
+    }
+
+    /// Marks a domain as taken down. Returns whether the domain existed.
+    pub fn take_down(&mut self, domain: &Domain) -> bool {
+        match self.records.get_mut(domain) {
+            Some(r) => {
+                r.taken_down = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The raw record (even if taken down).
+    pub fn record(&self, domain: &Domain) -> Option<&DnsRecord> {
+        self.records.get(domain)
+    }
+
+    /// All registered domains.
+    pub fn domains(&self) -> impl Iterator<Item = &Domain> {
+        self.records.keys()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no domain is registered.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Distinct IPs that still have at least one live domain pointing at
+    /// them.
+    pub fn live_ips(&self) -> Vec<Ipv4> {
+        let mut ips: Vec<Ipv4> =
+            self.records.values().filter(|r| !r.taken_down).map(|r| r.ip).collect();
+        ips.sort_unstable();
+        ips.dedup();
+        ips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg(country: &str) -> Registrant {
+        Registrant { name: "fake".into(), country: country.into(), registrar: "r".into() }
+    }
+
+    #[test]
+    fn register_resolve_takedown() {
+        let mut dns = Dns::new();
+        let d = Domain::new("example.com");
+        dns.register(d.clone(), Ipv4::new(1, 2, 3, 4), reg("DE"));
+        assert_eq!(dns.resolve(&d), Some(Ipv4::new(1, 2, 3, 4)));
+        assert!(dns.take_down(&d));
+        assert_eq!(dns.resolve(&d), None);
+        assert!(dns.record(&d).unwrap().taken_down);
+        assert!(!dns.take_down(&Domain::new("missing.com")));
+    }
+
+    #[test]
+    fn live_ips_deduplicates() {
+        let mut dns = Dns::new();
+        for (i, name) in ["a.com", "b.com", "c.com"].iter().enumerate() {
+            let ip = if i < 2 { Ipv4::new(9, 9, 9, 9) } else { Ipv4::new(8, 8, 8, 8) };
+            dns.register(Domain::new(name), ip, reg("AT"));
+        }
+        assert_eq!(dns.live_ips().len(), 2);
+        dns.take_down(&Domain::new("c.com"));
+        assert_eq!(dns.live_ips(), vec![Ipv4::new(9, 9, 9, 9)]);
+        assert_eq!(dns.len(), 3);
+    }
+
+    #[test]
+    fn unresolved_unknown_domain() {
+        let dns = Dns::new();
+        assert_eq!(dns.resolve(&Domain::new("nope.org")), None);
+        assert!(dns.is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Plain-data HTTP messages.
+//!
+//! Both C&C protocols in the paper ride on ordinary HTTP: Flame clients use
+//! `GET_NEWS`/`ADD_ENTRY` operations against an Apache front end, and the
+//! Shamoon reporter phones home with a single GET whose query string carries
+//! the wipe statistics. These are modelled as simple structured messages.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::Domain;
+
+/// HTTP method subset used by the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Method {
+    /// GET.
+    Get,
+    /// POST.
+    Post,
+}
+
+/// An HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HttpRequest {
+    /// Method.
+    pub method: Method,
+    /// Target host.
+    pub host: Domain,
+    /// Path, e.g. `/newsforyou/get`.
+    pub path: String,
+    /// Query parameters.
+    pub query: BTreeMap<String, String>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// Builds a GET.
+    pub fn get(host: Domain, path: impl Into<String>) -> Self {
+        HttpRequest { method: Method::Get, host, path: path.into(), query: BTreeMap::new(), body: Vec::new() }
+    }
+
+    /// Builds a POST with a body.
+    pub fn post(host: Domain, path: impl Into<String>, body: Vec<u8>) -> Self {
+        HttpRequest { method: Method::Post, host, path: path.into(), query: BTreeMap::new(), body }
+    }
+
+    /// Adds a query parameter (builder style).
+    pub fn with_query(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.query.insert(key.into(), value.into());
+        self
+    }
+
+    /// Renders the request line (for traces and IDS matching).
+    pub fn request_line(&self) -> String {
+        let m = match self.method {
+            Method::Get => "GET",
+            Method::Post => "POST",
+        };
+        if self.query.is_empty() {
+            format!("{m} http://{}{}", self.host, self.path)
+        } else {
+            let qs: Vec<String> =
+                self.query.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("{m} http://{}{}?{}", self.host, self.path, qs.join("&"))
+        }
+    }
+
+    /// Total on-wire size estimate.
+    pub fn wire_size(&self) -> usize {
+        self.request_line().len() + self.body.len() + 64
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// 200 with body.
+    pub fn ok(body: Vec<u8>) -> Self {
+        HttpResponse { status: 200, body }
+    }
+
+    /// 404 empty.
+    pub fn not_found() -> Self {
+        HttpResponse { status: 404, body: Vec::new() }
+    }
+
+    /// 503 empty (server taken down / unreachable).
+    pub fn unavailable() -> Self {
+        HttpResponse { status: 503, body: Vec::new() }
+    }
+
+    /// Whether the status is 2xx.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_line_rendering() {
+        let r = HttpRequest::get(Domain::new("home.example"), "/report")
+            .with_query("domain", "ws-12")
+            .with_query("count", "42");
+        let line = r.request_line();
+        assert!(line.starts_with("GET http://home.example/report?"));
+        assert!(line.contains("count=42"));
+        assert!(line.contains("domain=ws-12"));
+    }
+
+    #[test]
+    fn post_carries_body() {
+        let r = HttpRequest::post(Domain::new("c2.example"), "/entries", vec![1, 2, 3]);
+        assert_eq!(r.method, Method::Post);
+        assert_eq!(r.body.len(), 3);
+        assert!(r.wire_size() > 3);
+    }
+
+    #[test]
+    fn response_constructors() {
+        assert!(HttpResponse::ok(vec![]).is_success());
+        assert!(!HttpResponse::not_found().is_success());
+        assert_eq!(HttpResponse::unavailable().status, 503);
+    }
+}

@@ -1,0 +1,113 @@
+//! Lateral-movement preconditions: SMB shares and the print-spooler vector.
+//!
+//! These are *predicates*, not exploit code: they answer "can an agent on
+//! host A deliver a file to / execute on host B", given both hosts' modelled
+//! configuration and patch state. The actual file writes happen through the
+//! OS layer, and the scheduling through the kernel.
+
+use malsim_os::host::Host;
+use malsim_os::patches::Bulletin;
+
+/// Why a lateral-movement attempt cannot proceed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LateralBlocked {
+    /// Target host is not running.
+    TargetDown,
+    /// Target has file/print sharing disabled.
+    SharingDisabled,
+    /// Target is patched against the exploited flaw.
+    Patched,
+}
+
+/// Checks whether plain SMB share copy (Shamoon's spread, Flame's network
+/// module) can reach the target: the target must be up with sharing on.
+/// Share copying abuses credentials rather than a vulnerability, so patch
+/// state is irrelevant.
+pub fn can_copy_to_share(target: &Host) -> Result<(), LateralBlocked> {
+    if !target.is_running() {
+        return Err(LateralBlocked::TargetDown);
+    }
+    if !target.config.file_sharing {
+        return Err(LateralBlocked::SharingDisabled);
+    }
+    Ok(())
+}
+
+/// Checks whether the MS10-061 print-spooler vector (Stuxnet's LAN spread)
+/// can execute code on the target: sharing on *and* bulletin missing.
+pub fn can_exploit_spooler(target: &Host) -> Result<(), LateralBlocked> {
+    can_copy_to_share(target)?;
+    if !target.is_vulnerable_to(Bulletin::Ms10_061) {
+        return Err(LateralBlocked::Patched);
+    }
+    Ok(())
+}
+
+/// Checks whether rendering a malicious shortcut compromises the host
+/// (MS10-046): the shell renders LNK icons whenever a directory is opened,
+/// so the only gate is the patch.
+pub fn lnk_render_compromises(target: &Host) -> bool {
+    target.is_running() && target.is_vulnerable_to(Bulletin::Ms10_046)
+}
+
+/// Checks whether an autorun manifest executes on mount: requires the host
+/// to honour autorun (a configuration, not a vulnerability).
+pub fn autorun_executes(target: &Host) -> bool {
+    target.is_running() && target.config.autorun_enabled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malsim_kernel::time::SimTime;
+    use malsim_os::host::{Host, HostRole, WindowsVersion};
+
+    fn host() -> Host {
+        Host::new("t", WindowsVersion::Xp, HostRole::Workstation, SimTime::EPOCH)
+    }
+
+    #[test]
+    fn share_copy_gates() {
+        let mut h = host();
+        assert_eq!(can_copy_to_share(&h), Ok(()));
+        h.config.file_sharing = false;
+        assert_eq!(can_copy_to_share(&h), Err(LateralBlocked::SharingDisabled));
+        h.config.file_sharing = true;
+        h.brick();
+        assert_eq!(can_copy_to_share(&h), Err(LateralBlocked::TargetDown));
+    }
+
+    #[test]
+    fn spooler_needs_vulnerability() {
+        let mut h = host();
+        assert_eq!(can_exploit_spooler(&h), Ok(()));
+        h.patches.apply(Bulletin::Ms10_061);
+        assert_eq!(can_exploit_spooler(&h), Err(LateralBlocked::Patched));
+    }
+
+    #[test]
+    fn spooler_needs_sharing_too() {
+        let mut h = host();
+        h.config.file_sharing = false;
+        assert_eq!(can_exploit_spooler(&h), Err(LateralBlocked::SharingDisabled));
+    }
+
+    #[test]
+    fn lnk_gate_is_patch_only() {
+        let mut h = host();
+        assert!(lnk_render_compromises(&h));
+        h.patches.apply(Bulletin::Ms10_046);
+        assert!(!lnk_render_compromises(&h));
+    }
+
+    #[test]
+    fn autorun_gate_is_config_only() {
+        let mut h = host();
+        assert!(autorun_executes(&h));
+        h.config.autorun_enabled = false;
+        assert!(!autorun_executes(&h));
+        h.config.autorun_enabled = true;
+        h.brick();
+        assert!(!autorun_executes(&h));
+    }
+}

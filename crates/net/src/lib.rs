@@ -1,0 +1,61 @@
+//! # malsim-net
+//!
+//! Network substrate for the `malsim` workspace: zones, names, protocols,
+//! and the interposition hooks the modelled campaigns abuse.
+//!
+//! - [`addr`] — IPv4 addresses and case-folded domain names;
+//! - [`dns`] — a registry with registrant metadata and takedown support
+//!   (the Flame C&C used ~80 domains under fake identities, resolving to
+//!   ~22 server addresses);
+//! - [`topology`] — zones/LANs, internet vs air-gapped reachability, and
+//!   WPAD-claimant proxy resolution (the SNACK man-in-the-middle hook);
+//! - [`http`] — plain-data requests/responses both C&C protocols ride on;
+//! - [`lateral`] — lateral-movement predicates: SMB share copy, the
+//!   MS10-061 print-spooler vector, LNK rendering, autorun;
+//! - [`winupdate`] — the Windows Update install decision, including the
+//!   forged-certificate subversion;
+//! - [`bluetooth`] — the proximity plane BEETLEJUICE beacons into.
+//!
+//! The crate is message-level and mostly pure: delivery timing and event
+//! scheduling belong to the kernel; file effects belong to `malsim-os`.
+//!
+//! # Examples
+//!
+//! ```
+//! use malsim_net::prelude::*;
+//! use malsim_os::host::HostId;
+//!
+//! // An office LAN where host 0 hijacks WPAD.
+//! let mut topo = Topology::new();
+//! let lan = topo.add_zone("office", true);
+//! for i in 0..4 {
+//!     topo.place(HostId::new(i), lan);
+//! }
+//! topo.claim_wpad(HostId::new(0));
+//! assert_eq!(topo.effective_proxy(HostId::new(2), true), Some(HostId::new(0)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod bluetooth;
+pub mod dns;
+pub mod http;
+pub mod lateral;
+pub mod topology;
+pub mod winupdate;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::addr::{Domain, Ipv4};
+    pub use crate::bluetooth::{BluetoothPlane, Radio, RadioId, RadioKind};
+    pub use crate::dns::{Dns, DnsRecord, Registrant};
+    pub use crate::http::{HttpRequest, HttpResponse, Method};
+    pub use crate::lateral::{
+        autorun_executes, can_copy_to_share, can_exploit_spooler, lnk_render_compromises,
+        LateralBlocked,
+    };
+    pub use crate::topology::{Topology, Zone, ZoneId};
+    pub use crate::winupdate::{client_accepts_update, UpdatePackage, UpdateRejected};
+}

@@ -1,0 +1,141 @@
+//! The Windows Update flow and its man-in-the-middle subversion.
+//!
+//! The legitimate flow: a client periodically fetches the update catalog and
+//! installs binaries whose signatures verify against its trust store with
+//! the code-signing usage. Flame's GADGET module interposed on that flow
+//! (after SNACK's WPAD hijack made the infected machine the client's proxy)
+//! and served a forged-signature binary instead; on the legacy verification
+//! policy it installed cleanly.
+
+use malsim_certs::cert::Eku;
+use malsim_certs::store::{CodeSignature, TrustStore, VerifyPolicy};
+use malsim_kernel::time::SimTime;
+
+/// An update package as delivered to a client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdatePackage {
+    /// Human-readable update name.
+    pub name: String,
+    /// The binary payload.
+    pub binary: Vec<u8>,
+    /// The signature presented with it.
+    pub signature: Option<CodeSignature>,
+}
+
+/// Why a client refused an update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateRejected {
+    /// No signature attached.
+    Unsigned,
+    /// Signature failed verification (reason string from the cert layer).
+    BadSignature(String),
+}
+
+/// Client-side install decision: verifies the package against the client's
+/// trust store and policy.
+///
+/// # Errors
+///
+/// Returns [`UpdateRejected`] when the client would refuse the package.
+pub fn client_accepts_update(
+    package: &UpdatePackage,
+    trust: &TrustStore,
+    policy: VerifyPolicy,
+    now: SimTime,
+) -> Result<(), UpdateRejected> {
+    let Some(sig) = &package.signature else {
+        return Err(UpdateRejected::Unsigned);
+    };
+    trust
+        .verify_code(&package.binary, sig, now, Eku::CodeSigning, policy)
+        .map_err(|e| UpdateRejected::BadSignature(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malsim_certs::authority::CertificateAuthority;
+    use malsim_certs::forgery::leverage_licensing_credential;
+    use malsim_certs::hash::HashAlgorithm;
+    use malsim_certs::key::KeyPair;
+
+    fn far() -> SimTime {
+        SimTime::from_utc(2030, 1, 1, 0, 0, 0)
+    }
+
+    fn vendor_setup() -> (TrustStore, CertificateAuthority) {
+        let ca = CertificateAuthority::new_root("Platform Vendor Root", 21, SimTime::EPOCH, far());
+        let mut store = TrustStore::new();
+        store.add_root(ca.root_certificate().clone());
+        (store, ca)
+    }
+
+    #[test]
+    fn genuine_update_installs() {
+        let (store, ca) = vendor_setup();
+        let kp = KeyPair::from_seed(2);
+        let cert = ca.issue(
+            "Vendor Update Publisher",
+            kp.public(),
+            vec![Eku::CodeSigning],
+            HashAlgorithm::Strong64,
+            SimTime::EPOCH,
+            far(),
+        );
+        let binary = b"KB2718704 security update".to_vec();
+        let sig = CodeSignature::sign(&kp, cert, HashAlgorithm::Strong64, &binary);
+        let pkg = UpdatePackage { name: "KB-1".into(), binary, signature: Some(sig) };
+        assert_eq!(client_accepts_update(&pkg, &store, VerifyPolicy::strict(), SimTime::EPOCH), Ok(()));
+    }
+
+    #[test]
+    fn unsigned_update_refused() {
+        let (store, _) = vendor_setup();
+        let pkg = UpdatePackage { name: "x".into(), binary: vec![1], signature: None };
+        assert_eq!(
+            client_accepts_update(&pkg, &store, VerifyPolicy::legacy(), SimTime::EPOCH),
+            Err(UpdateRejected::Unsigned)
+        );
+    }
+
+    #[test]
+    fn forged_update_installs_only_on_legacy_policy() {
+        let (store, ca) = vendor_setup();
+        let (key, cert) =
+            ca.activate_terminal_services_licensing("Attacker Org", 7, SimTime::EPOCH, far());
+        let forged = leverage_licensing_credential(&key, cert, b"flame installer");
+        let pkg = UpdatePackage {
+            name: "WusetupV.exe".into(),
+            binary: forged.content,
+            signature: Some(forged.signature),
+        };
+        assert_eq!(
+            client_accepts_update(&pkg, &store, VerifyPolicy::legacy(), SimTime::EPOCH),
+            Ok(()),
+            "pre-advisory client installs the forged update"
+        );
+        assert!(matches!(
+            client_accepts_update(&pkg, &store, VerifyPolicy::strict(), SimTime::EPOCH),
+            Err(UpdateRejected::BadSignature(_))
+        ));
+    }
+
+    #[test]
+    fn distrusted_cert_kills_forged_update_even_on_legacy() {
+        let (mut store, ca) = vendor_setup();
+        let (key, cert) =
+            ca.activate_terminal_services_licensing("Attacker Org", 7, SimTime::EPOCH, far());
+        let serial = cert.serial;
+        let forged = leverage_licensing_credential(&key, cert, b"flame installer");
+        store.distrust(serial);
+        let pkg = UpdatePackage {
+            name: "WusetupV.exe".into(),
+            binary: forged.content,
+            signature: Some(forged.signature),
+        };
+        assert!(matches!(
+            client_accepts_update(&pkg, &store, VerifyPolicy::legacy(), SimTime::EPOCH),
+            Err(UpdateRejected::BadSignature(_))
+        ));
+    }
+}

@@ -1,0 +1,119 @@
+//! Errors for the simulated OS.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::path::WinPath;
+
+/// File-system operation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// No file at the path.
+    NotFound {
+        /// The missing path.
+        path: WinPath,
+    },
+    /// Destination already occupied.
+    Exists {
+        /// The occupied path.
+        path: WinPath,
+    },
+    /// The path has no file name component.
+    BadPath {
+        /// The malformed path.
+        path: WinPath,
+    },
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound { path } => write!(f, "file not found: {path}"),
+            FsError::Exists { path } => write!(f, "file already exists: {path}"),
+            FsError::BadPath { path } => write!(f, "malformed path: '{path}'"),
+        }
+    }
+}
+
+impl Error for FsError {}
+
+/// Host-level operation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostError {
+    /// A file-system error.
+    Fs(FsError),
+    /// Driver load rejected by signing policy.
+    DriverRejected {
+        /// Driver file name.
+        name: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Raw disk access attempted without a driver granting it.
+    RawAccessDenied,
+    /// The host is not running (bricked or powered off).
+    NotRunning,
+    /// A service with this name already exists.
+    ServiceExists {
+        /// Service name.
+        name: String,
+    },
+    /// No such service.
+    ServiceNotFound {
+        /// Service name.
+        name: String,
+    },
+}
+
+impl fmt::Display for HostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostError::Fs(e) => write!(f, "{e}"),
+            HostError::DriverRejected { name, reason } => {
+                write!(f, "driver '{name}' rejected: {reason}")
+            }
+            HostError::RawAccessDenied => {
+                write!(f, "raw disk access denied for user-mode caller")
+            }
+            HostError::NotRunning => write!(f, "host is not running"),
+            HostError::ServiceExists { name } => write!(f, "service '{name}' already exists"),
+            HostError::ServiceNotFound { name } => write!(f, "service '{name}' not found"),
+        }
+    }
+}
+
+impl Error for HostError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HostError::Fs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FsError> for HostError {
+    fn from(e: FsError) -> Self {
+        HostError::Fs(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = FsError::NotFound { path: WinPath::new(r"C:\x") };
+        assert!(e.to_string().contains(r"C:\x"));
+        let h: HostError = e.into();
+        assert!(h.to_string().contains("not found"));
+        assert!(HostError::RawAccessDenied.to_string().contains("denied"));
+    }
+
+    #[test]
+    fn source_chain() {
+        let h = HostError::Fs(FsError::BadPath { path: WinPath::new("") });
+        assert!(h.source().is_some());
+        assert!(HostError::NotRunning.source().is_none());
+    }
+}

@@ -1,0 +1,120 @@
+//! Security bulletins and per-host patch state.
+//!
+//! The paper's Stuxnet section enumerates four zero-days by bulletin id;
+//! Flame reused the LNK vector and was killed off by advisory 2718704. We
+//! model patch state as the set of bulletins applied to a host: an exploit
+//! "fires" exactly when its delivery precondition is met *and* the matching
+//! bulletin is absent.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A security fix identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Bulletin {
+    /// Windows Shell shortcut-icon parsing (the LNK vector).
+    Ms10_046,
+    /// Print spooler service remote code execution.
+    Ms10_061,
+    /// Kernel-mode driver privilege escalation.
+    Ms10_073,
+    /// Task scheduler privilege escalation.
+    Ms10_092,
+    /// Moves the leveraged signing certificates to the untrusted store and
+    /// closes the weak-hash code-signing path.
+    Advisory2718704,
+}
+
+impl Bulletin {
+    /// All bulletins modelled.
+    pub const ALL: [Bulletin; 5] = [
+        Bulletin::Ms10_046,
+        Bulletin::Ms10_061,
+        Bulletin::Ms10_073,
+        Bulletin::Ms10_092,
+        Bulletin::Advisory2718704,
+    ];
+}
+
+impl fmt::Display for Bulletin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Bulletin::Ms10_046 => "MS10-046",
+            Bulletin::Ms10_061 => "MS10-061",
+            Bulletin::Ms10_073 => "MS10-073",
+            Bulletin::Ms10_092 => "MS10-092",
+            Bulletin::Advisory2718704 => "Advisory-2718704",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The set of bulletins applied to a host.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatchState {
+    applied: BTreeSet<Bulletin>,
+}
+
+impl PatchState {
+    /// A fully unpatched host (the 2010 baseline the zero-days met).
+    pub fn unpatched() -> Self {
+        PatchState::default()
+    }
+
+    /// A host with every modelled bulletin applied.
+    pub fn fully_patched() -> Self {
+        PatchState { applied: Bulletin::ALL.into_iter().collect() }
+    }
+
+    /// Applies a bulletin.
+    pub fn apply(&mut self, bulletin: Bulletin) {
+        self.applied.insert(bulletin);
+    }
+
+    /// Whether the host is vulnerable (bulletin absent).
+    pub fn is_vulnerable_to(&self, bulletin: Bulletin) -> bool {
+        !self.applied.contains(&bulletin)
+    }
+
+    /// Number of applied bulletins.
+    pub fn applied_count(&self) -> usize {
+        self.applied.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpatched_is_vulnerable_to_everything() {
+        let p = PatchState::unpatched();
+        for b in Bulletin::ALL {
+            assert!(p.is_vulnerable_to(b), "{b}");
+        }
+    }
+
+    #[test]
+    fn applying_closes_vulnerability() {
+        let mut p = PatchState::unpatched();
+        p.apply(Bulletin::Ms10_046);
+        assert!(!p.is_vulnerable_to(Bulletin::Ms10_046));
+        assert!(p.is_vulnerable_to(Bulletin::Ms10_061));
+        assert_eq!(p.applied_count(), 1);
+    }
+
+    #[test]
+    fn fully_patched_resists_all() {
+        let p = PatchState::fully_patched();
+        assert!(Bulletin::ALL.iter().all(|&b| !p.is_vulnerable_to(b)));
+        assert_eq!(p.applied_count(), Bulletin::ALL.len());
+    }
+
+    #[test]
+    fn display_names_match_bulletin_ids() {
+        assert_eq!(Bulletin::Ms10_046.to_string(), "MS10-046");
+        assert_eq!(Bulletin::Advisory2718704.to_string(), "Advisory-2718704");
+    }
+}

@@ -1,0 +1,204 @@
+//! Windows-style paths for the simulated file system.
+//!
+//! Paths are backslash-separated, case-insensitive (comparisons fold to
+//! lowercase, display preserves the original casing), and support the small
+//! set of environment expansions the modelled campaigns rely on
+//! (`%system%`, `%windir%`, `%temp%`).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A normalized Windows-style path.
+///
+/// # Examples
+///
+/// ```
+/// use malsim_os::path::WinPath;
+///
+/// let p = WinPath::new(r"C:\Windows\System32\s7otbxdx.dll");
+/// assert_eq!(p.file_name(), Some("s7otbxdx.dll"));
+/// assert_eq!(p.extension(), Some("dll"));
+/// assert!(p.starts_with(&WinPath::new(r"c:\windows")));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WinPath {
+    display: String,
+    folded: String,
+}
+
+impl WinPath {
+    /// Creates a path, normalizing separators (`/` → `\`) and collapsing
+    /// repeated separators and trailing separators.
+    pub fn new(raw: impl AsRef<str>) -> Self {
+        let raw = raw.as_ref().replace('/', "\\");
+        let mut parts: Vec<&str> = raw.split('\\').filter(|s| !s.is_empty()).collect();
+        if parts.is_empty() {
+            parts.push("");
+        }
+        let display = parts.join("\\");
+        let folded = display.to_lowercase();
+        WinPath { display, folded }
+    }
+
+    /// Expands `%system%`, `%windir%`, and `%temp%` then normalizes.
+    pub fn expand(raw: impl AsRef<str>) -> Self {
+        let s = raw
+            .as_ref()
+            .replace("%system%", r"C:\Windows\System32")
+            .replace("%windir%", r"C:\Windows")
+            .replace("%temp%", r"C:\Windows\Temp");
+        WinPath::new(s)
+    }
+
+    /// The display form (original casing).
+    pub fn as_str(&self) -> &str {
+        &self.display
+    }
+
+    /// Appends a component.
+    pub fn join(&self, component: impl AsRef<str>) -> WinPath {
+        WinPath::new(format!("{}\\{}", self.display, component.as_ref()))
+    }
+
+    /// The parent path, or `None` at a root.
+    pub fn parent(&self) -> Option<WinPath> {
+        let idx = self.display.rfind('\\')?;
+        Some(WinPath::new(&self.display[..idx]))
+    }
+
+    /// The final component.
+    pub fn file_name(&self) -> Option<&str> {
+        self.display.rsplit('\\').next().filter(|s| !s.is_empty())
+    }
+
+    /// The extension of the final component, lowercased at lookup sites via
+    /// case-insensitive comparison (returned as written).
+    pub fn extension(&self) -> Option<&str> {
+        let name = self.file_name()?;
+        let idx = name.rfind('.')?;
+        if idx + 1 == name.len() {
+            None
+        } else {
+            Some(&name[idx + 1..])
+        }
+    }
+
+    /// Whether this path equals or descends from `prefix` (case-insensitive).
+    pub fn starts_with(&self, prefix: &WinPath) -> bool {
+        self.folded == prefix.folded
+            || self.folded.starts_with(&format!("{}\\", prefix.folded))
+    }
+
+    /// Case-insensitive extension check, e.g. `has_extension("docx")`.
+    pub fn has_extension(&self, ext: &str) -> bool {
+        self.extension().is_some_and(|e| e.eq_ignore_ascii_case(ext))
+    }
+
+    /// The case-folded form used as a map key.
+    pub fn key(&self) -> &str {
+        &self.folded
+    }
+
+    /// Path components in order.
+    pub fn components(&self) -> impl Iterator<Item = &str> {
+        self.display.split('\\')
+    }
+}
+
+impl PartialEq for WinPath {
+    fn eq(&self, other: &Self) -> bool {
+        self.folded == other.folded
+    }
+}
+
+impl Eq for WinPath {}
+
+impl PartialOrd for WinPath {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for WinPath {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.folded.cmp(&other.folded)
+    }
+}
+
+impl std::hash::Hash for WinPath {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.folded.hash(state);
+    }
+}
+
+impl fmt::Display for WinPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display)
+    }
+}
+
+impl From<&str> for WinPath {
+    fn from(s: &str) -> Self {
+        WinPath::new(s)
+    }
+}
+
+impl From<String> for WinPath {
+    fn from(s: String) -> Self {
+        WinPath::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(WinPath::new("C:/a//b\\").as_str(), r"C:\a\b");
+        assert_eq!(WinPath::new(r"C:\a\b"), WinPath::new("c:/A/B"));
+    }
+
+    #[test]
+    fn join_and_parent() {
+        let p = WinPath::new(r"C:\Windows").join("System32").join("drivers");
+        assert_eq!(p.as_str(), r"C:\Windows\System32\drivers");
+        assert_eq!(p.parent().unwrap().as_str(), r"C:\Windows\System32");
+        assert_eq!(WinPath::new("C:").parent(), None);
+    }
+
+    #[test]
+    fn file_name_and_extension() {
+        let p = WinPath::new(r"C:\docs\Plan.DOCX");
+        assert_eq!(p.file_name(), Some("Plan.DOCX"));
+        assert_eq!(p.extension(), Some("DOCX"));
+        assert!(p.has_extension("docx"));
+        assert!(!p.has_extension("pdf"));
+        assert_eq!(WinPath::new(r"C:\noext").extension(), None);
+        assert_eq!(WinPath::new(r"C:\trailing.").extension(), None);
+    }
+
+    #[test]
+    fn starts_with_is_component_wise() {
+        let base = WinPath::new(r"C:\data");
+        assert!(WinPath::new(r"C:\data\x").starts_with(&base));
+        assert!(WinPath::new(r"C:\DATA").starts_with(&base));
+        assert!(!WinPath::new(r"C:\database").starts_with(&base));
+    }
+
+    #[test]
+    fn env_expansion() {
+        assert_eq!(WinPath::expand(r"%system%\netinit.exe").as_str(), r"C:\Windows\System32\netinit.exe");
+        assert_eq!(WinPath::expand(r"%windir%\x").as_str(), r"C:\Windows\x");
+        assert_eq!(WinPath::expand(r"%temp%\f").as_str(), r"C:\Windows\Temp\f");
+    }
+
+    #[test]
+    fn hash_respects_case_insensitive_eq() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(WinPath::new(r"C:\A"));
+        assert!(set.contains(&WinPath::new(r"c:\a")));
+    }
+}

@@ -1,0 +1,93 @@
+//! A minimal registry: hierarchical string keys to string values.
+
+use std::collections::BTreeMap;
+
+/// The host registry.
+///
+/// Keys are `\`-separated and case-insensitive, values are strings. Enough
+/// to model persistence points and configuration the campaigns touch.
+///
+/// # Examples
+///
+/// ```
+/// use malsim_os::registry::Registry;
+///
+/// let mut reg = Registry::new();
+/// reg.set(r"HKLM\Software\Proxy", "wpad-enabled");
+/// assert_eq!(reg.get(r"hklm\software\proxy"), Some("wpad-enabled"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    values: BTreeMap<String, String>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Sets a value, returning the previous one if present.
+    pub fn set(&mut self, key: impl AsRef<str>, value: impl Into<String>) -> Option<String> {
+        self.values.insert(key.as_ref().to_lowercase(), value.into())
+    }
+
+    /// Reads a value.
+    pub fn get(&self, key: impl AsRef<str>) -> Option<&str> {
+        self.values.get(&key.as_ref().to_lowercase()).map(String::as_str)
+    }
+
+    /// Deletes a value, returning it if present.
+    pub fn delete(&mut self, key: impl AsRef<str>) -> Option<String> {
+        self.values.remove(&key.as_ref().to_lowercase())
+    }
+
+    /// Iterates `(key, value)` pairs under a prefix.
+    pub fn under<'a>(&'a self, prefix: &str) -> impl Iterator<Item = (&'a str, &'a str)> {
+        let prefix = prefix.to_lowercase();
+        self.values
+            .iter()
+            .filter(move |(k, _)| k.starts_with(&prefix))
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Removes everything (anti-forensics).
+    pub fn clear(&mut self) {
+        self.values.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_delete_case_insensitive() {
+        let mut r = Registry::new();
+        assert_eq!(r.set(r"HKLM\A", "1"), None);
+        assert_eq!(r.set(r"hklm\a", "2"), Some("1".into()));
+        assert_eq!(r.get(r"HKLM\a"), Some("2"));
+        assert_eq!(r.delete(r"HKLM\A"), Some("2".into()));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn prefix_iteration() {
+        let mut r = Registry::new();
+        r.set(r"HKLM\Run\a", "x");
+        r.set(r"HKLM\Run\b", "y");
+        r.set(r"HKCU\Other", "z");
+        assert_eq!(r.under(r"hklm\run").count(), 2);
+        assert_eq!(r.len(), 3);
+    }
+}

@@ -1,0 +1,167 @@
+//! Windows-style services and scheduled tasks.
+//!
+//! Persistence bookkeeping: Shamoon installs a `TrkSvr` service and a
+//! scheduled task to start itself; forensic analysis later reads these
+//! tables back out.
+
+use malsim_kernel::time::SimTime;
+
+use crate::error::HostError;
+use crate::path::WinPath;
+
+/// A registered service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Service {
+    /// Service name, e.g. `TrkSvr`.
+    pub name: String,
+    /// Binary the service runs.
+    pub binary: WinPath,
+    /// Starts at boot.
+    pub autostart: bool,
+    /// Currently running.
+    pub running: bool,
+    /// When the service was created.
+    pub created: SimTime,
+}
+
+/// A scheduled task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledTask {
+    /// Task name.
+    pub name: String,
+    /// Program to run.
+    pub command: WinPath,
+    /// When it fires (one-shot model; recurring tasks are re-registered by
+    /// their owners).
+    pub at: SimTime,
+    /// When it was registered.
+    pub created: SimTime,
+}
+
+/// The host's service and task tables.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceManager {
+    services: Vec<Service>,
+    tasks: Vec<ScheduledTask>,
+}
+
+impl ServiceManager {
+    /// Creates empty tables.
+    pub fn new() -> Self {
+        ServiceManager::default()
+    }
+
+    /// Registers a service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostError::ServiceExists`] on name collision.
+    pub fn create_service(
+        &mut self,
+        name: impl Into<String>,
+        binary: WinPath,
+        autostart: bool,
+        now: SimTime,
+    ) -> Result<(), HostError> {
+        let name = name.into();
+        if self.services.iter().any(|s| s.name == name) {
+            return Err(HostError::ServiceExists { name });
+        }
+        self.services.push(Service { name, binary, autostart, running: true, created: now });
+        Ok(())
+    }
+
+    /// Stops and removes a service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostError::ServiceNotFound`] if absent.
+    pub fn delete_service(&mut self, name: &str) -> Result<Service, HostError> {
+        let idx = self
+            .services
+            .iter()
+            .position(|s| s.name == name)
+            .ok_or_else(|| HostError::ServiceNotFound { name: name.to_owned() })?;
+        Ok(self.services.remove(idx))
+    }
+
+    /// Looks up a service.
+    pub fn service(&self, name: &str) -> Option<&Service> {
+        self.services.iter().find(|s| s.name == name)
+    }
+
+    /// All services.
+    pub fn services(&self) -> &[Service] {
+        &self.services
+    }
+
+    /// Registers a scheduled task.
+    pub fn schedule_task(
+        &mut self,
+        name: impl Into<String>,
+        command: WinPath,
+        at: SimTime,
+        now: SimTime,
+    ) {
+        self.tasks.push(ScheduledTask { name: name.into(), command, at, created: now });
+    }
+
+    /// All scheduled tasks.
+    pub fn tasks(&self) -> &[ScheduledTask] {
+        &self.tasks
+    }
+
+    /// Removes every service and task (anti-forensics).
+    pub fn clear(&mut self) {
+        self.services.clear();
+        self.tasks.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn create_lookup_delete() {
+        let mut sm = ServiceManager::new();
+        sm.create_service("TrkSvr", WinPath::new(r"C:\Windows\System32\trksvr.exe"), true, t(1))
+            .unwrap();
+        assert!(sm.service("TrkSvr").is_some());
+        assert!(sm.service("TrkSvr").unwrap().autostart);
+        let removed = sm.delete_service("TrkSvr").unwrap();
+        assert_eq!(removed.name, "TrkSvr");
+        assert!(sm.service("TrkSvr").is_none());
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut sm = ServiceManager::new();
+        sm.create_service("S", WinPath::new(r"C:\a"), false, t(1)).unwrap();
+        assert!(matches!(
+            sm.create_service("S", WinPath::new(r"C:\b"), false, t(2)),
+            Err(HostError::ServiceExists { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_missing_errors() {
+        let mut sm = ServiceManager::new();
+        assert!(matches!(sm.delete_service("nope"), Err(HostError::ServiceNotFound { .. })));
+    }
+
+    #[test]
+    fn tasks_accumulate_and_clear() {
+        let mut sm = ServiceManager::new();
+        sm.schedule_task("wipe", WinPath::new(r"C:\w.exe"), t(100), t(1));
+        sm.schedule_task("report", WinPath::new(r"C:\r.exe"), t(200), t(1));
+        assert_eq!(sm.tasks().len(), 2);
+        sm.clear();
+        assert!(sm.tasks().is_empty());
+        assert!(sm.services().is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! Builder for [`Image`]s.
+
+use crate::image::{Image, Machine, Resource, Section, SectionKind, MAX_ENTRIES, MAX_NAME};
+use crate::xor::XorKey;
+
+/// Incrementally assembles an [`Image`] (C-BUILDER).
+///
+/// # Examples
+///
+/// ```
+/// use malsim_pe::builder::ImageBuilder;
+/// use malsim_pe::image::{Machine, SectionKind};
+/// use malsim_pe::xor::XorKey;
+///
+/// let image = ImageBuilder::new("mssecmgr.ocx", Machine::X86)
+///     .section(".text", SectionKind::Code, b"core".to_vec())
+///     .resource_encrypted("146", XorKey::new(0x1F), b"lua modules".to_vec())
+///     .import("WinHttpOpen")
+///     .build();
+/// assert_eq!(image.name(), "mssecmgr.ocx");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ImageBuilder {
+    name: String,
+    machine: Machine,
+    timestamp_secs: u64,
+    sections: Vec<Section>,
+    resources: Vec<Resource>,
+    imports: Vec<String>,
+}
+
+impl ImageBuilder {
+    /// Starts a builder for an image with the given file name and machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is empty or longer than [`MAX_NAME`] bytes.
+    pub fn new(name: impl Into<String>, machine: Machine) -> Self {
+        let name = name.into();
+        assert!(!name.is_empty() && name.len() <= MAX_NAME, "invalid image name");
+        ImageBuilder {
+            name,
+            machine,
+            timestamp_secs: 0,
+            sections: Vec::new(),
+            resources: Vec::new(),
+            imports: Vec::new(),
+        }
+    }
+
+    /// Sets the build timestamp (seconds since the Unix epoch).
+    pub fn timestamp_secs(mut self, secs: u64) -> Self {
+        self.timestamp_secs = secs;
+        self
+    }
+
+    /// Appends a section.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is invalid or the section table is full.
+    pub fn section(mut self, name: impl Into<String>, kind: SectionKind, data: Vec<u8>) -> Self {
+        let name = name.into();
+        assert!(!name.is_empty() && name.len() <= MAX_NAME, "invalid section name");
+        assert!(self.sections.len() < MAX_ENTRIES, "section table full");
+        self.sections.push(Section { name, kind, data });
+        self
+    }
+
+    /// Appends a plaintext resource.
+    pub fn resource(self, name: impl Into<String>, data: Vec<u8>) -> Self {
+        self.push_resource(name.into(), None, data)
+    }
+
+    /// Appends an XOR-encrypted resource: `plaintext` is encrypted with `key`
+    /// before being stored, mirroring how Shamoon shipped its payloads.
+    pub fn resource_encrypted(self, name: impl Into<String>, key: XorKey, plaintext: Vec<u8>) -> Self {
+        let ciphertext = key.apply(&plaintext);
+        self.push_resource(name.into(), Some(key), ciphertext)
+    }
+
+    fn push_resource(mut self, name: String, xor_key: Option<XorKey>, data: Vec<u8>) -> Self {
+        assert!(!name.is_empty() && name.len() <= MAX_NAME, "invalid resource name");
+        assert!(self.resources.len() < MAX_ENTRIES, "resource table full");
+        self.resources.push(Resource { name, xor_key, data });
+        self
+    }
+
+    /// Appends an imported API name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is invalid or the import table is full.
+    pub fn import(mut self, name: impl Into<String>) -> Self {
+        let name = name.into();
+        assert!(!name.is_empty() && name.len() <= MAX_NAME, "invalid import name");
+        assert!(self.imports.len() < MAX_ENTRIES, "import table full");
+        self.imports.push(name);
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> Image {
+        Image::from_parts(
+            self.machine,
+            self.timestamp_secs,
+            self.name,
+            self.sections,
+            self.resources,
+            self.imports,
+            None,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_parts() {
+        let img = ImageBuilder::new("a.exe", Machine::X64)
+            .timestamp_secs(99)
+            .section(".text", SectionKind::Code, vec![1])
+            .resource("R", vec![2])
+            .import("Foo")
+            .build();
+        assert_eq!(img.timestamp_secs(), 99);
+        assert_eq!(img.sections().len(), 1);
+        assert_eq!(img.resources().len(), 1);
+        assert_eq!(img.imports().len(), 1);
+        assert!(img.signature().is_none());
+    }
+
+    #[test]
+    fn encrypted_resource_is_ciphertext_on_wire() {
+        let img = ImageBuilder::new("a.exe", Machine::X86)
+            .resource_encrypted("X", XorKey::new(0x10), b"abc".to_vec())
+            .build();
+        let r = img.resource("X").unwrap();
+        assert_eq!(r.data, XorKey::new(0x10).apply(b"abc"));
+        assert_eq!(r.plaintext(), b"abc");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid image name")]
+    fn empty_name_panics() {
+        let _ = ImageBuilder::new("", Machine::X86);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid section name")]
+    fn long_section_name_panics() {
+        let _ = ImageBuilder::new("a.exe", Machine::X86).section(
+            "x".repeat(300),
+            SectionKind::Code,
+            vec![],
+        );
+    }
+}

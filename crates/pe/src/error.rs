@@ -1,0 +1,84 @@
+//! Parse errors for the MZSM image format.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing an image fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseImageError {
+    /// The buffer is smaller than a valid header.
+    Truncated {
+        /// Bytes required at the point of failure.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The magic bytes are not `MZSM`.
+    BadMagic([u8; 4]),
+    /// The format version is unsupported.
+    UnsupportedVersion(u16),
+    /// The machine word is not a known architecture.
+    UnknownMachine(u16),
+    /// A section or resource entry points outside the payload area.
+    RangeOutOfBounds {
+        /// Which table the bad entry came from.
+        table: &'static str,
+        /// Entry index within that table.
+        index: usize,
+    },
+    /// A name is not valid UTF-8.
+    BadName(&'static str),
+    /// The stored checksum does not match the computed one.
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        stored: u32,
+        /// Checksum recomputed over the payload.
+        computed: u32,
+    },
+    /// A count or length field exceeds the format's sanity limits.
+    LimitExceeded(&'static str),
+}
+
+impl fmt::Display for ParseImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseImageError::Truncated { needed, available } => {
+                write!(f, "truncated image: needed {needed} bytes, had {available}")
+            }
+            ParseImageError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            ParseImageError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            ParseImageError::UnknownMachine(m) => write!(f, "unknown machine 0x{m:04x}"),
+            ParseImageError::RangeOutOfBounds { table, index } => {
+                write!(f, "{table} entry {index} points outside the image")
+            }
+            ParseImageError::BadName(what) => write!(f, "{what} name is not valid utf-8"),
+            ParseImageError::ChecksumMismatch { stored, computed } => {
+                write!(f, "checksum mismatch: stored 0x{stored:08x}, computed 0x{computed:08x}")
+            }
+            ParseImageError::LimitExceeded(what) => write!(f, "{what} exceeds format limits"),
+        }
+    }
+}
+
+impl Error for ParseImageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ParseImageError::Truncated { needed: 64, available: 3 };
+        assert_eq!(e.to_string(), "truncated image: needed 64 bytes, had 3");
+        assert!(ParseImageError::BadMagic(*b"ABCD").to_string().contains("bad magic"));
+        assert!(ParseImageError::ChecksumMismatch { stored: 1, computed: 2 }
+            .to_string()
+            .contains("mismatch"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_err(ParseImageError::UnsupportedVersion(9));
+    }
+}

@@ -1,0 +1,588 @@
+//! The MZSM image model: sections, resources, imports, and signature slot.
+//!
+//! An [`Image`] is the in-memory form; [`crate::builder::ImageBuilder`]
+//! produces one, [`Image::to_bytes`] serializes it to the wire format, and
+//! [`Image::parse`] reads it back. The format deliberately mirrors the parts
+//! of the real Portable Executable format the paper's narrative depends on:
+//! named sections, a resource directory whose entries may be XOR-encrypted
+//! (Shamoon), an import-name table (used by heuristic scanners), and a
+//! signature blob slot (used by the certificate policy in `malsim-os`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ParseImageError;
+use crate::xor::XorKey;
+
+/// Target architecture word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Machine {
+    /// 32-bit x86 (`0x014c`, as in the real PE format).
+    X86,
+    /// 64-bit x86-64 (`0x8664`).
+    X64,
+}
+
+impl Machine {
+    /// The on-wire machine word.
+    pub const fn code(self) -> u16 {
+        match self {
+            Machine::X86 => 0x014c,
+            Machine::X64 => 0x8664,
+        }
+    }
+
+    /// Parses a machine word.
+    pub fn from_code(code: u16) -> Option<Machine> {
+        match code {
+            0x014c => Some(Machine::X86),
+            0x8664 => Some(Machine::X64),
+            _ => None,
+        }
+    }
+}
+
+/// What a section holds. Stored as one byte on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SectionKind {
+    /// Executable code.
+    Code,
+    /// Initialized data.
+    Data,
+    /// Read-only data.
+    Rodata,
+}
+
+impl SectionKind {
+    const fn code(self) -> u8 {
+        match self {
+            SectionKind::Code => 1,
+            SectionKind::Data => 2,
+            SectionKind::Rodata => 3,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<SectionKind> {
+        match code {
+            1 => Some(SectionKind::Code),
+            2 => Some(SectionKind::Data),
+            3 => Some(SectionKind::Rodata),
+            _ => None,
+        }
+    }
+}
+
+/// A named section with raw contents.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Section {
+    /// Section name, e.g. `.text`.
+    pub name: String,
+    /// Content classification.
+    pub kind: SectionKind,
+    /// Raw bytes.
+    pub data: Vec<u8>,
+}
+
+/// A resource directory entry, optionally XOR-encrypted on the wire.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Resource {
+    /// Resource name, e.g. `PKCS12` (Shamoon used misleading names).
+    pub name: String,
+    /// XOR key if the stored bytes are encrypted.
+    pub xor_key: Option<XorKey>,
+    /// Stored bytes (ciphertext when `xor_key` is set).
+    pub data: Vec<u8>,
+}
+
+impl Resource {
+    /// The plaintext contents: decrypts if an XOR key is present.
+    pub fn plaintext(&self) -> Vec<u8> {
+        match self.xor_key {
+            Some(k) => k.apply(&self.data),
+            None => self.data.clone(),
+        }
+    }
+}
+
+/// A parsed or built MZSM image.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Image {
+    machine: Machine,
+    /// Build timestamp, seconds since the Unix epoch.
+    timestamp_secs: u64,
+    name: String,
+    sections: Vec<Section>,
+    resources: Vec<Resource>,
+    imports: Vec<String>,
+    signature: Option<Vec<u8>>,
+}
+
+/// Magic bytes at offset 0.
+pub const MAGIC: [u8; 4] = *b"MZSM";
+/// Current (only) format version.
+pub const VERSION: u16 = 1;
+/// Fixed header length in bytes.
+pub const HEADER_LEN: usize = 40;
+/// Sanity cap on table entry counts.
+pub const MAX_ENTRIES: usize = 4096;
+/// Sanity cap on any single name length.
+pub const MAX_NAME: usize = 255;
+
+impl Image {
+    pub(crate) fn from_parts(
+        machine: Machine,
+        timestamp_secs: u64,
+        name: String,
+        sections: Vec<Section>,
+        resources: Vec<Resource>,
+        imports: Vec<String>,
+        signature: Option<Vec<u8>>,
+    ) -> Self {
+        Image { machine, timestamp_secs, name, sections, resources, imports, signature }
+    }
+
+    /// Target architecture.
+    pub fn machine(&self) -> Machine {
+        self.machine
+    }
+
+    /// Build timestamp in seconds since the Unix epoch.
+    pub fn timestamp_secs(&self) -> u64 {
+        self.timestamp_secs
+    }
+
+    /// Image (file) name, e.g. `TrkSvr.exe`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All sections in order.
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// All resources in order.
+    pub fn resources(&self) -> &[Resource] {
+        &self.resources
+    }
+
+    /// Looks a section up by name.
+    pub fn section(&self, name: &str) -> Option<&Section> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+
+    /// Looks a resource up by name.
+    pub fn resource(&self, name: &str) -> Option<&Resource> {
+        self.resources.iter().find(|r| r.name == name)
+    }
+
+    /// Imported API names (used by heuristic scanners).
+    pub fn imports(&self) -> &[String] {
+        &self.imports
+    }
+
+    /// The signature blob, if the image is signed.
+    pub fn signature(&self) -> Option<&[u8]> {
+        self.signature.as_deref()
+    }
+
+    /// Attaches (or replaces) a signature blob.
+    pub fn set_signature(&mut self, blob: Vec<u8>) {
+        self.signature = Some(blob);
+    }
+
+    /// Removes the signature blob, if any.
+    pub fn clear_signature(&mut self) -> Option<Vec<u8>> {
+        self.signature.take()
+    }
+
+    /// Total payload size: all section and resource bytes.
+    pub fn payload_len(&self) -> usize {
+        self.sections.iter().map(|s| s.data.len()).sum::<usize>()
+            + self.resources.iter().map(|r| r.data.len()).sum::<usize>()
+    }
+
+    /// Bytes covered by the signature: everything except the signature blob
+    /// itself. Used by the certificate layer to bind signatures to content.
+    pub fn signed_region(&self) -> Vec<u8> {
+        let mut unsigned = self.clone();
+        unsigned.signature = None;
+        unsigned.to_bytes()
+    }
+
+    /// FNV-1a digest of the whole serialized image. Stable identity for AV
+    /// signature databases.
+    pub fn content_hash(&self) -> u64 {
+        let bytes = self.to_bytes();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    /// Serializes to the wire format.
+    ///
+    /// Layout: fixed header, name, section table, resource table, import
+    /// table, payload blobs, signature. All integers little-endian.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload_len() + 256);
+        // --- header (40 bytes) ---
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.machine.code().to_le_bytes());
+        out.extend_from_slice(&self.timestamp_secs.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u16).to_le_bytes());
+        out.extend_from_slice(&(self.resources.len() as u16).to_le_bytes());
+        out.extend_from_slice(&(self.imports.len() as u16).to_le_bytes());
+        out.extend_from_slice(&(self.name.len() as u16).to_le_bytes());
+        let sig_len = self.signature.as_ref().map_or(0, Vec::len) as u32;
+        out.extend_from_slice(&sig_len.to_le_bytes());
+        // checksum placeholder, patched below
+        let checksum_at = out.len();
+        out.extend_from_slice(&0u32.to_le_bytes());
+        // pad header to HEADER_LEN
+        while out.len() < HEADER_LEN {
+            out.push(0);
+        }
+        debug_assert_eq!(out.len(), HEADER_LEN);
+        // --- name ---
+        out.extend_from_slice(self.name.as_bytes());
+        // --- section table + payload offsets ---
+        // Payload blobs start after all tables; compute offsets as we emit.
+        let mut payload: Vec<u8> = Vec::new();
+        for s in &self.sections {
+            out.push(s.name.len() as u8);
+            out.extend_from_slice(s.name.as_bytes());
+            out.push(s.kind.code());
+            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            out.extend_from_slice(&(s.data.len() as u32).to_le_bytes());
+            payload.extend_from_slice(&s.data);
+        }
+        for r in &self.resources {
+            out.push(r.name.len() as u8);
+            out.extend_from_slice(r.name.as_bytes());
+            match r.xor_key {
+                Some(k) => {
+                    out.push(1);
+                    out.push(k.as_byte());
+                }
+                None => {
+                    out.push(0);
+                    out.push(0);
+                }
+            }
+            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            out.extend_from_slice(&(r.data.len() as u32).to_le_bytes());
+            payload.extend_from_slice(&r.data);
+        }
+        for imp in &self.imports {
+            out.push(imp.len() as u8);
+            out.extend_from_slice(imp.as_bytes());
+        }
+        out.extend_from_slice(&payload);
+        if let Some(sig) = &self.signature {
+            out.extend_from_slice(sig);
+        }
+        // --- checksum over everything after the header ---
+        let computed = checksum(&out[HEADER_LEN..]);
+        out[checksum_at..checksum_at + 4].copy_from_slice(&computed.to_le_bytes());
+        out
+    }
+
+    /// Parses an image from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseImageError`] on truncation, bad magic, unknown machine,
+    /// out-of-bounds table entries, invalid UTF-8 names, or checksum
+    /// mismatch.
+    pub fn parse(bytes: &[u8]) -> Result<Image, ParseImageError> {
+        let mut rd = Reader { buf: bytes, pos: 0 };
+        let magic: [u8; 4] = rd.take(4)?.try_into().expect("4 bytes");
+        if magic != MAGIC {
+            return Err(ParseImageError::BadMagic(magic));
+        }
+        let version = rd.u16()?;
+        if version != VERSION {
+            return Err(ParseImageError::UnsupportedVersion(version));
+        }
+        let machine_code = rd.u16()?;
+        let machine =
+            Machine::from_code(machine_code).ok_or(ParseImageError::UnknownMachine(machine_code))?;
+        let timestamp_secs = rd.u64()?;
+        let n_sections = rd.u16()? as usize;
+        let n_resources = rd.u16()? as usize;
+        let n_imports = rd.u16()? as usize;
+        let name_len = rd.u16()? as usize;
+        let sig_len = rd.u32()? as usize;
+        let stored_checksum = rd.u32()?;
+        if n_sections > MAX_ENTRIES || n_resources > MAX_ENTRIES || n_imports > MAX_ENTRIES {
+            return Err(ParseImageError::LimitExceeded("table entry count"));
+        }
+        if name_len > MAX_NAME {
+            return Err(ParseImageError::LimitExceeded("image name length"));
+        }
+        rd.pos = HEADER_LEN.min(bytes.len());
+        if bytes.len() < HEADER_LEN {
+            return Err(ParseImageError::Truncated { needed: HEADER_LEN, available: bytes.len() });
+        }
+        let computed = checksum(&bytes[HEADER_LEN..]);
+        if computed != stored_checksum {
+            return Err(ParseImageError::ChecksumMismatch { stored: stored_checksum, computed });
+        }
+        let name = String::from_utf8(rd.take(name_len)?.to_vec())
+            .map_err(|_| ParseImageError::BadName("image"))?;
+        struct RawSection {
+            name: String,
+            kind: SectionKind,
+            offset: usize,
+            len: usize,
+        }
+        struct RawResource {
+            name: String,
+            xor_key: Option<XorKey>,
+            offset: usize,
+            len: usize,
+        }
+        let mut raw_sections = Vec::with_capacity(n_sections);
+        for _ in 0..n_sections {
+            let nlen = rd.u8()? as usize;
+            let sname = String::from_utf8(rd.take(nlen)?.to_vec())
+                .map_err(|_| ParseImageError::BadName("section"))?;
+            let kind_code = rd.u8()?;
+            let kind = SectionKind::from_code(kind_code)
+                .ok_or(ParseImageError::LimitExceeded("section kind"))?;
+            let offset = rd.u32()? as usize;
+            let len = rd.u32()? as usize;
+            raw_sections.push(RawSection { name: sname, kind, offset, len });
+        }
+        let mut raw_resources = Vec::with_capacity(n_resources);
+        for _ in 0..n_resources {
+            let nlen = rd.u8()? as usize;
+            let rname = String::from_utf8(rd.take(nlen)?.to_vec())
+                .map_err(|_| ParseImageError::BadName("resource"))?;
+            let has_key = rd.u8()?;
+            let key_byte = rd.u8()?;
+            let xor_key = if has_key != 0 { Some(XorKey::new(key_byte)) } else { None };
+            let offset = rd.u32()? as usize;
+            let len = rd.u32()? as usize;
+            raw_resources.push(RawResource { name: rname, xor_key, offset, len });
+        }
+        let mut imports = Vec::with_capacity(n_imports);
+        for _ in 0..n_imports {
+            let nlen = rd.u8()? as usize;
+            let iname = String::from_utf8(rd.take(nlen)?.to_vec())
+                .map_err(|_| ParseImageError::BadName("import"))?;
+            imports.push(iname);
+        }
+        let payload_start = rd.pos;
+        let payload_end = bytes
+            .len()
+            .checked_sub(sig_len)
+            .ok_or(ParseImageError::Truncated { needed: sig_len, available: bytes.len() })?;
+        if payload_end < payload_start {
+            return Err(ParseImageError::Truncated {
+                needed: payload_start + sig_len,
+                available: bytes.len(),
+            });
+        }
+        let payload = &bytes[payload_start..payload_end];
+        let mut sections = Vec::with_capacity(n_sections);
+        for (i, rs) in raw_sections.into_iter().enumerate() {
+            let end = rs.offset.checked_add(rs.len);
+            let data = match end {
+                Some(end) if end <= payload.len() => payload[rs.offset..end].to_vec(),
+                _ => return Err(ParseImageError::RangeOutOfBounds { table: "section", index: i }),
+            };
+            sections.push(Section { name: rs.name, kind: rs.kind, data });
+        }
+        let mut resources = Vec::with_capacity(n_resources);
+        for (i, rr) in raw_resources.into_iter().enumerate() {
+            let end = rr.offset.checked_add(rr.len);
+            let data = match end {
+                Some(end) if end <= payload.len() => payload[rr.offset..end].to_vec(),
+                _ => return Err(ParseImageError::RangeOutOfBounds { table: "resource", index: i }),
+            };
+            resources.push(Resource { name: rr.name, xor_key: rr.xor_key, data });
+        }
+        let signature = if sig_len > 0 { Some(bytes[payload_end..].to_vec()) } else { None };
+        Ok(Image {
+            machine,
+            timestamp_secs,
+            name,
+            sections,
+            resources,
+            imports,
+            signature,
+        })
+    }
+}
+
+fn checksum(bytes: &[u8]) -> u32 {
+    // Simple 32-bit Fletcher-like sum; enough to catch corruption, and gives
+    // the defense crate a stable "file integrity" primitive.
+    let mut a: u32 = 1;
+    let mut b: u32 = 0;
+    for &x in bytes {
+        a = a.wrapping_add(u32::from(x));
+        b = b.wrapping_add(a);
+    }
+    (b << 16) | (a & 0xffff)
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ParseImageError> {
+        if self.pos + n > self.buf.len() {
+            return Err(ParseImageError::Truncated {
+                needed: self.pos + n,
+                available: self.buf.len(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, ParseImageError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ParseImageError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, ParseImageError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ParseImageError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ImageBuilder;
+
+    fn sample() -> Image {
+        ImageBuilder::new("TrkSvr.exe", Machine::X86)
+            .timestamp_secs(1_345_000_000)
+            .section(".text", SectionKind::Code, b"main dispatch loop".to_vec())
+            .section(".data", SectionKind::Data, vec![0u8; 64])
+            .resource_encrypted("PKCS12", XorKey::new(0xAA), b"wiper module".to_vec())
+            .resource("LANG", b"en-us".to_vec())
+            .import("CreateServiceW")
+            .import("WriteRawSectors")
+            .build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let img = sample();
+        let bytes = img.to_bytes();
+        let back = Image::parse(&bytes).unwrap();
+        assert_eq!(back, img);
+        assert_eq!(back.name(), "TrkSvr.exe");
+        assert_eq!(back.machine(), Machine::X86);
+        assert_eq!(back.timestamp_secs(), 1_345_000_000);
+        assert_eq!(back.sections().len(), 2);
+        assert_eq!(back.resources().len(), 2);
+        assert_eq!(back.imports(), ["CreateServiceW", "WriteRawSectors"]);
+    }
+
+    #[test]
+    fn encrypted_resource_stores_ciphertext() {
+        let img = sample();
+        let res = img.resource("PKCS12").unwrap();
+        assert_ne!(res.data, b"wiper module");
+        assert_eq!(res.plaintext(), b"wiper module");
+        let plain = img.resource("LANG").unwrap();
+        assert_eq!(plain.plaintext(), b"en-us");
+    }
+
+    #[test]
+    fn signature_roundtrip_and_signed_region() {
+        let mut img = sample();
+        let region_before = img.signed_region();
+        img.set_signature(vec![1, 2, 3, 4]);
+        let bytes = img.to_bytes();
+        let back = Image::parse(&bytes).unwrap();
+        assert_eq!(back.signature(), Some(&[1u8, 2, 3, 4][..]));
+        // Signing must not change the signed region.
+        assert_eq!(back.signed_region(), region_before);
+        let mut unsigned = back.clone();
+        assert_eq!(unsigned.clear_signature(), Some(vec![1, 2, 3, 4]));
+        assert_eq!(unsigned.signature(), None);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(Image::parse(&bytes), Err(ParseImageError::BadMagic(_))));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample().to_bytes();
+        for cut in [0, 3, 10, HEADER_LEN - 1, HEADER_LEN + 2, bytes.len() - 1] {
+            let err = Image::parse(&bytes[..cut]);
+            assert!(err.is_err(), "cut at {cut} parsed successfully");
+        }
+    }
+
+    #[test]
+    fn corruption_fails_checksum() {
+        let mut bytes = sample().to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert!(matches!(
+            Image::parse(&bytes),
+            Err(ParseImageError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_machine_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[6] = 0xEE;
+        bytes[7] = 0xEE;
+        let err = Image::parse(&bytes).unwrap_err();
+        assert!(
+            matches!(err, ParseImageError::UnknownMachine(0xEEEE))
+                || matches!(err, ParseImageError::ChecksumMismatch { .. })
+        );
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_sensitive() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(a.content_hash(), b.content_hash());
+        let c = ImageBuilder::new("other.exe", Machine::X86).build();
+        assert_ne!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn machine_codes_match_pe() {
+        assert_eq!(Machine::X86.code(), 0x014c);
+        assert_eq!(Machine::X64.code(), 0x8664);
+        assert_eq!(Machine::from_code(0x8664), Some(Machine::X64));
+        assert_eq!(Machine::from_code(0x1234), None);
+    }
+
+    #[test]
+    fn empty_image_roundtrips() {
+        let img = ImageBuilder::new("empty.exe", Machine::X64).build();
+        let back = Image::parse(&img.to_bytes()).unwrap();
+        assert_eq!(back, img);
+        assert_eq!(back.payload_len(), 0);
+    }
+}

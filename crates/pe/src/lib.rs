@@ -1,0 +1,56 @@
+//! # malsim-pe
+//!
+//! A byte-level toy executable container ("MZSM") standing in for the
+//! Windows Portable Executable format in the `malsim` simulation workspace.
+//!
+//! The paper's Shamoon dissection hinges on file structure: a 900 KB PE
+//! whose wiper/reporter/x64 payloads travel as XOR-encrypted resources, and
+//! whose signature (or lack of one) decides whether a driver loads. This
+//! crate provides exactly those mechanics on a simple, fully specified
+//! format:
+//!
+//! - [`builder::ImageBuilder`] assembles an image out of sections, resources
+//!   (optionally XOR-encrypted via [`xor::XorKey`]), and imported API names;
+//! - [`image::Image::to_bytes`] / [`image::Image::parse`] round-trip the wire
+//!   format with full validation ([`error::ParseImageError`]);
+//! - [`image::Image::signed_region`] and the signature slot integrate with
+//!   `malsim-certs` for code-signing policy;
+//! - [`image::Image::content_hash`] gives AV engines a stable identity.
+//!
+//! Nothing here executes: "code" sections are inert bytes that simulation
+//! agents interpret symbolically.
+//!
+//! # Examples
+//!
+//! ```
+//! use malsim_pe::prelude::*;
+//!
+//! // Build a Shamoon-shaped image: encrypted payload resources.
+//! let image = ImageBuilder::new("TrkSvr.exe", Machine::X86)
+//!     .section(".text", SectionKind::Code, b"dropper logic".to_vec())
+//!     .resource_encrypted("PKCS12", XorKey::new(0xFB), b"wiper".to_vec())
+//!     .resource_encrypted("PKCS7", XorKey::new(0x91), b"reporter".to_vec())
+//!     .resource_encrypted("X509", XorKey::new(0x04), b"64-bit variant".to_vec())
+//!     .build();
+//!
+//! let wire = image.to_bytes();
+//! let parsed = Image::parse(&wire)?;
+//! assert_eq!(parsed.resource("PKCS12").unwrap().plaintext(), b"wiper");
+//! # Ok::<(), malsim_pe::error::ParseImageError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod error;
+pub mod image;
+pub mod xor;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::builder::ImageBuilder;
+    pub use crate::error::ParseImageError;
+    pub use crate::image::{Image, Machine, Resource, Section, SectionKind};
+    pub use crate::xor::XorKey;
+}

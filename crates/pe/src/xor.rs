@@ -1,0 +1,102 @@
+//! Single-byte XOR cipher.
+//!
+//! Shamoon's `TrkSvr.exe` carried its wiper, reporter, and 64-bit payloads as
+//! resources "encrypted" with a simple XOR routine — weak enough that
+//! analysts unpacked it immediately, which is one of the paper's "work of
+//! amateurs" indicators. The same scheme is modelled here so that defenders
+//! in `malsim-defense` can implement the equivalent unpack-and-scan step.
+
+use serde::{Deserialize, Serialize};
+
+/// Key for the single-byte XOR cipher.
+///
+/// # Examples
+///
+/// ```
+/// use malsim_pe::xor::XorKey;
+///
+/// let key = XorKey::new(0xA5);
+/// let ct = key.apply(b"secret payload");
+/// assert_ne!(ct, b"secret payload");
+/// assert_eq!(key.apply(&ct), b"secret payload");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct XorKey(u8);
+
+impl XorKey {
+    /// Creates a key from a byte. A zero key is allowed but is the identity.
+    pub const fn new(key: u8) -> Self {
+        XorKey(key)
+    }
+
+    /// The raw key byte.
+    pub const fn as_byte(self) -> u8 {
+        self.0
+    }
+
+    /// Applies the cipher, returning a new buffer. XOR is an involution, so
+    /// the same call encrypts and decrypts.
+    pub fn apply(self, data: &[u8]) -> Vec<u8> {
+        data.iter().map(|b| b ^ self.0).collect()
+    }
+
+    /// Applies the cipher in place.
+    pub fn apply_in_place(self, data: &mut [u8]) {
+        for b in data {
+            *b ^= self.0;
+        }
+    }
+
+    /// Recovers the key assuming the plaintext's most common byte is
+    /// `expected` (classic single-byte-XOR cryptanalysis; defaults used by
+    /// analysts: 0x00 for binaries).
+    ///
+    /// Returns `None` for an empty buffer.
+    pub fn crack(ciphertext: &[u8], expected: u8) -> Option<XorKey> {
+        if ciphertext.is_empty() {
+            return None;
+        }
+        let mut freq = [0usize; 256];
+        for &b in ciphertext {
+            freq[b as usize] += 1;
+        }
+        let most = (0..256).max_by_key(|&i| freq[i]).expect("256 buckets") as u8;
+        Some(XorKey(most ^ expected))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let key = XorKey::new(0x5C);
+        let plain = b"The quick brown fox".to_vec();
+        let mut buf = plain.clone();
+        key.apply_in_place(&mut buf);
+        assert_ne!(buf, plain);
+        assert_eq!(key.apply(&buf), plain);
+    }
+
+    #[test]
+    fn zero_key_is_identity() {
+        let key = XorKey::new(0);
+        assert_eq!(key.apply(b"abc"), b"abc");
+    }
+
+    #[test]
+    fn crack_recovers_key_from_zero_heavy_plaintext() {
+        // Model a binary blob: mostly zero padding.
+        let mut plain = vec![0u8; 900];
+        plain.extend_from_slice(b"payload body with some text");
+        let key = XorKey::new(0x77);
+        let ct = key.apply(&plain);
+        assert_eq!(XorKey::crack(&ct, 0x00), Some(key));
+    }
+
+    #[test]
+    fn crack_empty_is_none() {
+        assert_eq!(XorKey::crack(&[], 0), None);
+    }
+}

@@ -1,0 +1,137 @@
+//! A centrifuge cascade: the enrichment plant a PLC controls.
+//!
+//! A [`Cascade`] pairs each PLC drive with a centrifuge rotor and steps the
+//! physics: drive frequencies feed rotor stress and enrichment output. This
+//! is the plant-level state experiment E1/E3 measure (intact rotors,
+//! cumulative output) before and after the attack.
+
+use serde::{Deserialize, Serialize};
+
+use crate::centrifuge::Centrifuge;
+use crate::plc::Plc;
+
+/// A bank of centrifuges, one per PLC drive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cascade {
+    rotors: Vec<Centrifuge>,
+}
+
+impl Cascade {
+    /// Creates a cascade sized to the PLC's drive count.
+    pub fn for_plc(plc: &Plc) -> Self {
+        Cascade { rotors: (0..plc.drives().len()).map(|_| Centrifuge::new()).collect() }
+    }
+
+    /// Steps the cascade: advances drives, then feeds each rotor its drive's
+    /// frequency for `dt_s` seconds.
+    pub fn step(&mut self, plc: &mut Plc, dt_s: f64) {
+        plc.step_drives(dt_s);
+        for (rotor, drive) in self.rotors.iter_mut().zip(plc.drives()) {
+            rotor.step(drive.frequency_hz(), dt_s);
+        }
+    }
+
+    /// The rotors.
+    pub fn rotors(&self) -> &[Centrifuge] {
+        &self.rotors
+    }
+
+    /// Number of rotors still intact.
+    pub fn intact_count(&self) -> usize {
+        self.rotors.iter().filter(|r| r.is_intact()).count()
+    }
+
+    /// Number of destroyed rotors.
+    pub fn destroyed_count(&self) -> usize {
+        self.rotors.len() - self.intact_count()
+    }
+
+    /// Total enrichment output across rotors.
+    pub fn total_output(&self) -> f64 {
+        self.rotors.iter().map(Centrifuge::enrichment_output).sum()
+    }
+
+    /// Total rotor count.
+    pub fn len(&self) -> usize {
+        self.rotors.len()
+    }
+
+    /// Whether the cascade has no rotors.
+    pub fn is_empty(&self) -> bool {
+        self.rotors.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drive::{DriveVendor, FrequencyDrive};
+    use crate::plc::CommProcessor;
+
+    fn plant(n: usize) -> (Plc, Cascade) {
+        let mut plc = Plc::new(CommProcessor::Profibus);
+        for _ in 0..n {
+            plc.attach_drive(FrequencyDrive::new(DriveVendor::Vacon, 1_064.0));
+        }
+        let cascade = Cascade::for_plc(&plc);
+        (plc, cascade)
+    }
+
+    #[test]
+    fn sized_to_plc() {
+        let (_, cascade) = plant(164); // one IR-1 cascade at Natanz
+        assert_eq!(cascade.len(), 164);
+        assert_eq!(cascade.intact_count(), 164);
+        assert!(!cascade.is_empty());
+    }
+
+    #[test]
+    fn normal_operation_produces_output() {
+        let (mut plc, mut cascade) = plant(10);
+        for _ in 0..3_600 {
+            cascade.step(&mut plc, 1.0);
+        }
+        assert_eq!(cascade.intact_count(), 10);
+        assert!(cascade.total_output() > 9.0);
+    }
+
+    #[test]
+    fn attack_sequence_destroys_cascade() {
+        let (mut plc, mut cascade) = plant(10);
+        // Normal running.
+        for _ in 0..600 {
+            cascade.step(&mut plc, 1.0);
+        }
+        // The payload: overspeed, crash, recover — repeated.
+        for _ in 0..3 {
+            plc.command_all_drives(1_410.0);
+            for _ in 0..600 {
+                cascade.step(&mut plc, 1.0);
+            }
+            plc.command_all_drives(2.0);
+            for _ in 0..120 {
+                cascade.step(&mut plc, 1.0);
+            }
+            plc.command_all_drives(1_064.0);
+            for _ in 0..300 {
+                cascade.step(&mut plc, 1.0);
+            }
+        }
+        assert_eq!(cascade.destroyed_count(), 10, "all rotors destroyed by the sequence");
+    }
+
+    #[test]
+    fn output_stops_at_destruction() {
+        let (mut plc, mut cascade) = plant(1);
+        plc.command_all_drives(1_500.0);
+        for _ in 0..7_200 {
+            cascade.step(&mut plc, 1.0);
+        }
+        let frozen = cascade.total_output();
+        plc.command_all_drives(1_064.0);
+        for _ in 0..3_600 {
+            cascade.step(&mut plc, 1.0);
+        }
+        assert_eq!(cascade.total_output(), frozen);
+    }
+}

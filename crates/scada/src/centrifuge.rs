@@ -1,0 +1,202 @@
+//! Centrifuge rotor physics: stress accumulation and destruction.
+//!
+//! The paper describes the damage mechanism: the payload drives the rotors
+//! far above their operating band (1410 Hz), then crashes them to 2 Hz, then
+//! back to 1064 Hz; the overspeed expands the aluminium tubes and the
+//! violent transitions force rotating parts into contact. We model that as
+//! two damage terms: quadratic overspeed stress above the rated maximum, and
+//! a fixed stress quantum per crossing of the low-frequency resonance band.
+
+use serde::{Deserialize, Serialize};
+
+/// Operating envelope constants (from the paper's trigger description).
+pub mod envelope {
+    /// Lower edge of the normal operating band the payload watches for.
+    pub const NORMAL_MIN_HZ: f64 = 807.0;
+    /// Upper edge of the normal operating band.
+    pub const NORMAL_MAX_HZ: f64 = 1_210.0;
+    /// Resonance band the rotor must not dwell in or cross violently.
+    pub const RESONANCE_LOW_HZ: f64 = 40.0;
+    /// Upper edge of the resonance band.
+    pub const RESONANCE_HIGH_HZ: f64 = 250.0;
+}
+
+/// A single centrifuge rotor.
+///
+/// # Examples
+///
+/// ```
+/// use malsim_scada::centrifuge::Centrifuge;
+///
+/// let mut c = Centrifuge::new();
+/// c.step(1064.0, 3600.0); // an hour at normal speed
+/// assert!(c.is_intact());
+/// assert!(c.enrichment_output() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Centrifuge {
+    damage: f64,
+    enrichment: f64,
+    last_freq_hz: Option<f64>,
+    resonance_crossings: u32,
+}
+
+impl Default for Centrifuge {
+    fn default() -> Self {
+        Centrifuge::new()
+    }
+}
+
+impl Centrifuge {
+    /// Overspeed damage coefficient: calibrated so ~1410 Hz destroys a rotor
+    /// in a few minutes of dwell.
+    const OVERSPEED_K: f64 = 1.0 / 40_000.0;
+    /// Damage per resonance-band crossing.
+    const CROSSING_DAMAGE: f64 = 0.12;
+    /// Enrichment output units per second in the normal band.
+    const ENRICH_RATE: f64 = 1.0 / 3_600.0;
+
+    /// Creates an intact rotor.
+    pub fn new() -> Self {
+        Centrifuge { damage: 0.0, enrichment: 0.0, last_freq_hz: None, resonance_crossings: 0 }
+    }
+
+    /// Advances the rotor `dt_s` seconds at the given drive frequency.
+    /// Destroyed rotors ignore further input.
+    pub fn step(&mut self, freq_hz: f64, dt_s: f64) {
+        if self.is_destroyed() {
+            return;
+        }
+        // Overspeed stress: quadratic in the excess above the rated maximum.
+        if freq_hz > envelope::NORMAL_MAX_HZ {
+            let excess = freq_hz - envelope::NORMAL_MAX_HZ;
+            self.damage += excess * excess * Self::OVERSPEED_K * dt_s / 60.0;
+        }
+        // Resonance crossings: entering or leaving the band from the far
+        // side counts as one violent traversal.
+        if let Some(prev) = self.last_freq_hz {
+            let crossed_down = prev > envelope::RESONANCE_HIGH_HZ && freq_hz < envelope::RESONANCE_LOW_HZ;
+            let crossed_up = prev < envelope::RESONANCE_LOW_HZ && freq_hz > envelope::RESONANCE_HIGH_HZ;
+            if crossed_down || crossed_up {
+                self.resonance_crossings += 1;
+                self.damage += Self::CROSSING_DAMAGE;
+            }
+        }
+        self.last_freq_hz = Some(freq_hz);
+        // Productive output only inside the normal band.
+        if self.is_intact()
+            && (envelope::NORMAL_MIN_HZ..=envelope::NORMAL_MAX_HZ).contains(&freq_hz)
+        {
+            self.enrichment += Self::ENRICH_RATE * dt_s;
+        }
+        if self.damage >= 1.0 {
+            self.damage = 1.0;
+        }
+    }
+
+    /// Accumulated damage in `[0, 1]`.
+    pub fn damage(&self) -> f64 {
+        self.damage
+    }
+
+    /// Whether the rotor still works.
+    pub fn is_intact(&self) -> bool {
+        self.damage < 1.0
+    }
+
+    /// Whether the rotor has failed.
+    pub fn is_destroyed(&self) -> bool {
+        self.damage >= 1.0
+    }
+
+    /// Cumulative enrichment output (arbitrary units).
+    pub fn enrichment_output(&self) -> f64 {
+        self.enrichment
+    }
+
+    /// How many times the rotor violently traversed the resonance band.
+    pub fn resonance_crossings(&self) -> u32 {
+        self.resonance_crossings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_operation_is_harmless_and_productive() {
+        let mut c = Centrifuge::new();
+        for _ in 0..24 {
+            c.step(1064.0, 3_600.0);
+        }
+        assert!(c.is_intact());
+        assert_eq!(c.damage(), 0.0);
+        assert!((c.enrichment_output() - 24.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overspeed_destroys_within_minutes() {
+        let mut c = Centrifuge::new();
+        let mut seconds = 0.0;
+        while c.is_intact() && seconds < 3_600.0 {
+            c.step(1_410.0, 1.0);
+            seconds += 1.0;
+        }
+        assert!(c.is_destroyed(), "1410 Hz should destroy the rotor");
+        assert!(seconds < 1_200.0, "destruction took {seconds}s — too slow");
+        assert!(seconds > 30.0, "destruction took {seconds}s — implausibly fast");
+    }
+
+    #[test]
+    fn resonance_crossings_accumulate() {
+        let mut c = Centrifuge::new();
+        // Oscillate 1064 → 2 → 1064 five times (violent traversals).
+        for _ in 0..5 {
+            c.step(1_064.0, 1.0);
+            c.step(2.0, 1.0);
+        }
+        assert_eq!(c.resonance_crossings(), 9); // 5 down + 4 up
+        assert!(c.damage() > 0.9);
+    }
+
+    #[test]
+    fn attack_sequence_1410_2_1064_kills() {
+        // The paper's payload: dwell at 1410, crash to 2, return to 1064.
+        let mut c = Centrifuge::new();
+        for _ in 0..300 {
+            c.step(1_410.0, 1.0);
+        }
+        for _ in 0..60 {
+            c.step(2.0, 1.0);
+        }
+        for _ in 0..300 {
+            c.step(1_064.0, 1.0);
+        }
+        assert!(c.is_destroyed());
+    }
+
+    #[test]
+    fn destroyed_rotor_stops_responding() {
+        let mut c = Centrifuge::new();
+        while c.is_intact() {
+            c.step(1_500.0, 10.0);
+        }
+        let out = c.enrichment_output();
+        c.step(1_064.0, 3_600.0);
+        assert_eq!(c.enrichment_output(), out, "no output after destruction");
+        assert_eq!(c.damage(), 1.0);
+    }
+
+    #[test]
+    fn slow_ramps_through_resonance_do_not_count() {
+        let mut c = Centrifuge::new();
+        // A slow controlled ramp passes *through* the band across steps
+        // (e.g. 300 → 150 → 30): never jumping over it entirely.
+        for f in [300.0, 150.0, 30.0, 150.0, 300.0, 600.0, 1_000.0] {
+            c.step(f, 5.0);
+        }
+        assert_eq!(c.resonance_crossings(), 0);
+        assert!(c.is_intact());
+    }
+}

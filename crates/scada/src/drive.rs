@@ -1,0 +1,140 @@
+//! Frequency converter drives.
+//!
+//! Stuxnet's payload only armed when the PLC drove frequency converters from
+//! two specific vendors — one Iranian, one Finnish — over Profibus. Vendor
+//! identity is therefore first-class here: it is the targeting predicate of
+//! experiment E3.
+
+use serde::{Deserialize, Serialize};
+
+/// Manufacturer of a frequency converter drive.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DriveVendor {
+    /// The Finnish manufacturer named in public Stuxnet analyses.
+    Vacon,
+    /// The Iranian manufacturer named in public Stuxnet analyses.
+    FararoPaya,
+    /// Any other manufacturer (payload must stay dormant).
+    Other(String),
+}
+
+impl DriveVendor {
+    /// Whether this vendor is on the payload's target list.
+    pub fn is_targeted(&self) -> bool {
+        matches!(self, DriveVendor::Vacon | DriveVendor::FararoPaya)
+    }
+}
+
+/// A variable-frequency drive: follows its setpoint at a bounded slew rate.
+///
+/// # Examples
+///
+/// ```
+/// use malsim_scada::drive::{DriveVendor, FrequencyDrive};
+///
+/// let mut d = FrequencyDrive::new(DriveVendor::Vacon, 1064.0);
+/// d.set_setpoint(1410.0);
+/// d.step(1.0);
+/// assert!(d.frequency_hz() > 1064.0 && d.frequency_hz() < 1410.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyDrive {
+    vendor: DriveVendor,
+    frequency_hz: f64,
+    setpoint_hz: f64,
+    /// Maximum frequency change per second.
+    slew_hz_per_s: f64,
+}
+
+impl FrequencyDrive {
+    /// Default slew rate (Hz/s) — the paper's attack relied on commanded
+    /// swings of ~1400 Hz, so transitions take tens of seconds.
+    pub const DEFAULT_SLEW: f64 = 40.0;
+
+    /// Creates a drive at `initial_hz` with the default slew rate.
+    pub fn new(vendor: DriveVendor, initial_hz: f64) -> Self {
+        FrequencyDrive {
+            vendor,
+            frequency_hz: initial_hz,
+            setpoint_hz: initial_hz,
+            slew_hz_per_s: Self::DEFAULT_SLEW,
+        }
+    }
+
+    /// The manufacturer.
+    pub fn vendor(&self) -> &DriveVendor {
+        &self.vendor
+    }
+
+    /// Current output frequency.
+    pub fn frequency_hz(&self) -> f64 {
+        self.frequency_hz
+    }
+
+    /// Current setpoint.
+    pub fn setpoint_hz(&self) -> f64 {
+        self.setpoint_hz
+    }
+
+    /// Commands a new setpoint (clamped to `[0, 2000]`).
+    pub fn set_setpoint(&mut self, hz: f64) {
+        self.setpoint_hz = hz.clamp(0.0, 2_000.0);
+    }
+
+    /// Advances the drive by `dt_s` seconds, slewing toward the setpoint.
+    pub fn step(&mut self, dt_s: f64) {
+        let max_delta = self.slew_hz_per_s * dt_s;
+        let delta = (self.setpoint_hz - self.frequency_hz).clamp(-max_delta, max_delta);
+        self.frequency_hz += delta;
+    }
+
+    /// Whether the drive has settled at its setpoint.
+    pub fn is_settled(&self) -> bool {
+        (self.frequency_hz - self.setpoint_hz).abs() < 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn targeting_predicate() {
+        assert!(DriveVendor::Vacon.is_targeted());
+        assert!(DriveVendor::FararoPaya.is_targeted());
+        assert!(!DriveVendor::Other("Siemens".into()).is_targeted());
+    }
+
+    #[test]
+    fn slews_toward_setpoint() {
+        let mut d = FrequencyDrive::new(DriveVendor::Vacon, 1000.0);
+        d.set_setpoint(1400.0);
+        d.step(5.0); // 200 Hz max
+        assert!((d.frequency_hz() - 1200.0).abs() < 1e-9);
+        d.step(10.0);
+        assert!(d.is_settled());
+        assert_eq!(d.frequency_hz(), 1400.0);
+    }
+
+    #[test]
+    fn slews_downward_too() {
+        let mut d = FrequencyDrive::new(DriveVendor::FararoPaya, 1410.0);
+        d.set_setpoint(2.0);
+        d.step(10.0);
+        assert!((d.frequency_hz() - 1010.0).abs() < 1e-9);
+        for _ in 0..10 {
+            d.step(10.0);
+        }
+        assert!(d.is_settled());
+        assert_eq!(d.frequency_hz(), 2.0);
+    }
+
+    #[test]
+    fn setpoint_is_clamped() {
+        let mut d = FrequencyDrive::new(DriveVendor::Vacon, 0.0);
+        d.set_setpoint(99_999.0);
+        assert_eq!(d.setpoint_hz(), 2_000.0);
+        d.set_setpoint(-5.0);
+        assert_eq!(d.setpoint_hz(), 0.0);
+    }
+}

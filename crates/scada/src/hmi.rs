@@ -1,0 +1,246 @@
+//! Operator HMI and the digital safety system — and the record/replay
+//! falsification that blinds both.
+//!
+//! The paper: while the payload runs, Stuxnet feeds previously recorded
+//! normal operating frequencies to the PLC operator and to the digital
+//! safety system, so everything appears normal while the rotors are driven
+//! to destruction. [`TelemetryTap`] models that interposition: in `Record`
+//! mode it stores readings; in `Replay` mode it serves the recording instead
+//! of live values.
+
+use serde::{Deserialize, Serialize};
+
+use crate::centrifuge::envelope;
+use crate::plc::Plc;
+
+/// What the telemetry path is doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TapMode {
+    /// Pass live values through (and optionally record them).
+    Passthrough,
+    /// Pass live values through while recording them for later replay.
+    Record,
+    /// Serve recorded values instead of live ones.
+    Replay,
+}
+
+/// The interposition point between drive telemetry and its consumers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryTap {
+    mode: TapMode,
+    recording: Vec<Vec<f64>>,
+    replay_cursor: usize,
+}
+
+impl Default for TelemetryTap {
+    fn default() -> Self {
+        TelemetryTap::new()
+    }
+}
+
+impl TelemetryTap {
+    /// Creates a passthrough tap.
+    pub fn new() -> Self {
+        TelemetryTap { mode: TapMode::Passthrough, recording: Vec::new(), replay_cursor: 0 }
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> TapMode {
+        self.mode
+    }
+
+    /// Switches mode. Entering `Replay` with an empty recording keeps the
+    /// tap in its current mode (nothing to serve).
+    pub fn set_mode(&mut self, mode: TapMode) {
+        if mode == TapMode::Replay && self.recording.is_empty() {
+            return;
+        }
+        self.mode = mode;
+        if mode == TapMode::Replay {
+            self.replay_cursor = 0;
+        }
+    }
+
+    /// Number of recorded frames.
+    pub fn recorded_frames(&self) -> usize {
+        self.recording.len()
+    }
+
+    /// Produces the frequencies a consumer sees for this sampling instant.
+    pub fn observe(&mut self, plc: &Plc) -> Vec<f64> {
+        let live: Vec<f64> = plc.drives().iter().map(|d| d.frequency_hz()).collect();
+        match self.mode {
+            TapMode::Passthrough => live,
+            TapMode::Record => {
+                self.recording.push(live.clone());
+                live
+            }
+            TapMode::Replay => {
+                let frame = self.recording[self.replay_cursor % self.recording.len()].clone();
+                self.replay_cursor += 1;
+                frame
+            }
+        }
+    }
+}
+
+/// The digital safety system: trips (commands an emergency stop) when any
+/// observed frequency leaves the safe envelope.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SafetySystem {
+    tripped: bool,
+    observations: u64,
+}
+
+impl SafetySystem {
+    /// Creates an armed safety system.
+    pub fn new() -> Self {
+        SafetySystem::default()
+    }
+
+    /// Evaluates one telemetry frame; returns whether the system tripped on
+    /// this frame. Margins: 5% outside the normal band.
+    pub fn evaluate(&mut self, frequencies: &[f64]) -> bool {
+        self.observations += 1;
+        let low = envelope::NORMAL_MIN_HZ * 0.5;
+        let high = envelope::NORMAL_MAX_HZ * 1.05;
+        let out_of_band = frequencies.iter().any(|&f| f < low || f > high);
+        if out_of_band && !self.tripped {
+            self.tripped = true;
+            return true;
+        }
+        false
+    }
+
+    /// Whether the system has tripped.
+    pub fn is_tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// How many frames it has evaluated.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+}
+
+/// The operator's display: remembers the last frame and whether anything
+/// ever looked abnormal.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OperatorView {
+    last_frame: Vec<f64>,
+    anomalies_seen: u64,
+}
+
+impl OperatorView {
+    /// Creates an empty view.
+    pub fn new() -> Self {
+        OperatorView::default()
+    }
+
+    /// Shows a frame to the operator; counts frames that look abnormal
+    /// (outside the normal band by eye).
+    pub fn show(&mut self, frequencies: &[f64]) {
+        let abnormal = frequencies
+            .iter()
+            .any(|&f| !(envelope::NORMAL_MIN_HZ..=envelope::NORMAL_MAX_HZ).contains(&f));
+        if abnormal {
+            self.anomalies_seen += 1;
+        }
+        self.last_frame = frequencies.to_vec();
+    }
+
+    /// The last frame shown.
+    pub fn last_frame(&self) -> &[f64] {
+        &self.last_frame
+    }
+
+    /// Frames that looked abnormal to the operator.
+    pub fn anomalies_seen(&self) -> u64 {
+        self.anomalies_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drive::{DriveVendor, FrequencyDrive};
+    use crate::plc::CommProcessor;
+
+    fn plc_at(freq: f64) -> Plc {
+        let mut plc = Plc::new(CommProcessor::Profibus);
+        plc.attach_drive(FrequencyDrive::new(DriveVendor::Vacon, freq));
+        plc
+    }
+
+    #[test]
+    fn passthrough_shows_live_values() {
+        let plc = plc_at(1_064.0);
+        let mut tap = TelemetryTap::new();
+        assert_eq!(tap.observe(&plc), vec![1_064.0]);
+        assert_eq!(tap.recorded_frames(), 0);
+    }
+
+    #[test]
+    fn record_then_replay_masks_live_values() {
+        let mut tap = TelemetryTap::new();
+        let normal = plc_at(1_064.0);
+        tap.set_mode(TapMode::Record);
+        for _ in 0..10 {
+            tap.observe(&normal);
+        }
+        assert_eq!(tap.recorded_frames(), 10);
+        // The attack begins: live values go wild, tap replays the recording.
+        tap.set_mode(TapMode::Replay);
+        let attacked = plc_at(1_410.0);
+        for _ in 0..25 {
+            let seen = tap.observe(&attacked);
+            assert_eq!(seen, vec![1_064.0], "operator sees recorded normal values");
+        }
+    }
+
+    #[test]
+    fn replay_requires_a_recording() {
+        let mut tap = TelemetryTap::new();
+        tap.set_mode(TapMode::Replay);
+        assert_eq!(tap.mode(), TapMode::Passthrough, "no recording yet");
+    }
+
+    #[test]
+    fn safety_trips_on_live_overspeed() {
+        let mut safety = SafetySystem::new();
+        assert!(!safety.evaluate(&[1_064.0]));
+        assert!(safety.evaluate(&[1_410.0]));
+        assert!(safety.is_tripped());
+        // Trips once; later frames don't re-trip.
+        assert!(!safety.evaluate(&[1_500.0]));
+        assert_eq!(safety.observations(), 3);
+    }
+
+    #[test]
+    fn safety_blinded_by_replay() {
+        let mut tap = TelemetryTap::new();
+        let normal = plc_at(1_064.0);
+        tap.set_mode(TapMode::Record);
+        for _ in 0..5 {
+            tap.observe(&normal);
+        }
+        tap.set_mode(TapMode::Replay);
+        let attacked = plc_at(1_410.0);
+        let mut safety = SafetySystem::new();
+        for _ in 0..100 {
+            let frame = tap.observe(&attacked);
+            safety.evaluate(&frame);
+        }
+        assert!(!safety.is_tripped(), "replayed telemetry never trips the safety system");
+    }
+
+    #[test]
+    fn operator_counts_anomalies() {
+        let mut view = OperatorView::new();
+        view.show(&[1_064.0]);
+        view.show(&[1_410.0]);
+        view.show(&[2.0]);
+        assert_eq!(view.anomalies_seen(), 2);
+        assert_eq!(view.last_frame(), &[2.0]);
+    }
+}

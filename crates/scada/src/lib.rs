@@ -1,0 +1,61 @@
+//! # malsim-scada
+//!
+//! Industrial-control substrate for the `malsim` workspace: the Step 7 /
+//! PLC / centrifuge-plant stack that the paper's Stuxnet dissection (§II)
+//! operates on.
+//!
+//! - [`drive`] — vendor-tagged frequency converter drives with bounded slew
+//!   (vendor identity is the payload's targeting predicate);
+//! - [`centrifuge`] — rotor physics: quadratic overspeed stress above the
+//!   rated band plus a damage quantum per violent resonance-band crossing,
+//!   calibrated so the published 1410 Hz → 2 Hz → 1064 Hz sequence destroys
+//!   a rotor in minutes while normal operation is harmless;
+//! - [`plc`] — code blocks, the Profibus comm processor, attached drives,
+//!   and the target-configuration predicate;
+//! - [`step7`] — the engineering software and its communication library
+//!   (`s7otbxdx.dll` model): the compromised variant hides attacker blocks
+//!   and silently drops repair writes (the PLC rootkit);
+//! - [`hmi`] — telemetry record/replay ([`hmi::TelemetryTap`]) and its
+//!   consumers: the digital safety system and the operator view, both of
+//!   which the replay blinds;
+//! - [`cascade`] — the plant: one rotor per drive, with intact counts and
+//!   enrichment output as the measured quantities.
+//!
+//! # Examples
+//!
+//! ```
+//! use malsim_scada::prelude::*;
+//!
+//! // A Natanz-like plant: Profibus PLC driving targeted-vendor drives.
+//! let mut plc = Plc::new(CommProcessor::Profibus);
+//! for _ in 0..8 {
+//!     plc.attach_drive(FrequencyDrive::new(DriveVendor::FararoPaya, 1_064.0));
+//! }
+//! assert!(plc.is_stuxnet_target_configuration());
+//!
+//! let mut cascade = Cascade::for_plc(&plc);
+//! for _ in 0..3_600 {
+//!     cascade.step(&mut plc, 1.0);
+//! }
+//! assert_eq!(cascade.intact_count(), 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cascade;
+pub mod centrifuge;
+pub mod drive;
+pub mod hmi;
+pub mod plc;
+pub mod step7;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::cascade::Cascade;
+    pub use crate::centrifuge::{envelope, Centrifuge};
+    pub use crate::drive::{DriveVendor, FrequencyDrive};
+    pub use crate::hmi::{OperatorView, SafetySystem, TapMode, TelemetryTap};
+    pub use crate::plc::{CodeBlock, CommProcessor, Plc, PlcId};
+    pub use crate::step7::{BlockView, CommLibrary, Step7, Step7Project, GENUINE_LIB, RENAMED_LIB};
+}

@@ -1,0 +1,216 @@
+//! The Step 7 engineering software and its PLC communication library.
+//!
+//! Step 7 talks to the PLC exclusively through a library file
+//! (`s7otbxdx.dll` in the real product). Stuxnet renamed the genuine library
+//! to `s7otbxsx.dll` and installed its own shim exporting the same read and
+//! write routines — intercepting every block transfer in both directions.
+//! [`CommLibrary`] models exactly that interposition point.
+
+use serde::{Deserialize, Serialize};
+
+use crate::plc::{CodeBlock, Plc};
+
+/// Canonical file name of the genuine comm library.
+pub const GENUINE_LIB: &str = "s7otbxdx.dll";
+/// Name Stuxnet gives the renamed genuine library.
+pub const RENAMED_LIB: &str = "s7otbxsx.dll";
+
+/// The PLC communication library a Step 7 installation calls through.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommLibrary {
+    /// The vendor's library: reads and writes pass through unmodified.
+    Genuine,
+    /// The attacker's shim: hides attacker-written blocks from reads,
+    /// refuses writes that would overwrite them, and passes everything else
+    /// through (the "PLC rootkit" of the paper's §II-C).
+    Compromised,
+}
+
+/// Result of a block read through the library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockView {
+    /// The block as stored.
+    Block(CodeBlock),
+    /// The library reports the block as absent.
+    NotFound,
+}
+
+impl CommLibrary {
+    /// Reads a block through the library.
+    ///
+    /// The compromised library hides attacker-written blocks entirely and
+    /// returns pristine-looking views of patched entry points.
+    pub fn read_block(&self, plc: &Plc, name: &str) -> BlockView {
+        match plc.read_block_raw(name) {
+            None => BlockView::NotFound,
+            Some(block) => match self {
+                CommLibrary::Genuine => BlockView::Block(block.clone()),
+                CommLibrary::Compromised => {
+                    if block.attacker_written {
+                        BlockView::NotFound
+                    } else {
+                        BlockView::Block(block.clone())
+                    }
+                }
+            },
+        }
+    }
+
+    /// Lists block names through the library (hiding attacker blocks on the
+    /// compromised path).
+    pub fn list_blocks(&self, plc: &Plc) -> Vec<String> {
+        plc.block_names()
+            .into_iter()
+            .filter(|n| match self {
+                CommLibrary::Genuine => true,
+                CommLibrary::Compromised => {
+                    !plc.read_block_raw(n).is_some_and(|b| b.attacker_written)
+                }
+            })
+            .map(str::to_owned)
+            .collect()
+    }
+
+    /// Writes a block through the library. Returns `false` when the write
+    /// was silently dropped (the compromised library protecting an infected
+    /// block from being repaired).
+    pub fn write_block(&self, plc: &mut Plc, block: CodeBlock) -> bool {
+        match self {
+            CommLibrary::Genuine => {
+                plc.write_block(block);
+                true
+            }
+            CommLibrary::Compromised => {
+                let protected =
+                    plc.read_block_raw(&block.name).is_some_and(|b| b.attacker_written);
+                if protected {
+                    false
+                } else {
+                    plc.write_block(block);
+                    true
+                }
+            }
+        }
+    }
+}
+
+/// A Step 7 project on an engineering station.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Step7Project {
+    /// Project name.
+    pub name: String,
+    /// Whether the project folder has been contaminated (Stuxnet drops DLLs
+    /// there so the project re-infects any machine that opens it).
+    pub contaminated: bool,
+}
+
+/// A Step 7 installation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Step7 {
+    /// The library all PLC traffic goes through.
+    pub comm_library: CommLibrary,
+    /// Projects known to this installation.
+    pub projects: Vec<Step7Project>,
+}
+
+impl Default for Step7 {
+    fn default() -> Self {
+        Step7::new()
+    }
+}
+
+impl Step7 {
+    /// Creates a clean installation.
+    pub fn new() -> Self {
+        Step7 { comm_library: CommLibrary::Genuine, projects: Vec::new() }
+    }
+
+    /// Adds a project.
+    pub fn add_project(&mut self, name: impl Into<String>) {
+        self.projects.push(Step7Project { name: name.into(), contaminated: false });
+    }
+
+    /// Whether the installation's comm library has been replaced.
+    pub fn is_compromised(&self) -> bool {
+        self.comm_library == CommLibrary::Compromised
+    }
+
+    /// Replaces the comm library with the attacker shim (models the
+    /// rename + drop of the fake `s7otbxdx.dll`).
+    pub fn compromise(&mut self) {
+        self.comm_library = CommLibrary::Compromised;
+    }
+
+    /// Restores the genuine library (incident response).
+    pub fn restore(&mut self) {
+        self.comm_library = CommLibrary::Genuine;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plc::{CommProcessor, Plc};
+
+    fn infected_plc() -> Plc {
+        let mut plc = Plc::new(CommProcessor::Profibus);
+        plc.write_block(CodeBlock {
+            name: "FC1869".into(),
+            body: b"attack".to_vec(),
+            attacker_written: true,
+        });
+        plc
+    }
+
+    #[test]
+    fn genuine_library_sees_everything() {
+        let plc = infected_plc();
+        let lib = CommLibrary::Genuine;
+        assert!(matches!(lib.read_block(&plc, "FC1869"), BlockView::Block(_)));
+        assert_eq!(lib.list_blocks(&plc), vec!["FC1869".to_owned(), "OB1".to_owned()]);
+    }
+
+    #[test]
+    fn compromised_library_hides_attacker_blocks() {
+        let plc = infected_plc();
+        let lib = CommLibrary::Compromised;
+        assert_eq!(lib.read_block(&plc, "FC1869"), BlockView::NotFound);
+        assert_eq!(lib.list_blocks(&plc), vec!["OB1".to_owned()]);
+        assert!(matches!(lib.read_block(&plc, "OB1"), BlockView::Block(_)));
+    }
+
+    #[test]
+    fn compromised_library_blocks_repair_writes() {
+        let mut plc = infected_plc();
+        let lib = CommLibrary::Compromised;
+        let repair = CodeBlock { name: "FC1869".into(), body: b"clean".to_vec(), attacker_written: false };
+        assert!(!lib.write_block(&mut plc, repair.clone()), "repair silently dropped");
+        assert_eq!(plc.read_block_raw("FC1869").unwrap().body, b"attack");
+        // Genuine library would repair it.
+        assert!(CommLibrary::Genuine.write_block(&mut plc, repair));
+        assert_eq!(plc.read_block_raw("FC1869").unwrap().body, b"clean");
+        assert!(!plc.is_infected());
+    }
+
+    #[test]
+    fn ordinary_writes_pass_through_compromised_library() {
+        let mut plc = infected_plc();
+        let lib = CommLibrary::Compromised;
+        let ob2 = CodeBlock { name: "OB2".into(), body: b"new logic".to_vec(), attacker_written: false };
+        assert!(lib.write_block(&mut plc, ob2));
+        assert!(plc.read_block_raw("OB2").is_some());
+    }
+
+    #[test]
+    fn step7_lifecycle() {
+        let mut s7 = Step7::new();
+        assert!(!s7.is_compromised());
+        s7.add_project("cascade-a");
+        s7.compromise();
+        assert!(s7.is_compromised());
+        s7.restore();
+        assert!(!s7.is_compromised());
+        assert_eq!(s7.projects.len(), 1);
+        assert!(!s7.projects[0].contaminated);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the SCADA substrate: physics invariants, targeting
+//! predicates, and rootkit consistency.
+
+use malsim_scada::prelude::*;
+use proptest::prelude::*;
+
+fn vendor_strategy() -> impl Strategy<Value = DriveVendor> {
+    prop_oneof![
+        Just(DriveVendor::Vacon),
+        Just(DriveVendor::FararoPaya),
+        "[A-Z][a-z]{2,8}".prop_map(DriveVendor::Other),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn damage_is_monotone_and_bounded(freqs in proptest::collection::vec(0.0f64..2_000.0, 1..200)) {
+        let mut c = Centrifuge::new();
+        let mut last = 0.0;
+        for f in freqs {
+            c.step(f, 10.0);
+            prop_assert!(c.damage() >= last, "damage decreased");
+            prop_assert!(c.damage() <= 1.0);
+            last = c.damage();
+        }
+    }
+
+    #[test]
+    fn normal_band_operation_never_damages(
+        freqs in proptest::collection::vec(envelope::NORMAL_MIN_HZ..envelope::NORMAL_MAX_HZ, 1..100)
+    ) {
+        let mut c = Centrifuge::new();
+        for f in &freqs {
+            c.step(*f, 60.0);
+        }
+        prop_assert_eq!(c.damage(), 0.0);
+        prop_assert!(c.enrichment_output() > 0.0);
+    }
+
+    #[test]
+    fn enrichment_never_decreases(freqs in proptest::collection::vec(0.0f64..2_000.0, 1..100)) {
+        let mut c = Centrifuge::new();
+        let mut last = 0.0;
+        for f in freqs {
+            c.step(f, 30.0);
+            prop_assert!(c.enrichment_output() >= last);
+            last = c.enrichment_output();
+        }
+    }
+
+    #[test]
+    fn drive_always_converges_to_setpoint(
+        start in 0.0f64..2_000.0,
+        target in 0.0f64..2_000.0,
+    ) {
+        let mut d = FrequencyDrive::new(DriveVendor::Vacon, start);
+        d.set_setpoint(target);
+        // Worst case: 2000 Hz at 40 Hz/s = 50 s; give 100 steps of 1 s.
+        for _ in 0..100 {
+            d.step(1.0);
+        }
+        prop_assert!(d.is_settled(), "start={start} target={target} at {}", d.frequency_hz());
+        prop_assert!((d.frequency_hz() - target).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drive_never_overshoots(start in 0.0f64..2_000.0, target in 0.0f64..2_000.0) {
+        let mut d = FrequencyDrive::new(DriveVendor::Vacon, start);
+        d.set_setpoint(target);
+        let (lo, hi) = if start <= target { (start, target) } else { (target, start) };
+        for _ in 0..200 {
+            d.step(0.7);
+            prop_assert!(d.frequency_hz() >= lo - 1e-9 && d.frequency_hz() <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn targeting_predicate_matches_definition(
+        comm in prop_oneof![Just(CommProcessor::Profibus), Just(CommProcessor::Ethernet), Just(CommProcessor::Other)],
+        vendors in proptest::collection::vec(vendor_strategy(), 0..6),
+    ) {
+        let mut plc = Plc::new(comm);
+        for v in &vendors {
+            plc.attach_drive(FrequencyDrive::new(v.clone(), 1_000.0));
+        }
+        let expected = comm == CommProcessor::Profibus
+            && !vendors.is_empty()
+            && vendors.iter().all(DriveVendor::is_targeted);
+        prop_assert_eq!(plc.is_stuxnet_target_configuration(), expected);
+    }
+
+    #[test]
+    fn compromised_library_view_is_exactly_the_clean_blocks(
+        names in proptest::collection::btree_set("[A-Z]{2}[0-9]{1,3}", 1..10),
+        attacker_mask in proptest::collection::vec(any::<bool>(), 1..10),
+    ) {
+        let mut plc = Plc::new(CommProcessor::Profibus);
+        let names: Vec<String> = names.into_iter().collect();
+        for (i, name) in names.iter().enumerate() {
+            plc.write_block(CodeBlock {
+                name: name.clone(),
+                body: vec![i as u8],
+                attacker_written: attacker_mask.get(i).copied().unwrap_or(false),
+            });
+        }
+        let hidden_view = CommLibrary::Compromised.list_blocks(&plc);
+        let full_view = CommLibrary::Genuine.list_blocks(&plc);
+        prop_assert!(hidden_view.len() <= full_view.len());
+        for name in &full_view {
+            let attacker = plc.read_block_raw(name).unwrap().attacker_written;
+            prop_assert_eq!(hidden_view.contains(name), !attacker, "block {}", name);
+            // Reads agree with listings.
+            let via_rootkit = CommLibrary::Compromised.read_block(&plc, name);
+            prop_assert_eq!(matches!(via_rootkit, BlockView::NotFound), attacker);
+        }
+    }
+
+    #[test]
+    fn replay_serves_only_recorded_frames(
+        normal_freq in envelope::NORMAL_MIN_HZ..envelope::NORMAL_MAX_HZ,
+        attack_freq in 1_300.0f64..2_000.0,
+        frames in 1usize..20,
+    ) {
+        let mut plc = Plc::new(CommProcessor::Profibus);
+        plc.attach_drive(FrequencyDrive::new(DriveVendor::Vacon, normal_freq));
+        let mut tap = TelemetryTap::new();
+        tap.set_mode(TapMode::Record);
+        for _ in 0..frames {
+            tap.observe(&plc);
+        }
+        tap.set_mode(TapMode::Replay);
+        plc.drives_mut()[0].set_setpoint(attack_freq);
+        for _ in 0..100 {
+            plc.step_drives(1.0);
+        }
+        let mut safety = SafetySystem::new();
+        for _ in 0..frames * 3 {
+            let seen = tap.observe(&plc);
+            prop_assert_eq!(seen.clone(), vec![normal_freq], "replay leaked a live value");
+            safety.evaluate(&seen);
+        }
+        prop_assert!(!safety.is_tripped());
+    }
+}

@@ -1,0 +1,160 @@
+//! Abstract syntax tree for Flua.
+
+use crate::error::SourcePos;
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `..`
+    Concat,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and` (short-circuit)
+    And,
+    /// `or` (short-circuit)
+    Or,
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `not`
+    Not,
+}
+
+/// An expression node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `nil`
+    Nil,
+    /// Boolean literal.
+    Bool(bool),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// Variable reference.
+    Var(String),
+    /// List literal `[a, b, c]`.
+    List(Vec<Expr>),
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Function call `name(args…)`.
+    Call {
+        /// Callee name (script function or host function).
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Call-site position (for error reporting).
+        pos: SourcePos,
+    },
+    /// Indexing `expr[expr]`.
+    Index {
+        /// The list expression.
+        target: Box<Expr>,
+        /// The index expression.
+        index: Box<Expr>,
+    },
+}
+
+/// A statement node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let name = expr` — declares in the current scope.
+    Let {
+        /// Variable name.
+        name: String,
+        /// Initializer.
+        value: Expr,
+    },
+    /// `name = expr` — assigns to an existing variable (or creates a global).
+    Assign {
+        /// Variable name.
+        name: String,
+        /// New value.
+        value: Expr,
+    },
+    /// `if cond then … [elseif …]* [else …] end`.
+    If {
+        /// `(condition, body)` arms in order: the `if` and any `elseif`s.
+        arms: Vec<(Expr, Vec<Stmt>)>,
+        /// The `else` body, if present.
+        otherwise: Option<Vec<Stmt>>,
+    },
+    /// `while cond do … end`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `for name in list do … end` — iterates a list's elements.
+    ForIn {
+        /// Loop variable.
+        name: String,
+        /// Expression yielding a list.
+        iterable: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `break` out of the innermost loop.
+    Break,
+    /// `return [expr]`.
+    Return(Option<Expr>),
+    /// An expression evaluated for side effects (function calls).
+    Expr(Expr),
+    /// `fn name(params) … end`.
+    FnDef {
+        /// Function name.
+        name: String,
+        /// Parameter names.
+        params: Vec<String>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+}
+
+/// A whole program: a sequence of statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Top-level statements.
+    pub stmts: Vec<Stmt>,
+}

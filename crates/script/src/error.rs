@@ -1,0 +1,125 @@
+//! Errors for compilation and execution of Flua scripts.
+
+use std::error::Error;
+use std::fmt;
+
+/// Where in the source an error occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourcePos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for SourcePos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A compile-time error (lexing, parsing, or code generation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileScriptError {
+    /// Position of the offending token.
+    pub pos: SourcePos,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for CompileScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compile error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl Error for CompileScriptError {}
+
+/// A runtime error raised by the VM or a host function.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunScriptError {
+    /// An operation was applied to incompatible value types.
+    TypeMismatch {
+        /// The operation, e.g. `"+"`.
+        op: String,
+        /// Description of what was found.
+        found: String,
+    },
+    /// A name was read before any assignment.
+    UndefinedVariable(String),
+    /// A function name was called that neither the script nor the host
+    /// defines.
+    UndefinedFunction(String),
+    /// Wrong number of call arguments.
+    ArityMismatch {
+        /// Function name.
+        name: String,
+        /// Declared parameter count.
+        expected: usize,
+        /// Call-site argument count.
+        got: usize,
+    },
+    /// Division or modulo by zero.
+    DivisionByZero,
+    /// List index out of range or not an integer.
+    BadIndex(String),
+    /// The fuel budget ran out — guards against runaway scripts pushed from
+    /// a C&C server.
+    OutOfFuel,
+    /// Value stack exceeded its limit (runaway recursion).
+    StackOverflow,
+    /// A host function reported an error.
+    Host(String),
+}
+
+impl fmt::Display for RunScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunScriptError::TypeMismatch { op, found } => {
+                write!(f, "type mismatch for '{op}': {found}")
+            }
+            RunScriptError::UndefinedVariable(n) => write!(f, "undefined variable '{n}'"),
+            RunScriptError::UndefinedFunction(n) => write!(f, "undefined function '{n}'"),
+            RunScriptError::ArityMismatch { name, expected, got } => {
+                write!(f, "function '{name}' expects {expected} args, got {got}")
+            }
+            RunScriptError::DivisionByZero => write!(f, "division by zero"),
+            RunScriptError::BadIndex(m) => write!(f, "bad index: {m}"),
+            RunScriptError::OutOfFuel => write!(f, "script exceeded its fuel budget"),
+            RunScriptError::StackOverflow => write!(f, "script stack overflow"),
+            RunScriptError::Host(m) => write!(f, "host error: {m}"),
+        }
+    }
+}
+
+impl Error for RunScriptError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_compile_error() {
+        let e = CompileScriptError {
+            pos: SourcePos { line: 3, col: 7 },
+            message: "unexpected token".into(),
+        };
+        assert_eq!(e.to_string(), "compile error at 3:7: unexpected token");
+    }
+
+    #[test]
+    fn display_run_errors() {
+        assert!(RunScriptError::OutOfFuel.to_string().contains("fuel"));
+        assert!(RunScriptError::UndefinedFunction("f".into()).to_string().contains("'f'"));
+        assert!(RunScriptError::ArityMismatch { name: "g".into(), expected: 2, got: 3 }
+            .to_string()
+            .contains("expects 2"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: Error + Send + Sync + 'static>(_: E) {}
+        assert_err(RunScriptError::DivisionByZero);
+        assert_err(CompileScriptError { pos: SourcePos { line: 1, col: 1 }, message: String::new() });
+    }
+}

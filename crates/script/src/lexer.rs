@@ -1,0 +1,374 @@
+//! Lexer for the Flua language.
+
+use crate::error::{CompileScriptError, SourcePos};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    // literals
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Num(f64),
+    /// String literal (already unescaped).
+    Str(String),
+    /// Identifier.
+    Ident(String),
+    // keywords
+    /// `let`
+    Let,
+    /// `fn`
+    Fn,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `elseif`
+    Elseif,
+    /// `while`
+    While,
+    /// `do`
+    Do,
+    /// `end`
+    End,
+    /// `return`
+    Return,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `nil`
+    Nil,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+    /// `for`
+    For,
+    /// `in`
+    In,
+    /// `break`
+    Break,
+    // symbols
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `..` string concatenation
+    Concat,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Assign,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Where it starts.
+    pub pos: SourcePos,
+}
+
+/// Lexes a source string into tokens (always ending with [`Token::Eof`]).
+///
+/// # Errors
+///
+/// Returns a [`CompileScriptError`] on unterminated strings, malformed
+/// numbers, or unexpected characters.
+///
+/// # Examples
+///
+/// ```
+/// use malsim_script::lexer::{lex, Token};
+///
+/// let toks = lex("let x = 1 + 2")?;
+/// assert_eq!(toks[0].token, Token::Let);
+/// assert_eq!(toks.last().unwrap().token, Token::Eof);
+/// # Ok::<(), malsim_script::error::CompileScriptError>(())
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileScriptError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    macro_rules! pos {
+        () => {
+            SourcePos { line, col }
+        };
+    }
+    macro_rules! err {
+        ($p:expr, $($arg:tt)*) => {
+            return Err(CompileScriptError { pos: $p, message: format!($($arg)*) })
+        };
+    }
+    while i < bytes.len() {
+        let c = bytes[i];
+        let start = pos!();
+        match c {
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            '#' => {
+                // comment to end of line
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == '.') {
+                    if bytes[j] == '.' {
+                        // `..` is concat, not part of a number
+                        if j + 1 < bytes.len() && bytes[j + 1] == '.' {
+                            break;
+                        }
+                        if is_float {
+                            break;
+                        }
+                        is_float = true;
+                    }
+                    j += 1;
+                }
+                let text: String = bytes[i..j].iter().collect();
+                let token = if is_float {
+                    match text.parse::<f64>() {
+                        Ok(v) => Token::Num(v),
+                        Err(_) => err!(start, "malformed number '{text}'"),
+                    }
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => Token::Int(v),
+                        Err(_) => err!(start, "integer literal '{text}' out of range"),
+                    }
+                };
+                out.push(Spanned { token, pos: start });
+                col += (j - i) as u32;
+                i = j;
+            }
+            '"' => {
+                let mut j = i + 1;
+                let mut s = String::new();
+                let mut closed = false;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        '"' => {
+                            closed = true;
+                            j += 1;
+                            break;
+                        }
+                        '\\' => {
+                            j += 1;
+                            if j >= bytes.len() {
+                                break;
+                            }
+                            s.push(match bytes[j] {
+                                'n' => '\n',
+                                't' => '\t',
+                                '\\' => '\\',
+                                '"' => '"',
+                                other => err!(start, "unknown escape '\\{other}'"),
+                            });
+                            j += 1;
+                        }
+                        '\n' => err!(start, "unterminated string"),
+                        other => {
+                            s.push(other);
+                            j += 1;
+                        }
+                    }
+                }
+                if !closed {
+                    err!(start, "unterminated string");
+                }
+                out.push(Spanned { token: Token::Str(s), pos: start });
+                col += (j - i) as u32;
+                i = j;
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                let word: String = bytes[i..j].iter().collect();
+                let token = match word.as_str() {
+                    "let" => Token::Let,
+                    "fn" => Token::Fn,
+                    "if" => Token::If,
+                    "then" => Token::Then,
+                    "else" => Token::Else,
+                    "elseif" => Token::Elseif,
+                    "while" => Token::While,
+                    "do" => Token::Do,
+                    "end" => Token::End,
+                    "return" => Token::Return,
+                    "true" => Token::True,
+                    "false" => Token::False,
+                    "nil" => Token::Nil,
+                    "and" => Token::And,
+                    "or" => Token::Or,
+                    "not" => Token::Not,
+                    "for" => Token::For,
+                    "in" => Token::In,
+                    "break" => Token::Break,
+                    _ => Token::Ident(word),
+                };
+                out.push(Spanned { token, pos: start });
+                col += (j - i) as u32;
+                i = j;
+            }
+            _ => {
+                // symbols, longest first
+                let two: String = bytes[i..(i + 2).min(bytes.len())].iter().collect();
+                let (token, len) = match two.as_str() {
+                    ".." => (Token::Concat, 2),
+                    "==" => (Token::EqEq, 2),
+                    "!=" => (Token::NotEq, 2),
+                    "<=" => (Token::Le, 2),
+                    ">=" => (Token::Ge, 2),
+                    _ => match c {
+                        '+' => (Token::Plus, 1),
+                        '-' => (Token::Minus, 1),
+                        '*' => (Token::Star, 1),
+                        '/' => (Token::Slash, 1),
+                        '%' => (Token::Percent, 1),
+                        '<' => (Token::Lt, 1),
+                        '>' => (Token::Gt, 1),
+                        '=' => (Token::Assign, 1),
+                        '(' => (Token::LParen, 1),
+                        ')' => (Token::RParen, 1),
+                        '[' => (Token::LBracket, 1),
+                        ']' => (Token::RBracket, 1),
+                        ',' => (Token::Comma, 1),
+                        other => err!(start, "unexpected character '{other}'"),
+                    },
+                };
+                out.push(Spanned { token, pos: start });
+                i += len;
+                col += len as u32;
+            }
+        }
+    }
+    out.push(Spanned { token: Token::Eof, pos: pos!() });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("let x = foo"),
+            vec![Token::Let, Token::Ident("x".into()), Token::Assign, Token::Ident("foo".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("42"), vec![Token::Int(42), Token::Eof]);
+        assert_eq!(kinds("3.5"), vec![Token::Num(3.5), Token::Eof]);
+        assert_eq!(kinds("1..2"), vec![Token::Int(1), Token::Concat, Token::Int(2), Token::Eof]);
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(kinds(r#""a\nb""#), vec![Token::Str("a\nb".into()), Token::Eof]);
+        assert_eq!(kinds(r#""q\"q""#), vec![Token::Str("q\"q".into()), Token::Eof]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("\"abc\ndef\"").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(kinds("1 # comment\n2"), vec![Token::Int(1), Token::Int(2), Token::Eof]);
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("a == b != c <= d >= e"),
+            vec![
+                Token::Ident("a".into()),
+                Token::EqEq,
+                Token::Ident("b".into()),
+                Token::NotEq,
+                Token::Ident("c".into()),
+                Token::Le,
+                Token::Ident("d".into()),
+                Token::Ge,
+                Token::Ident("e".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, SourcePos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, SourcePos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        let err = lex("a @ b").unwrap_err();
+        assert!(err.message.contains('@'));
+        assert_eq!(err.pos.col, 3);
+    }
+
+    #[test]
+    fn integer_overflow_errors() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+}

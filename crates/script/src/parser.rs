@@ -1,0 +1,467 @@
+//! Recursive-descent parser for Flua.
+
+use crate::ast::{BinOp, Expr, Program, Stmt, UnOp};
+use crate::error::{CompileScriptError, SourcePos};
+use crate::lexer::{lex, Spanned, Token};
+
+/// Parses a source string into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`CompileScriptError`] describing the first syntax error.
+///
+/// # Examples
+///
+/// ```
+/// use malsim_script::parser::parse;
+///
+/// let prog = parse("let x = 1 + 2\nreport(x)")?;
+/// assert_eq!(prog.stmts.len(), 2);
+/// # Ok::<(), malsim_script::error::CompileScriptError>(())
+/// ```
+pub fn parse(source: &str) -> Result<Program, CompileScriptError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmts = p.block(&[Token::Eof])?;
+    p.expect(Token::Eof)?;
+    Ok(Program { stmts })
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn peek_pos(&self) -> SourcePos {
+        self.tokens[self.pos].pos
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, CompileScriptError> {
+        Err(CompileScriptError { pos: self.peek_pos(), message: message.into() })
+    }
+
+    fn expect(&mut self, token: Token) -> Result<(), CompileScriptError> {
+        if *self.peek() == token {
+            self.advance();
+            Ok(())
+        } else {
+            self.err(format!("expected {token:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CompileScriptError> {
+        match self.peek().clone() {
+            Token::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Parses statements until one of `terminators` is the next token
+    /// (which is left unconsumed).
+    fn block(&mut self, terminators: &[Token]) -> Result<Vec<Stmt>, CompileScriptError> {
+        let mut stmts = Vec::new();
+        while !terminators.contains(self.peek()) {
+            if *self.peek() == Token::Eof {
+                return self.err("unexpected end of input inside block");
+            }
+            stmts.push(self.statement()?);
+        }
+        Ok(stmts)
+    }
+
+    fn statement(&mut self) -> Result<Stmt, CompileScriptError> {
+        match self.peek().clone() {
+            Token::Let => {
+                self.advance();
+                let name = self.ident()?;
+                self.expect(Token::Assign)?;
+                let value = self.expression()?;
+                Ok(Stmt::Let { name, value })
+            }
+            Token::Fn => {
+                self.advance();
+                let name = self.ident()?;
+                self.expect(Token::LParen)?;
+                let mut params = Vec::new();
+                if *self.peek() != Token::RParen {
+                    loop {
+                        params.push(self.ident()?);
+                        if *self.peek() == Token::Comma {
+                            self.advance();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Token::RParen)?;
+                let body = self.block(&[Token::End])?;
+                self.expect(Token::End)?;
+                Ok(Stmt::FnDef { name, params, body })
+            }
+            Token::If => {
+                self.advance();
+                let mut arms = Vec::new();
+                let cond = self.expression()?;
+                self.expect(Token::Then)?;
+                let body = self.block(&[Token::Elseif, Token::Else, Token::End])?;
+                arms.push((cond, body));
+                let mut otherwise = None;
+                loop {
+                    match self.peek().clone() {
+                        Token::Elseif => {
+                            self.advance();
+                            let c = self.expression()?;
+                            self.expect(Token::Then)?;
+                            let b = self.block(&[Token::Elseif, Token::Else, Token::End])?;
+                            arms.push((c, b));
+                        }
+                        Token::Else => {
+                            self.advance();
+                            otherwise = Some(self.block(&[Token::End])?);
+                            self.expect(Token::End)?;
+                            break;
+                        }
+                        Token::End => {
+                            self.advance();
+                            break;
+                        }
+                        other => return self.err(format!("expected elseif/else/end, found {other:?}")),
+                    }
+                }
+                Ok(Stmt::If { arms, otherwise })
+            }
+            Token::While => {
+                self.advance();
+                let cond = self.expression()?;
+                self.expect(Token::Do)?;
+                let body = self.block(&[Token::End])?;
+                self.expect(Token::End)?;
+                Ok(Stmt::While { cond, body })
+            }
+            Token::For => {
+                self.advance();
+                let name = self.ident()?;
+                self.expect(Token::In)?;
+                let iterable = self.expression()?;
+                self.expect(Token::Do)?;
+                let body = self.block(&[Token::End])?;
+                self.expect(Token::End)?;
+                Ok(Stmt::ForIn { name, iterable, body })
+            }
+            Token::Break => {
+                self.advance();
+                Ok(Stmt::Break)
+            }
+            Token::Return => {
+                self.advance();
+                // `return` may be bare (followed by a block terminator).
+                let value = match self.peek() {
+                    Token::End | Token::Else | Token::Elseif | Token::Eof => None,
+                    _ => Some(self.expression()?),
+                };
+                Ok(Stmt::Return(value))
+            }
+            Token::Ident(name) => {
+                // Could be assignment or an expression statement (call).
+                if self.tokens[self.pos + 1].token == Token::Assign {
+                    self.advance();
+                    self.advance();
+                    let value = self.expression()?;
+                    Ok(Stmt::Assign { name, value })
+                } else {
+                    let expr = self.expression()?;
+                    Ok(Stmt::Expr(expr))
+                }
+            }
+            other => self.err(format!("unexpected token {other:?} at statement start")),
+        }
+    }
+
+    fn expression(&mut self) -> Result<Expr, CompileScriptError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, CompileScriptError> {
+        let mut lhs = self.parse_and()?;
+        while *self.peek() == Token::Or {
+            self.advance();
+            let rhs = self.parse_and()?;
+            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, CompileScriptError> {
+        let mut lhs = self.parse_cmp()?;
+        while *self.peek() == Token::And {
+            self.advance();
+            let rhs = self.parse_cmp()?;
+            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, CompileScriptError> {
+        let lhs = self.parse_concat()?;
+        let op = match self.peek() {
+            Token::EqEq => BinOp::Eq,
+            Token::NotEq => BinOp::Ne,
+            Token::Lt => BinOp::Lt,
+            Token::Le => BinOp::Le,
+            Token::Gt => BinOp::Gt,
+            Token::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.advance();
+        let rhs = self.parse_concat()?;
+        Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+    }
+
+    fn parse_concat(&mut self) -> Result<Expr, CompileScriptError> {
+        let mut lhs = self.parse_additive()?;
+        while *self.peek() == Token::Concat {
+            self.advance();
+            let rhs = self.parse_additive()?;
+            lhs = Expr::Binary { op: BinOp::Concat, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, CompileScriptError> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinOp::Add,
+                Token::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, CompileScriptError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinOp::Mul,
+                Token::Slash => BinOp::Div,
+                Token::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, CompileScriptError> {
+        match self.peek() {
+            Token::Minus => {
+                self.advance();
+                let expr = self.parse_unary()?;
+                Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(expr) })
+            }
+            Token::Not => {
+                self.advance();
+                let expr = self.parse_unary()?;
+                Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(expr) })
+            }
+            _ => self.parse_postfix(),
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, CompileScriptError> {
+        let mut expr = self.parse_primary()?;
+        while *self.peek() == Token::LBracket {
+            self.advance();
+            let index = self.expression()?;
+            self.expect(Token::RBracket)?;
+            expr = Expr::Index { target: Box::new(expr), index: Box::new(index) };
+        }
+        Ok(expr)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, CompileScriptError> {
+        let pos = self.peek_pos();
+        match self.peek().clone() {
+            Token::Nil => {
+                self.advance();
+                Ok(Expr::Nil)
+            }
+            Token::True => {
+                self.advance();
+                Ok(Expr::Bool(true))
+            }
+            Token::False => {
+                self.advance();
+                Ok(Expr::Bool(false))
+            }
+            Token::Int(v) => {
+                self.advance();
+                Ok(Expr::Int(v))
+            }
+            Token::Num(v) => {
+                self.advance();
+                Ok(Expr::Num(v))
+            }
+            Token::Str(s) => {
+                self.advance();
+                Ok(Expr::Str(s))
+            }
+            Token::LParen => {
+                self.advance();
+                let e = self.expression()?;
+                self.expect(Token::RParen)?;
+                Ok(e)
+            }
+            Token::LBracket => {
+                self.advance();
+                let mut items = Vec::new();
+                if *self.peek() != Token::RBracket {
+                    loop {
+                        items.push(self.expression()?);
+                        if *self.peek() == Token::Comma {
+                            self.advance();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Token::RBracket)?;
+                Ok(Expr::List(items))
+            }
+            Token::Ident(name) => {
+                self.advance();
+                if *self.peek() == Token::LParen {
+                    self.advance();
+                    let mut args = Vec::new();
+                    if *self.peek() != Token::RParen {
+                        loop {
+                            args.push(self.expression()?);
+                            if *self.peek() == Token::Comma {
+                                self.advance();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Token::RParen)?;
+                    Ok(Expr::Call { name, args, pos })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => self.err(format!("unexpected token {other:?} in expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_let_and_assign() {
+        let p = parse("let a = 1\na = a + 1").unwrap();
+        assert_eq!(p.stmts.len(), 2);
+        assert!(matches!(p.stmts[0], Stmt::Let { .. }));
+        assert!(matches!(p.stmts[1], Stmt::Assign { .. }));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse("let x = 1 + 2 * 3").unwrap();
+        let Stmt::Let { value, .. } = &p.stmts[0] else { panic!() };
+        let Expr::Binary { op: BinOp::Add, rhs, .. } = value else { panic!("got {value:?}") };
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn precedence_cmp_over_and() {
+        let p = parse("let x = a < b and c > d").unwrap();
+        let Stmt::Let { value, .. } = &p.stmts[0] else { panic!() };
+        assert!(matches!(value, Expr::Binary { op: BinOp::And, .. }));
+    }
+
+    #[test]
+    fn parses_if_elseif_else() {
+        let p = parse("if a then x = 1 elseif b then x = 2 else x = 3 end").unwrap();
+        let Stmt::If { arms, otherwise } = &p.stmts[0] else { panic!() };
+        assert_eq!(arms.len(), 2);
+        assert!(otherwise.is_some());
+    }
+
+    #[test]
+    fn parses_while_and_break() {
+        let p = parse("while true do break end").unwrap();
+        let Stmt::While { body, .. } = &p.stmts[0] else { panic!() };
+        assert_eq!(body, &vec![Stmt::Break]);
+    }
+
+    #[test]
+    fn parses_for_in() {
+        let p = parse("for f in files do leak(f) end").unwrap();
+        assert!(matches!(&p.stmts[0], Stmt::ForIn { name, .. } if name == "f"));
+    }
+
+    #[test]
+    fn parses_fn_def_and_call() {
+        let p = parse("fn add(a, b) return a + b end\nlet s = add(1, 2)").unwrap();
+        let Stmt::FnDef { params, .. } = &p.stmts[0] else { panic!() };
+        assert_eq!(params, &vec!["a".to_owned(), "b".to_owned()]);
+    }
+
+    #[test]
+    fn parses_bare_return() {
+        let p = parse("fn f() return end").unwrap();
+        let Stmt::FnDef { body, .. } = &p.stmts[0] else { panic!() };
+        assert_eq!(body, &vec![Stmt::Return(None)]);
+    }
+
+    #[test]
+    fn parses_lists_and_indexing() {
+        let p = parse("let l = [1, 2, 3]\nlet x = l[0]").unwrap();
+        assert!(matches!(&p.stmts[0], Stmt::Let { value: Expr::List(v), .. } if v.len() == 3));
+        assert!(matches!(&p.stmts[1], Stmt::Let { value: Expr::Index { .. }, .. }));
+    }
+
+    #[test]
+    fn error_on_missing_end() {
+        let err = parse("while true do x = 1").unwrap_err();
+        assert!(err.message.contains("end of input"));
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(parse("let = 3").is_err());
+        assert!(parse("1 +").is_err());
+        assert!(parse(") x").is_err());
+    }
+
+    #[test]
+    fn concat_chains() {
+        let p = parse("let s = \"a\" .. \"b\" .. \"c\"").unwrap();
+        let Stmt::Let { value, .. } = &p.stmts[0] else { panic!() };
+        assert!(matches!(value, Expr::Binary { op: BinOp::Concat, .. }));
+    }
+}

@@ -1,0 +1,184 @@
+//! Runtime values.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// A Flua runtime value.
+///
+/// Lists use `Rc<Vec<_>>` with copy-on-write semantics (mutation is only
+/// possible through host functions, which clone), keeping the VM simple and
+/// free of cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The absent value.
+    Nil,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Num(f64),
+    /// Immutable string.
+    Str(Rc<str>),
+    /// Immutable list.
+    List(Rc<Vec<Value>>),
+}
+
+impl Value {
+    /// Creates a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Rc::from(s.as_ref()))
+    }
+
+    /// Creates a list value.
+    pub fn list(items: Vec<Value>) -> Value {
+        Value::List(Rc::new(items))
+    }
+
+    /// Truthiness: `nil` and `false` are falsy, everything else truthy
+    /// (Lua's rule).
+    pub fn truthy(&self) -> bool {
+        !matches!(self, Value::Nil | Value::Bool(false))
+    }
+
+    /// Type name for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Nil => "nil",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Num(_) => "num",
+            Value::Str(_) => "str",
+            Value::List(_) => "list",
+        }
+    }
+
+    /// The numeric value if this is an `Int` or `Num`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The integer value if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string slice if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The list slice if this is a `List`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Nil
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Num(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::str(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Nil => f.write_str("nil"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Num(v) => write!(f, "{v}"),
+            Value::Str(s) => f.write_str(s),
+            Value::List(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Nil.truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(Value::Bool(true).truthy());
+        assert!(Value::Int(0).truthy(), "0 is truthy, as in Lua");
+        assert!(Value::str("").truthy());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Num(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::str("a").as_f64(), None);
+        assert_eq!(Value::str("a").as_str(), Some("a"));
+        assert_eq!(Value::Int(1).as_int(), Some(1));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Nil.to_string(), "nil");
+        assert_eq!(Value::list(vec![Value::Int(1), Value::str("a")]).to_string(), "[1, a]");
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Nil.type_name(), "nil");
+        assert_eq!(Value::list(vec![]).type_name(), "list");
+    }
+}

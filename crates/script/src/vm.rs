@@ -1,0 +1,771 @@
+//! The Flua stack virtual machine.
+//!
+//! Execution is fuel-limited: every instruction costs one unit, so hostile
+//! or buggy scripts pushed from a simulated C&C server cannot stall the
+//! simulation. Host capabilities are injected through [`HostEnv`], which is
+//! how malware modules read files, record audio, or enumerate bluetooth
+//! devices *in the simulated world* — the VM itself is pure.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::compiler::{Chunk, FuncProto, Op};
+use crate::error::RunScriptError;
+use crate::value::Value;
+
+/// Host-function surface a script runs against.
+///
+/// Resolution order for a call is: script-defined functions, then VM
+/// builtins (`len`, `str`, `push`, `contains`, `range`), then the host.
+pub trait HostEnv {
+    /// Invokes host function `name`. Returns `Ok(None)` when the host does
+    /// not define `name` (the VM then reports an undefined function).
+    ///
+    /// # Errors
+    ///
+    /// Host failures surface as [`RunScriptError::Host`].
+    fn call_host(&mut self, name: &str, args: &[Value]) -> Result<Option<Value>, RunScriptError>;
+}
+
+/// A [`HostEnv`] with no functions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHost;
+
+impl HostEnv for NoHost {
+    fn call_host(&mut self, _name: &str, _args: &[Value]) -> Result<Option<Value>, RunScriptError> {
+        Ok(None)
+    }
+}
+
+/// A [`HostEnv`] backed by a map of closures — convenient for tests and for
+/// composing module capabilities.
+#[derive(Default)]
+pub struct FnHost<'a> {
+    fns: HashMap<String, Box<dyn FnMut(&[Value]) -> Result<Value, RunScriptError> + 'a>>,
+}
+
+impl<'a> FnHost<'a> {
+    /// Creates an empty host.
+    pub fn new() -> Self {
+        FnHost { fns: HashMap::new() }
+    }
+
+    /// Registers a host function. Replaces any previous function of the same
+    /// name.
+    pub fn register<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&[Value]) -> Result<Value, RunScriptError> + 'a,
+    {
+        self.fns.insert(name.into(), Box::new(f));
+        self
+    }
+}
+
+impl std::fmt::Debug for FnHost<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<&str> = self.fns.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        f.debug_struct("FnHost").field("functions", &names).finish()
+    }
+}
+
+impl HostEnv for FnHost<'_> {
+    fn call_host(&mut self, name: &str, args: &[Value]) -> Result<Option<Value>, RunScriptError> {
+        match self.fns.get_mut(name) {
+            Some(f) => f(args).map(Some),
+            None => Ok(None),
+        }
+    }
+}
+
+/// Execution limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmLimits {
+    /// Maximum instructions executed.
+    pub fuel: u64,
+    /// Maximum value-stack depth.
+    pub max_stack: usize,
+    /// Maximum call depth.
+    pub max_frames: usize,
+}
+
+impl Default for VmLimits {
+    fn default() -> Self {
+        VmLimits { fuel: 1_000_000, max_stack: 4_096, max_frames: 64 }
+    }
+}
+
+/// Outcome of a successful run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// The top-level return value (`nil` if the script fell off the end).
+    pub value: Value,
+    /// Instructions executed.
+    pub fuel_used: u64,
+}
+
+/// The virtual machine. Holds globals that persist across runs, so a
+/// long-lived module can keep state between activations.
+#[derive(Debug, Default)]
+pub struct Vm {
+    globals: HashMap<String, Value>,
+}
+
+struct Frame {
+    proto: Option<Rc<FuncProto>>, // None = top level
+    ip: usize,
+    stack_base: usize,
+    locals: HashMap<u16, Value>,
+}
+
+impl Vm {
+    /// Creates a VM with empty globals.
+    pub fn new() -> Self {
+        Vm::default()
+    }
+
+    /// Reads a global by name.
+    pub fn global(&self, name: &str) -> Option<&Value> {
+        self.globals.get(name)
+    }
+
+    /// Sets a global (visible to subsequent runs).
+    pub fn set_global(&mut self, name: impl Into<String>, value: Value) {
+        self.globals.insert(name.into(), value);
+    }
+
+    /// Runs a chunk to completion under `limits`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RunScriptError`], including [`RunScriptError::OutOfFuel`] when
+    /// the budget is exhausted.
+    pub fn run(
+        &mut self,
+        chunk: &Chunk,
+        host: &mut dyn HostEnv,
+        limits: VmLimits,
+    ) -> Result<RunOutcome, RunScriptError> {
+        let mut fuel = limits.fuel;
+        let mut stack: Vec<Value> = Vec::with_capacity(64);
+        let mut frames: Vec<Frame> = vec![Frame {
+            proto: None,
+            ip: 0,
+            stack_base: 0,
+            locals: HashMap::new(),
+        }];
+        loop {
+            let frame = frames.last_mut().expect("at least one frame");
+            let code: &[Op] = match &frame.proto {
+                Some(p) => &p.code,
+                None => &chunk.code,
+            };
+            if frame.ip >= code.len() {
+                // Fell off the end: implicit nil return.
+                let done = self.do_return(&mut frames, &mut stack, Value::Nil);
+                if done {
+                    return Ok(RunOutcome { value: Value::Nil, fuel_used: limits.fuel - fuel });
+                }
+                continue;
+            }
+            let op = code[frame.ip].clone();
+            frame.ip += 1;
+            if fuel == 0 {
+                return Err(RunScriptError::OutOfFuel);
+            }
+            fuel -= 1;
+            if stack.len() > limits.max_stack {
+                return Err(RunScriptError::StackOverflow);
+            }
+            match op {
+                Op::Const(i) => stack.push(chunk.consts[i as usize].clone()),
+                Op::Nil => stack.push(Value::Nil),
+                Op::True => stack.push(Value::Bool(true)),
+                Op::False => stack.push(Value::Bool(false)),
+                Op::Load(i) => {
+                    let v = frame
+                        .locals
+                        .get(&i)
+                        .cloned()
+                        .or_else(|| self.globals.get(chunk.name(i)).cloned())
+                        .ok_or_else(|| RunScriptError::UndefinedVariable(chunk.name(i).to_owned()))?;
+                    stack.push(v);
+                }
+                Op::Declare(i) => {
+                    let v = pop(&mut stack)?;
+                    if frames.len() == 1 {
+                        self.globals.insert(chunk.name(i).to_owned(), v);
+                    } else {
+                        frames.last_mut().expect("frame").locals.insert(i, v);
+                    }
+                }
+                Op::Store(i) => {
+                    let v = pop(&mut stack)?;
+                    let frame = frames.last_mut().expect("frame");
+                    if frame.locals.contains_key(&i) {
+                        frame.locals.insert(i, v);
+                    } else {
+                        // Existing global or new global (top-level semantics).
+                        self.globals.insert(chunk.name(i).to_owned(), v);
+                    }
+                }
+                Op::MakeList(n) => {
+                    let n = n as usize;
+                    if stack.len() < n {
+                        return Err(RunScriptError::StackOverflow);
+                    }
+                    let items = stack.split_off(stack.len() - n);
+                    stack.push(Value::list(items));
+                }
+                Op::Add => binary_num(&mut stack, "+", |a, b| a.checked_add(b), |a, b| a + b)?,
+                Op::Sub => binary_num(&mut stack, "-", |a, b| a.checked_sub(b), |a, b| a - b)?,
+                Op::Mul => binary_num(&mut stack, "*", |a, b| a.checked_mul(b), |a, b| a * b)?,
+                Op::Div => {
+                    let b = pop(&mut stack)?;
+                    let a = pop(&mut stack)?;
+                    let v = match (&a, &b) {
+                        (Value::Int(_), Value::Int(0)) => return Err(RunScriptError::DivisionByZero),
+                        (Value::Int(x), Value::Int(y)) => Value::Int(x / y),
+                        _ => {
+                            let (x, y) = both_nums(&a, &b, "/")?;
+                            if y == 0.0 {
+                                return Err(RunScriptError::DivisionByZero);
+                            }
+                            Value::Num(x / y)
+                        }
+                    };
+                    stack.push(v);
+                }
+                Op::Mod => {
+                    let b = pop(&mut stack)?;
+                    let a = pop(&mut stack)?;
+                    let v = match (&a, &b) {
+                        (Value::Int(_), Value::Int(0)) => return Err(RunScriptError::DivisionByZero),
+                        (Value::Int(x), Value::Int(y)) => Value::Int(x.rem_euclid(*y)),
+                        _ => {
+                            let (x, y) = both_nums(&a, &b, "%")?;
+                            if y == 0.0 {
+                                return Err(RunScriptError::DivisionByZero);
+                            }
+                            Value::Num(x.rem_euclid(y))
+                        }
+                    };
+                    stack.push(v);
+                }
+                Op::Concat => {
+                    let b = pop(&mut stack)?;
+                    let a = pop(&mut stack)?;
+                    stack.push(Value::str(format!("{a}{b}")));
+                }
+                Op::Eq => {
+                    let b = pop(&mut stack)?;
+                    let a = pop(&mut stack)?;
+                    stack.push(Value::Bool(values_eq(&a, &b)));
+                }
+                Op::Ne => {
+                    let b = pop(&mut stack)?;
+                    let a = pop(&mut stack)?;
+                    stack.push(Value::Bool(!values_eq(&a, &b)));
+                }
+                Op::Lt => compare(&mut stack, "<", |o| o == std::cmp::Ordering::Less)?,
+                Op::Le => compare(&mut stack, "<=", |o| o != std::cmp::Ordering::Greater)?,
+                Op::Gt => compare(&mut stack, ">", |o| o == std::cmp::Ordering::Greater)?,
+                Op::Ge => compare(&mut stack, ">=", |o| o != std::cmp::Ordering::Less)?,
+                Op::Neg => {
+                    let a = pop(&mut stack)?;
+                    let v = match a {
+                        Value::Int(x) => Value::Int(-x),
+                        Value::Num(x) => Value::Num(-x),
+                        other => {
+                            return Err(RunScriptError::TypeMismatch {
+                                op: "-".into(),
+                                found: other.type_name().into(),
+                            })
+                        }
+                    };
+                    stack.push(v);
+                }
+                Op::Not => {
+                    let a = pop(&mut stack)?;
+                    stack.push(Value::Bool(!a.truthy()));
+                }
+                Op::Index => {
+                    let idx = pop(&mut stack)?;
+                    let target = pop(&mut stack)?;
+                    let list = target.as_list().ok_or_else(|| RunScriptError::TypeMismatch {
+                        op: "[]".into(),
+                        found: target.type_name().into(),
+                    })?;
+                    let i = idx
+                        .as_int()
+                        .ok_or_else(|| RunScriptError::BadIndex(format!("index is {}", idx.type_name())))?;
+                    if i < 0 || i as usize >= list.len() {
+                        return Err(RunScriptError::BadIndex(format!(
+                            "index {i} out of range 0..{}",
+                            list.len()
+                        )));
+                    }
+                    stack.push(list[i as usize].clone());
+                }
+                Op::Jump(t) => frames.last_mut().expect("frame").ip = t as usize,
+                Op::JumpIfFalse(t) => {
+                    let v = pop(&mut stack)?;
+                    if !v.truthy() {
+                        frames.last_mut().expect("frame").ip = t as usize;
+                    }
+                }
+                Op::JumpIfFalseKeep(t) => {
+                    let v = stack.last().ok_or(RunScriptError::StackOverflow)?;
+                    if !v.truthy() {
+                        frames.last_mut().expect("frame").ip = t as usize;
+                    } else {
+                        stack.pop();
+                    }
+                }
+                Op::JumpIfTrueKeep(t) => {
+                    let v = stack.last().ok_or(RunScriptError::StackOverflow)?;
+                    if v.truthy() {
+                        frames.last_mut().expect("frame").ip = t as usize;
+                    } else {
+                        stack.pop();
+                    }
+                }
+                Op::Call { name, argc } => {
+                    let argc = argc as usize;
+                    if stack.len() < argc {
+                        return Err(RunScriptError::StackOverflow);
+                    }
+                    let args = stack.split_off(stack.len() - argc);
+                    let fname = chunk.name(name);
+                    if let Some(proto) = chunk.functions.get(fname).cloned() {
+                        if proto.params.len() != argc {
+                            return Err(RunScriptError::ArityMismatch {
+                                name: fname.to_owned(),
+                                expected: proto.params.len(),
+                                got: argc,
+                            });
+                        }
+                        if frames.len() >= limits.max_frames {
+                            return Err(RunScriptError::StackOverflow);
+                        }
+                        let mut locals = HashMap::new();
+                        for (p, v) in proto.params.iter().zip(args) {
+                            // Parameter names live in the shared name table.
+                            let idx = chunk
+                                .names
+                                .iter()
+                                .position(|n| n == p)
+                                .map(|i| i as u16);
+                            match idx {
+                                Some(i) => {
+                                    locals.insert(i, v);
+                                }
+                                None => {
+                                    // Parameter never referenced in the body;
+                                    // binding is unobservable, skip it.
+                                }
+                            }
+                        }
+                        frames.push(Frame { proto: Some(proto), ip: 0, stack_base: stack.len(), locals });
+                    } else if let Some(v) = builtin(fname, &args)? {
+                        stack.push(v);
+                    } else if let Some(v) = host.call_host(fname, &args)? {
+                        stack.push(v);
+                    } else {
+                        return Err(RunScriptError::UndefinedFunction(fname.to_owned()));
+                    }
+                }
+                Op::Return => {
+                    let v = pop(&mut stack)?;
+                    let done = self.do_return(&mut frames, &mut stack, v.clone());
+                    if done {
+                        return Ok(RunOutcome { value: v, fuel_used: limits.fuel - fuel });
+                    }
+                }
+                Op::ReturnNil => {
+                    let done = self.do_return(&mut frames, &mut stack, Value::Nil);
+                    if done {
+                        return Ok(RunOutcome { value: Value::Nil, fuel_used: limits.fuel - fuel });
+                    }
+                }
+                Op::Pop => {
+                    pop(&mut stack)?;
+                }
+            }
+        }
+    }
+
+    /// Pops a frame, truncating the stack and pushing the return value into
+    /// the caller. Returns `true` when the popped frame was the last one.
+    fn do_return(&mut self, frames: &mut Vec<Frame>, stack: &mut Vec<Value>, value: Value) -> bool {
+        let frame = frames.pop().expect("frame");
+        stack.truncate(frame.stack_base);
+        if frames.is_empty() {
+            true
+        } else {
+            stack.push(value);
+            false
+        }
+    }
+}
+
+fn pop(stack: &mut Vec<Value>) -> Result<Value, RunScriptError> {
+    stack.pop().ok_or(RunScriptError::StackOverflow)
+}
+
+fn both_nums(a: &Value, b: &Value, op: &str) -> Result<(f64, f64), RunScriptError> {
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => Ok((x, y)),
+        _ => Err(RunScriptError::TypeMismatch {
+            op: op.to_owned(),
+            found: format!("{} and {}", a.type_name(), b.type_name()),
+        }),
+    }
+}
+
+fn binary_num(
+    stack: &mut Vec<Value>,
+    op: &str,
+    int_op: impl Fn(i64, i64) -> Option<i64>,
+    num_op: impl Fn(f64, f64) -> f64,
+) -> Result<(), RunScriptError> {
+    let b = pop(stack)?;
+    let a = pop(stack)?;
+    let v = match (&a, &b) {
+        (Value::Int(x), Value::Int(y)) => match int_op(*x, *y) {
+            Some(r) => Value::Int(r),
+            None => Value::Num(num_op(*x as f64, *y as f64)), // overflow widens
+        },
+        _ => {
+            let (x, y) = both_nums(&a, &b, op)?;
+            Value::Num(num_op(x, y))
+        }
+    };
+    stack.push(v);
+    Ok(())
+}
+
+fn values_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Int(x), Value::Num(y)) | (Value::Num(y), Value::Int(x)) => *x as f64 == *y,
+        _ => a == b,
+    }
+}
+
+fn compare(
+    stack: &mut Vec<Value>,
+    op: &str,
+    accept: impl Fn(std::cmp::Ordering) -> bool,
+) -> Result<(), RunScriptError> {
+    let b = pop(stack)?;
+    let a = pop(stack)?;
+    let ord = match (&a, &b) {
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        _ => {
+            let (x, y) = both_nums(&a, &b, op)?;
+            x.partial_cmp(&y).ok_or_else(|| RunScriptError::TypeMismatch {
+                op: op.to_owned(),
+                found: "NaN comparison".into(),
+            })?
+        }
+    };
+    stack.push(Value::Bool(accept(ord)));
+    Ok(())
+}
+
+/// VM builtins. Returns `Ok(None)` when `name` is not a builtin.
+fn builtin(name: &str, args: &[Value]) -> Result<Option<Value>, RunScriptError> {
+    let arity = |expected: usize| -> Result<(), RunScriptError> {
+        if args.len() != expected {
+            Err(RunScriptError::ArityMismatch { name: name.to_owned(), expected, got: args.len() })
+        } else {
+            Ok(())
+        }
+    };
+    match name {
+        "len" => {
+            arity(1)?;
+            let v = match &args[0] {
+                Value::Str(s) => s.len() as i64,
+                Value::List(l) => l.len() as i64,
+                other => {
+                    return Err(RunScriptError::TypeMismatch {
+                        op: "len".into(),
+                        found: other.type_name().into(),
+                    })
+                }
+            };
+            Ok(Some(Value::Int(v)))
+        }
+        "str" => {
+            arity(1)?;
+            Ok(Some(Value::str(args[0].to_string())))
+        }
+        "push" => {
+            arity(2)?;
+            let list = args[0].as_list().ok_or_else(|| RunScriptError::TypeMismatch {
+                op: "push".into(),
+                found: args[0].type_name().into(),
+            })?;
+            let mut v = list.to_vec();
+            v.push(args[1].clone());
+            Ok(Some(Value::list(v)))
+        }
+        "contains" => {
+            arity(2)?;
+            let v = match (&args[0], &args[1]) {
+                (Value::Str(hay), Value::Str(needle)) => hay.contains(&**needle),
+                (Value::List(items), needle) => items.iter().any(|i| values_eq(i, needle)),
+                (other, _) => {
+                    return Err(RunScriptError::TypeMismatch {
+                        op: "contains".into(),
+                        found: other.type_name().into(),
+                    })
+                }
+            };
+            Ok(Some(Value::Bool(v)))
+        }
+        "range" => {
+            arity(1)?;
+            let n = args[0].as_int().ok_or_else(|| RunScriptError::TypeMismatch {
+                op: "range".into(),
+                found: args[0].type_name().into(),
+            })?;
+            if !(0..=1_000_000).contains(&n) {
+                return Err(RunScriptError::BadIndex(format!("range({n}) out of bounds")));
+            }
+            Ok(Some(Value::list((0..n).map(Value::Int).collect())))
+        }
+        _ => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::compile;
+
+    fn eval(src: &str) -> Result<Value, RunScriptError> {
+        let chunk = compile(src).expect("compiles");
+        let mut vm = Vm::new();
+        vm.run(&chunk, &mut NoHost, VmLimits::default()).map(|o| o.value)
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(eval("return 1 + 2 * 3").unwrap(), Value::Int(7));
+        assert_eq!(eval("return (1 + 2) * 3").unwrap(), Value::Int(9));
+        assert_eq!(eval("return 7 / 2").unwrap(), Value::Int(3));
+        assert_eq!(eval("return 7.0 / 2").unwrap(), Value::Num(3.5));
+        assert_eq!(eval("return 7 % 3").unwrap(), Value::Int(1));
+        assert_eq!(eval("return -5 + 1").unwrap(), Value::Int(-4));
+    }
+
+    #[test]
+    fn overflow_widens_to_float() {
+        let v = eval("return 9223372036854775807 + 1").unwrap();
+        assert!(matches!(v, Value::Num(_)));
+    }
+
+    #[test]
+    fn division_by_zero() {
+        assert_eq!(eval("return 1 / 0"), Err(RunScriptError::DivisionByZero));
+        assert_eq!(eval("return 1 % 0"), Err(RunScriptError::DivisionByZero));
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(eval("return 1 < 2 and 2 <= 2").unwrap(), Value::Bool(true));
+        assert_eq!(eval("return 3 > 4 or 4 >= 5").unwrap(), Value::Bool(false));
+        assert_eq!(eval("return not nil").unwrap(), Value::Bool(true));
+        assert_eq!(eval("return \"a\" < \"b\"").unwrap(), Value::Bool(true));
+        assert_eq!(eval("return 1 == 1.0").unwrap(), Value::Bool(true));
+        assert_eq!(eval("return 1 != 2").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn short_circuit_preserves_value_semantics() {
+        assert_eq!(eval("return nil or 5").unwrap(), Value::Int(5));
+        assert_eq!(eval("return false and crash()").unwrap(), Value::Bool(false));
+        assert_eq!(eval("return 3 and 4").unwrap(), Value::Int(4));
+        assert_eq!(eval("return 3 or crash()").unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn strings_and_concat() {
+        assert_eq!(eval("return \"a\" .. \"b\" .. 3").unwrap(), Value::str("ab3"));
+        assert_eq!(eval("return len(\"hello\")").unwrap(), Value::Int(5));
+        assert_eq!(eval("return contains(\"hello.docx\", \".docx\")").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn variables_and_scope() {
+        assert_eq!(eval("let x = 1\nx = x + 1\nreturn x").unwrap(), Value::Int(2));
+        assert_eq!(
+            eval("let x = 10\nfn f() return x end\nreturn f()").unwrap(),
+            Value::Int(10),
+            "globals visible inside functions"
+        );
+        assert_eq!(
+            eval("let x = 1\nfn f(x) x = 99 return x end\nf(5)\nreturn x").unwrap(),
+            Value::Int(1),
+            "parameters shadow and do not leak"
+        );
+    }
+
+    #[test]
+    fn undefined_variable_and_function() {
+        assert_eq!(eval("return nope"), Err(RunScriptError::UndefinedVariable("nope".into())));
+        assert_eq!(eval("return nope()"), Err(RunScriptError::UndefinedFunction("nope".into())));
+    }
+
+    #[test]
+    fn if_elseif_else() {
+        let src = "fn grade(n) if n >= 90 then return \"A\" elseif n >= 80 then return \"B\" else return \"C\" end end\nreturn grade(85)";
+        assert_eq!(eval(src).unwrap(), Value::str("B"));
+    }
+
+    #[test]
+    fn while_loop_and_break() {
+        let src = "let i = 0\nlet total = 0\nwhile true do\n  i = i + 1\n  if i > 10 then break end\n  total = total + i\nend\nreturn total";
+        assert_eq!(eval(src).unwrap(), Value::Int(55));
+    }
+
+    #[test]
+    fn for_in_over_list() {
+        let src = "let total = 0\nfor x in [1, 2, 3, 4] do total = total + x end\nreturn total";
+        assert_eq!(eval(src).unwrap(), Value::Int(10));
+    }
+
+    #[test]
+    fn for_in_with_break() {
+        let src = "let found = nil\nfor f in [\"a.txt\", \"b.docx\", \"c.ppt\"] do\n  if contains(f, \".docx\") then found = f break end\nend\nreturn found";
+        assert_eq!(eval(src).unwrap(), Value::str("b.docx"));
+    }
+
+    #[test]
+    fn nested_loops_break_inner_only() {
+        let src = "let count = 0\nfor i in range(3) do\n  for j in range(10) do\n    if j == 2 then break end\n    count = count + 1\n  end\nend\nreturn count";
+        assert_eq!(eval(src).unwrap(), Value::Int(6));
+    }
+
+    #[test]
+    fn functions_recursion() {
+        let src = "fn fib(n) if n < 2 then return n end return fib(n - 1) + fib(n - 2) end\nreturn fib(12)";
+        assert_eq!(eval(src).unwrap(), Value::Int(144));
+    }
+
+    #[test]
+    fn arity_mismatch() {
+        assert!(matches!(
+            eval("fn f(a, b) return a end\nreturn f(1)"),
+            Err(RunScriptError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn lists_push_index() {
+        assert_eq!(eval("return [10, 20, 30][1]").unwrap(), Value::Int(20));
+        assert_eq!(eval("return len(push([1], 2))").unwrap(), Value::Int(2));
+        assert!(matches!(eval("return [1][5]"), Err(RunScriptError::BadIndex(_))));
+        assert!(matches!(eval("return [1][-1]"), Err(RunScriptError::BadIndex(_))));
+        assert!(matches!(eval("return 3[0]"), Err(RunScriptError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn fuel_limit_stops_infinite_loop() {
+        let chunk = compile("while true do end").unwrap();
+        let mut vm = Vm::new();
+        let err = vm
+            .run(&chunk, &mut NoHost, VmLimits { fuel: 10_000, ..VmLimits::default() })
+            .unwrap_err();
+        assert_eq!(err, RunScriptError::OutOfFuel);
+    }
+
+    #[test]
+    fn recursion_depth_limited() {
+        let chunk = compile("fn f(n) return f(n + 1) end\nreturn f(0)").unwrap();
+        let mut vm = Vm::new();
+        let err = vm.run(&chunk, &mut NoHost, VmLimits::default()).unwrap_err();
+        assert_eq!(err, RunScriptError::StackOverflow);
+    }
+
+    #[test]
+    fn host_functions_are_callable() {
+        let chunk = compile("return exfiltrate(\"secret.docx\", 1024)").unwrap();
+        let mut vm = Vm::new();
+        let mut uploaded: Vec<(String, i64)> = Vec::new();
+        {
+            let mut host = FnHost::new();
+            host.register("exfiltrate", |args| {
+                Ok(Value::str(format!("queued:{}:{}", args[0], args[1])))
+            });
+            let out = vm.run(&chunk, &mut host, VmLimits::default()).unwrap();
+            assert_eq!(out.value, Value::str("queued:secret.docx:1024"));
+        }
+        // Borrow-capturing host
+        let chunk2 = compile("upload(\"a\", 1)\nupload(\"b\", 2)").unwrap();
+        {
+            let mut host = FnHost::new();
+            host.register("upload", |args| {
+                uploaded.push((args[0].to_string(), args[1].as_int().unwrap()));
+                Ok(Value::Nil)
+            });
+            vm.run(&chunk2, &mut host, VmLimits::default()).unwrap();
+        }
+        assert_eq!(uploaded, vec![("a".into(), 1), ("b".into(), 2)]);
+    }
+
+    #[test]
+    fn host_error_propagates() {
+        let chunk = compile("return fail()").unwrap();
+        let mut vm = Vm::new();
+        let mut host = FnHost::new();
+        host.register("fail", |_| Err(RunScriptError::Host("boom".into())));
+        assert_eq!(
+            vm.run(&chunk, &mut host, VmLimits::default()).unwrap_err(),
+            RunScriptError::Host("boom".into())
+        );
+    }
+
+    #[test]
+    fn globals_persist_across_runs() {
+        let mut vm = Vm::new();
+        let c1 = compile("let counter = 41").unwrap();
+        vm.run(&c1, &mut NoHost, VmLimits::default()).unwrap();
+        let c2 = compile("counter = counter + 1\nreturn counter").unwrap();
+        let out = vm.run(&c2, &mut NoHost, VmLimits::default()).unwrap();
+        assert_eq!(out.value, Value::Int(42));
+        assert_eq!(vm.global("counter"), Some(&Value::Int(42)));
+    }
+
+    #[test]
+    fn set_global_injects_configuration() {
+        let mut vm = Vm::new();
+        vm.set_global("threshold", Value::Int(100));
+        let chunk = compile("return threshold * 2").unwrap();
+        assert_eq!(vm.run(&chunk, &mut NoHost, VmLimits::default()).unwrap().value, Value::Int(200));
+    }
+
+    #[test]
+    fn fuel_accounting_reported() {
+        let chunk = compile("return 1 + 1").unwrap();
+        let mut vm = Vm::new();
+        let out = vm.run(&chunk, &mut NoHost, VmLimits::default()).unwrap();
+        assert!(out.fuel_used > 0 && out.fuel_used < 20);
+    }
+
+    #[test]
+    fn builtin_range_bounds() {
+        assert!(matches!(eval("return range(-1)"), Err(RunScriptError::BadIndex(_))));
+        assert_eq!(eval("return len(range(5))").unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn type_mismatch_messages() {
+        let err = eval("return 1 + \"a\"").unwrap_err();
+        assert!(matches!(err, RunScriptError::TypeMismatch { .. }));
+        let err = eval("return -\"a\"").unwrap_err();
+        assert!(matches!(err, RunScriptError::TypeMismatch { .. }));
+    }
+}

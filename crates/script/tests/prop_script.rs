@@ -1,0 +1,117 @@
+//! Property tests for Flua: compilation never panics, evaluation is
+//! deterministic, arithmetic matches a reference evaluator, and fuel
+//! monotonicity holds.
+
+use malsim_script::compiler::compile;
+use malsim_script::value::Value;
+use malsim_script::vm::{NoHost, Vm, VmLimits};
+use proptest::prelude::*;
+
+/// A tiny generator of arithmetic expressions with a reference evaluation.
+#[derive(Debug, Clone)]
+enum ArithExpr {
+    Lit(i32),
+    Add(Box<ArithExpr>, Box<ArithExpr>),
+    Sub(Box<ArithExpr>, Box<ArithExpr>),
+    Mul(Box<ArithExpr>, Box<ArithExpr>),
+}
+
+impl ArithExpr {
+    fn to_source(&self) -> String {
+        match self {
+            ArithExpr::Lit(v) => {
+                if *v < 0 {
+                    format!("(0 - {})", -(i64::from(*v)))
+                } else {
+                    v.to_string()
+                }
+            }
+            ArithExpr::Add(a, b) => format!("({} + {})", a.to_source(), b.to_source()),
+            ArithExpr::Sub(a, b) => format!("({} - {})", a.to_source(), b.to_source()),
+            ArithExpr::Mul(a, b) => format!("({} * {})", a.to_source(), b.to_source()),
+        }
+    }
+
+    fn eval(&self) -> i64 {
+        match self {
+            ArithExpr::Lit(v) => i64::from(*v),
+            ArithExpr::Add(a, b) => a.eval().wrapping_add(b.eval()),
+            ArithExpr::Sub(a, b) => a.eval().wrapping_sub(b.eval()),
+            ArithExpr::Mul(a, b) => a.eval().wrapping_mul(b.eval()),
+        }
+    }
+}
+
+fn arith_strategy() -> impl Strategy<Value = ArithExpr> {
+    let leaf = (-1000i32..1000).prop_map(ArithExpr::Lit);
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| ArithExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| ArithExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| ArithExpr::Mul(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn compile_never_panics_on_random_text(src in "[ -~\\n]{0,200}") {
+        let _ = compile(&src);
+    }
+
+    #[test]
+    fn arithmetic_matches_reference(expr in arith_strategy()) {
+        // Values stay small enough (leafs < 1000, depth ≤ 4) that i64
+        // arithmetic cannot overflow, so Int results are exact.
+        let src = format!("return {}", expr.to_source());
+        let chunk = compile(&src).unwrap();
+        let mut vm = Vm::new();
+        let out = vm.run(&chunk, &mut NoHost, VmLimits::default()).unwrap();
+        prop_assert_eq!(out.value, Value::Int(expr.eval()));
+    }
+
+    #[test]
+    fn evaluation_is_deterministic(expr in arith_strategy()) {
+        let src = format!("let x = {}\nreturn x * 2 - x", expr.to_source());
+        let chunk = compile(&src).unwrap();
+        let mut vm1 = Vm::new();
+        let mut vm2 = Vm::new();
+        let a = vm1.run(&chunk, &mut NoHost, VmLimits::default()).unwrap();
+        let b = vm2.run(&chunk, &mut NoHost, VmLimits::default()).unwrap();
+        prop_assert_eq!(a.value, b.value);
+        prop_assert_eq!(a.fuel_used, b.fuel_used);
+    }
+
+    #[test]
+    fn fuel_use_is_independent_of_budget(expr in arith_strategy(), extra in 0u64..10_000) {
+        let src = format!("return {}", expr.to_source());
+        let chunk = compile(&src).unwrap();
+        let mut vm = Vm::new();
+        let tight = vm.run(&chunk, &mut NoHost, VmLimits { fuel: 100_000, ..VmLimits::default() }).unwrap();
+        let loose = vm
+            .run(&chunk, &mut NoHost, VmLimits { fuel: 100_000 + extra, ..VmLimits::default() })
+            .unwrap();
+        prop_assert_eq!(tight.fuel_used, loose.fuel_used);
+    }
+
+    #[test]
+    fn loops_always_terminate_under_fuel(n in 0i64..100, fuel in 1u64..5_000) {
+        let src = format!("let t = 0\nfor i in range({n}) do t = t + i end\nreturn t");
+        let chunk = compile(&src).unwrap();
+        let mut vm = Vm::new();
+        // Either completes with the right sum or runs out of fuel; never hangs.
+        match vm.run(&chunk, &mut NoHost, VmLimits { fuel, ..VmLimits::default() }) {
+            Ok(out) => prop_assert_eq!(out.value, Value::Int(n * (n - 1) / 2)),
+            Err(e) => prop_assert_eq!(e, malsim_script::error::RunScriptError::OutOfFuel),
+        }
+    }
+
+    #[test]
+    fn string_concat_matches_format(a in "[a-z]{0,10}", b in "[a-z]{0,10}") {
+        let src = format!("return \"{a}\" .. \"{b}\"");
+        let chunk = compile(&src).unwrap();
+        let mut vm = Vm::new();
+        let out = vm.run(&chunk, &mut NoHost, VmLimits::default()).unwrap();
+        prop_assert_eq!(out.value, Value::str(format!("{a}{b}")));
+    }
+}

@@ -1,0 +1,44 @@
+//! The Figure-1 scenario: Stuxnet's three-level chain against a Natanz-like
+//! site — USB into the contractor office, courier into the air-gapped plant,
+//! Step 7 library swap, PLC implant, and centrifuge destruction with the
+//! operator and safety system seeing nothing.
+//!
+//! Run with: `cargo run --example natanz`
+
+use malsim::prelude::*;
+
+fn main() {
+    let seed = 2010;
+    let days = 30;
+    println!("running the end-to-end Stuxnet chain (seed {seed}, {days} simulated days)...\n");
+    let r = experiments::e1_stuxnet_end_to_end(seed, days);
+
+    let mut table = Table::new(vec!["quantity".into(), "value".into()]);
+    table.row(vec!["infected hosts (office + station)".into(), r.infected_hosts.to_string()]);
+    table.row(vec!["plc implanted".into(), r.plc_implanted.to_string()]);
+    table.row(vec![
+        "centrifuges destroyed".into(),
+        format!("{}/{}", r.destroyed, r.total_centrifuges),
+    ]);
+    table.row(vec!["digital safety system tripped".into(), r.safety_tripped.to_string()]);
+    table.row(vec!["abnormal frames shown to operator".into(), r.operator_anomalies.to_string()]);
+    table.row(vec![
+        "days to first destruction".into(),
+        r.days_to_first_destruction.map_or("n/a".into(), |d| format!("{d:.2}")),
+    ]);
+    print!("{table}");
+
+    println!("\npaper claims reproduced:");
+    println!("- the payload armed only on the Profibus + targeted-vendor configuration;");
+    println!("- the 1410/2/1064 Hz cycling destroyed the cascade;");
+    println!("- record/replay telemetry kept the operator view and the digital");
+    println!("  safety system reading normal values throughout.");
+
+    // The targeting control: the same infection against a wrong-vendor plant.
+    println!("\ntargeting discipline (E3):");
+    let mut t = Table::new(vec!["plc configuration".into(), "payload armed".into(), "destroyed".into()]);
+    for row in experiments::e3_plc_targeting(seed, 10) {
+        t.row(vec![row.configuration, row.armed.to_string(), row.destroyed.to_string()]);
+    }
+    print!("{t}");
+}

@@ -1,0 +1,47 @@
+//! Quickstart: build a small office LAN, seed Stuxnet via USB, watch it
+//! spread, and print the trace and metrics.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use malsim::prelude::*;
+use malsim_kernel::time::SimDuration;
+use malsim_os::usb::UsbDrive;
+
+fn main() {
+    // A 6-host unpatched office LAN, deterministic under seed 7.
+    let (mut world, mut sim) = ScenarioBuilder::new(7).office_lan(6);
+
+    // Wire up the certificate world and hand Stuxnet its stolen credential.
+    let pki = Pki::install(&mut world);
+    pki.arm_stuxnet(&mut world);
+    pki.register_stuxnet_c2(&mut world);
+
+    // A contaminated USB stick circulates through three desks.
+    let usb = world.usb_drives.push(UsbDrive::new("conference-gift"));
+    stuxnet::infection::contaminate_usb(&mut world, &mut sim, usb);
+    let route: Vec<HostId> = (0..3).map(HostId::new).collect();
+    activity::schedule_usb_courier(&mut sim, usb, route, SimDuration::from_hours(4));
+    activity::schedule_stuxnet_checkins(&mut sim, SimDuration::from_hours(8));
+
+    // Run three simulated days.
+    let until = sim.now() + SimDuration::from_days(3);
+    sim.run_until(&mut world, until);
+
+    println!("=== trace (first 20 events) ===");
+    for event in sim.trace.events().iter().take(20) {
+        println!("{event}");
+    }
+
+    println!("\n=== timeline ===");
+    let timeline = Timeline::from_trace(&sim.trace);
+    print!("{}", timeline.render());
+
+    println!("\n=== metrics ===");
+    print!("{}", sim.metrics);
+
+    println!(
+        "\ninfected {}/{} hosts in 3 days (spooler spread fills the LAN after the USB seeds it)",
+        world.campaigns.stuxnet.infections.len(),
+        world.hosts.len()
+    );
+}

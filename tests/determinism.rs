@@ -1,0 +1,69 @@
+//! Integration: determinism guarantees — the same `(scenario, seed)` pair
+//! yields byte-identical traces and metrics; different seeds diverge.
+
+use malsim::prelude::*;
+use malsim_kernel::time::SimDuration;
+use malsim_os::usb::UsbDrive;
+
+/// A moderately rich combined run touching every subsystem.
+fn combined_run(seed: u64) -> (String, String, usize, usize) {
+    let (mut world, mut sim) = ScenarioBuilder::new(seed).office_lan(10);
+    let pki = Pki::install(&mut world);
+    pki.arm_stuxnet(&mut world);
+    pki.register_stuxnet_c2(&mut world);
+    pki.arm_flame(&mut world, &mut sim, 8, 32);
+    pki.arm_shamoon(&mut world);
+    world.campaigns.shamoon.trigger_at = Some(sim.now() + SimDuration::from_days(4));
+
+    let usb = world.usb_drives.push(UsbDrive::new("seed"));
+    stuxnet::infection::contaminate_usb(&mut world, &mut sim, usb);
+    activity::schedule_usb_courier(
+        &mut sim,
+        usb,
+        (0..4).map(HostId::new).collect(),
+        SimDuration::from_hours(5),
+    );
+    flame::client::infect_host(&mut world, &mut sim, HostId::new(5), "seed");
+    flame::mitm::snack_claim_wpad(&mut world, &mut sim, HostId::new(5));
+    shamoon::dropper::infect_host(&mut world, &mut sim, HostId::new(9), "phish");
+    activity::schedule_update_checks(&mut sim, (0..10).map(HostId::new).collect(), SimDuration::from_hours(19));
+    activity::schedule_flame_operator(&mut sim, SimDuration::from_mins(30));
+    activity::schedule_stuxnet_checkins(&mut sim, SimDuration::from_hours(7));
+
+    sim.run_until(&mut world, sim.now() + SimDuration::from_days(6));
+    (
+        sim.trace.render(),
+        sim.metrics.to_string(),
+        world.campaigns.stuxnet.infections.len() + world.campaigns.flame_clients.len(),
+        world.bricked_count(),
+    )
+}
+
+#[test]
+fn same_seed_is_byte_identical() {
+    let a = combined_run(123);
+    let b = combined_run(123);
+    assert_eq!(a.0, b.0, "traces identical");
+    assert_eq!(a.1, b.1, "metrics identical");
+    assert_eq!(a.2, b.2);
+    assert_eq!(a.3, b.3);
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = combined_run(123);
+    let b = combined_run(456);
+    // Campaign structure may coincide, but the full trace essentially never
+    // does (random wiper names, beacon contents, courier draws).
+    assert_ne!(a.0, b.0, "different seeds should produce different traces");
+}
+
+#[test]
+fn experiment_functions_are_deterministic() {
+    let a = experiments::e1_stuxnet_end_to_end(77, 15);
+    let b = experiments::e1_stuxnet_end_to_end(77, 15);
+    assert_eq!(a, b);
+    let c = experiments::e9_shamoon_wipe(77, 3, 10, 1);
+    let d = experiments::e9_shamoon_wipe(77, 3, 10, 1);
+    assert_eq!(c, d);
+}
