@@ -101,11 +101,7 @@ pub fn spread_stats(points: &[(SimTime, f64)]) -> Option<SpreadStats> {
     for pair in points.windows(2) {
         peak = peak.max(pair[1].1 - pair[0].1);
     }
-    Some(SpreadStats {
-        final_count: last_v,
-        spread_window: last_t - first_t,
-        peak_rate: peak.max(0.0),
-    })
+    Some(SpreadStats { final_count: last_v, spread_window: last_t - first_t, peak_rate: peak.max(0.0) })
 }
 
 #[cfg(test)]

@@ -69,12 +69,10 @@ pub fn derive_profiles(world: &World, metrics: &Metrics) -> Vec<TrendProfile> {
     // --- Stuxnet ---
     {
         let st = &world.campaigns.stuxnet;
-        let mut vectors: Vec<&str> =
-            st.infections.values().map(|r| r.vector.as_str()).collect();
+        let mut vectors: Vec<&str> = st.infections.values().map(|r| r.vector.as_str()).collect();
         vectors.sort_unstable();
         vectors.dedup();
-        let zero_day_vectors =
-            vectors.iter().filter(|v| ["usb-lnk", "spooler"].contains(*v)).count();
+        let zero_day_vectors = vectors.iter().filter(|v| ["usb-lnk", "spooler"].contains(*v)).count();
         let mut p = TrendProfile {
             family: Family::Stuxnet,
             zero_day_vectors,
@@ -100,11 +98,7 @@ pub fn derive_profiles(world: &World, metrics: &Metrics) -> Vec<TrendProfile> {
             zero_day_vectors: usize::from(metrics.counter("flame.mitm_infections") > 0),
             infections: total.max(infected_now),
             targeted: true, // spread requires an operator-armed credential per zone
-            certified: world
-                .campaigns
-                .flame_platform
-                .as_ref()
-                .is_some_and(|p| p.forged_update.is_some()),
+            certified: world.campaigns.flame_platform.as_ref().is_some_and(|p| p.forged_update.is_some()),
             modular_updates: metrics.counter("flame.module_updates"),
             usb_vector: metrics.counter("flame.usb_stashed") > 0
                 || metrics.counter("flame.usb_ferried_uploads") > 0,
@@ -206,14 +200,18 @@ pub fn trend_table(profiles: &[TrendProfile]) -> Table {
 }
 
 fn yes_no(v: bool) -> String {
-    if v { "yes".to_owned() } else { "no".to_owned() }
+    if v {
+        "yes".to_owned()
+    } else {
+        "no".to_owned()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use malsim_malware::common::InfectionRecord;
     use malsim_kernel::time::SimTime;
+    use malsim_malware::common::InfectionRecord;
     use malsim_os::host::HostId;
 
     #[test]

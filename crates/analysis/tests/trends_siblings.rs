@@ -3,10 +3,10 @@
 
 use malsim_analysis::trends::derive_profiles;
 use malsim_kernel::metrics::Metrics;
+use malsim_kernel::time::SimTime;
 use malsim_malware::common::Family;
 use malsim_malware::siblings::{duqu, gauss};
 use malsim_malware::world::{World, WorldSim};
-use malsim_kernel::time::SimTime;
 use malsim_os::host::{Host, HostId, HostRole, WindowsVersion};
 
 fn two_host_world() -> (World, WorldSim, HostId, HostId) {

@@ -48,12 +48,8 @@ fn pe_roundtrip(c: &mut Criterion) {
         .import("WriteRawSectors")
         .build();
     let bytes = image.to_bytes();
-    c.bench_function("pe_build_300k", |b| {
-        b.iter(|| black_box(image.to_bytes()))
-    });
-    c.bench_function("pe_parse_300k", |b| {
-        b.iter(|| black_box(Image::parse(black_box(&bytes)).unwrap()))
-    });
+    c.bench_function("pe_build_300k", |b| b.iter(|| black_box(image.to_bytes())));
+    c.bench_function("pe_parse_300k", |b| b.iter(|| black_box(Image::parse(black_box(&bytes)).unwrap())));
     c.bench_function("pe_xor_crack_128k", |b| {
         let ct = &image.resource("PKCS12").unwrap().data;
         b.iter(|| black_box(XorKey::crack(black_box(ct), 0x41)))
@@ -71,9 +67,7 @@ fn script_vm(c: &mut Criterion) {
         end
         return len(hits)
     "#;
-    c.bench_function("flua_compile_jimmy", |b| {
-        b.iter(|| black_box(compile(black_box(jimmy_like)).unwrap()))
-    });
+    c.bench_function("flua_compile_jimmy", |b| b.iter(|| black_box(compile(black_box(jimmy_like)).unwrap())));
     let chunk = compile(jimmy_like).unwrap();
     let files: Vec<Value> = (0..200)
         .map(|i| Value::str(format!("C:\\docs\\file-{i}.{}", if i % 3 == 0 { "docx" } else { "txt" })))
@@ -85,7 +79,8 @@ fn script_vm(c: &mut Criterion) {
             black_box(vm.run(&chunk, &mut NoHost, VmLimits::default()).unwrap())
         })
     });
-    let fib = compile("fn fib(n) if n < 2 then return n end return fib(n-1) + fib(n-2) end\nreturn fib(15)").unwrap();
+    let fib = compile("fn fib(n) if n < 2 then return n end return fib(n-1) + fib(n-2) end\nreturn fib(15)")
+        .unwrap();
     c.bench_function("flua_fib_15", |b| {
         b.iter(|| {
             let mut vm = Vm::new();
@@ -102,22 +97,21 @@ fn certs_path(c: &mut Criterion) {
     let mut store = TrustStore::new();
     store.add_root(ca.root_certificate().clone());
     let kp = KeyPair::from_seed(7);
-    let cert = ca.issue("Vendor", kp.public(), vec![Eku::CodeSigning], HashAlgorithm::Strong64, SimTime::EPOCH, far);
+    let cert =
+        ca.issue("Vendor", kp.public(), vec![Eku::CodeSigning], HashAlgorithm::Strong64, SimTime::EPOCH, far);
     let content = vec![0xAB; 256 * 1024];
     let sig = CodeSignature::sign(&kp, cert, HashAlgorithm::Strong64, &content);
     c.bench_function("certs_verify_code_256k", |b| {
         b.iter(|| {
-            black_box(
-                store
-                    .verify_code(
-                        black_box(&content),
-                        black_box(&sig),
-                        SimTime::EPOCH,
-                        Eku::CodeSigning,
-                        VerifyPolicy::strict(),
-                    )
-                    .unwrap(),
-            )
+            store
+                .verify_code(
+                    black_box(&content),
+                    black_box(&sig),
+                    SimTime::EPOCH,
+                    Eku::CodeSigning,
+                    VerifyPolicy::strict(),
+                )
+                .unwrap();
         })
     });
     let (lkey, lcert) = ca.activate_terminal_services_licensing("Org", 9, SimTime::EPOCH, far);

@@ -165,8 +165,7 @@ mod tests {
     #[test]
     fn ts_licensing_cert_is_weak_and_limited() {
         let ca = CertificateAuthority::new_root("Microsoft Root", 3, SimTime::EPOCH, far());
-        let (key, cert) =
-            ca.activate_terminal_services_licensing("Contoso Ltd", 42, SimTime::EPOCH, far());
+        let (key, cert) = ca.activate_terminal_services_licensing("Contoso Ltd", 42, SimTime::EPOCH, far());
         assert_eq!(cert.hash_alg, HashAlgorithm::WeakXor32);
         assert!(cert.has_eku(Eku::LicenseVerification));
         assert!(!cert.has_eku(Eku::CodeSigning));

@@ -99,9 +99,8 @@ impl Certificate {
         let subj_len = u32::from_le_bytes(take(tbs, &mut pos, 4)?.try_into().ok()?) as usize;
         let subject = String::from_utf8(take(tbs, &mut pos, subj_len)?.to_vec()).ok()?;
         let issuer_serial = u64::from_le_bytes(take(tbs, &mut pos, 8)?.try_into().ok()?);
-        let public_key = crate::key::PublicKey::from_bits(u64::from_le_bytes(
-            take(tbs, &mut pos, 8)?.try_into().ok()?,
-        ));
+        let public_key =
+            crate::key::PublicKey::from_bits(u64::from_le_bytes(take(tbs, &mut pos, 8)?.try_into().ok()?));
         let n_ekus = *take(tbs, &mut pos, 1)?.first()? as usize;
         let mut ekus = Vec::with_capacity(n_ekus);
         for _ in 0..n_ekus {
@@ -160,7 +159,8 @@ mod tests {
 
     #[test]
     fn tbs_changes_with_fields() {
-        let ca = CertificateAuthority::new_root("Root", 1, SimTime::EPOCH, SimTime::from_millis(u64::MAX / 2));
+        let ca =
+            CertificateAuthority::new_root("Root", 1, SimTime::EPOCH, SimTime::from_millis(u64::MAX / 2));
         let kp = crate::key::KeyPair::from_seed(5);
         let c1 = ca.issue(
             "Subject A",
@@ -178,7 +178,8 @@ mod tests {
 
     #[test]
     fn validity_window() {
-        let ca = CertificateAuthority::new_root("Root", 1, SimTime::EPOCH, SimTime::from_millis(u64::MAX / 2));
+        let ca =
+            CertificateAuthority::new_root("Root", 1, SimTime::EPOCH, SimTime::from_millis(u64::MAX / 2));
         let kp = crate::key::KeyPair::from_seed(5);
         let c = ca.issue(
             "S",
@@ -196,7 +197,8 @@ mod tests {
 
     #[test]
     fn eku_query() {
-        let ca = CertificateAuthority::new_root("Root", 1, SimTime::EPOCH, SimTime::from_millis(u64::MAX / 2));
+        let ca =
+            CertificateAuthority::new_root("Root", 1, SimTime::EPOCH, SimTime::from_millis(u64::MAX / 2));
         let kp = crate::key::KeyPair::from_seed(5);
         let c = ca.issue(
             "S",

@@ -117,7 +117,9 @@ mod tests {
     fn forged_suffix_hits_target() {
         let legit = b"terminal services license blob, weak-signed by vendor root";
         let target = HashAlgorithm::WeakXor32.digest(legit);
-        for prefix in [&b"evil update binary"[..], b"", b"xyz", b"0123", b"a much longer malicious payload...."] {
+        for prefix in
+            [&b"evil update binary"[..], b"", b"xyz", b"0123", b"a much longer malicious payload...."]
+        {
             let suffix = forge_collision_suffix(prefix, target);
             let mut forged = prefix.to_vec();
             forged.extend_from_slice(&suffix);

@@ -325,7 +325,9 @@ mod tests {
         let (mut store, _ca, key, cert) = setup();
         let serial = cert.serial;
         let sig = CodeSignature::sign(&key, cert, HashAlgorithm::Strong64, b"x");
-        store.verify_code(b"x", &sig, SimTime::from_millis(5), Eku::CodeSigning, VerifyPolicy::strict()).unwrap();
+        store
+            .verify_code(b"x", &sig, SimTime::from_millis(5), Eku::CodeSigning, VerifyPolicy::strict())
+            .unwrap();
         store.distrust(serial);
         assert!(store.is_distrusted(serial));
         let err = store
@@ -364,16 +366,25 @@ mod tests {
         let sig = CodeSignature::sign(&key, lic_cert, HashAlgorithm::WeakXor32, b"update.exe");
         // Legacy path: licensing cert signs code successfully — the Flame flaw.
         store
-            .verify_code(b"update.exe", &sig, SimTime::from_millis(5), Eku::CodeSigning, VerifyPolicy::legacy())
+            .verify_code(
+                b"update.exe",
+                &sig,
+                SimTime::from_millis(5),
+                Eku::CodeSigning,
+                VerifyPolicy::legacy(),
+            )
             .unwrap();
         // Strict path: rejected for EKU (or weak hash, whichever fires first).
         let err = store
-            .verify_code(b"update.exe", &sig, SimTime::from_millis(5), Eku::CodeSigning, VerifyPolicy::strict())
+            .verify_code(
+                b"update.exe",
+                &sig,
+                SimTime::from_millis(5),
+                Eku::CodeSigning,
+                VerifyPolicy::strict(),
+            )
             .unwrap_err();
-        assert!(matches!(
-            err,
-            VerifyCertError::MissingEku { .. } | VerifyCertError::WeakHashRejected { .. }
-        ));
+        assert!(matches!(err, VerifyCertError::MissingEku { .. } | VerifyCertError::WeakHashRejected { .. }));
     }
 
     #[test]

@@ -16,12 +16,7 @@ use malsim_os::usb::UsbId;
 /// A USB courier: the stick rotates through `route` (one hop per `period`),
 /// and at each stop the user browses it in Explorer. Handles contamination,
 /// LNK infection, and the Flame hidden-database ferry at every hop.
-pub fn schedule_usb_courier(
-    sim: &mut WorldSim,
-    usb: UsbId,
-    route: Vec<HostId>,
-    period: SimDuration,
-) {
+pub fn schedule_usb_courier(sim: &mut WorldSim, usb: UsbId, route: Vec<HostId>, period: SimDuration) {
     assert!(!route.is_empty(), "a courier route needs at least one stop");
     let mut hop = 0usize;
     sim.schedule_every(period, move |w: &mut World, s| {
@@ -77,9 +72,7 @@ pub fn schedule_flame_operator(sim: &mut WorldSim, period: SimDuration) {
                 continue;
             }
             for e in &server.entries {
-                if let StolenData::FileSummary { path, size, .. } =
-                    platform.attack_center.decrypt_entry(e)
-                {
+                if let StolenData::FileSummary { path, size, .. } = platform.attack_center.decrypt_entry(e) {
                     by_client.entry(e.client_id).or_default().push((path, size));
                 }
             }

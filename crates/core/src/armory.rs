@@ -36,8 +36,10 @@ impl Pki {
     /// Builds both CAs and installs their roots into every existing host's
     /// trust store.
     pub fn install(world: &mut World) -> Pki {
-        let vendor_ca = CertificateAuthority::new_root("Platform Vendor Root", 1, SimTime::EPOCH, far_future());
-        let hardware_ca = CertificateAuthority::new_root("Hsinchu Hardware Root", 2, SimTime::EPOCH, far_future());
+        let vendor_ca =
+            CertificateAuthority::new_root("Platform Vendor Root", 1, SimTime::EPOCH, far_future());
+        let hardware_ca =
+            CertificateAuthority::new_root("Hsinchu Hardware Root", 2, SimTime::EPOCH, far_future());
         for (_, host) in world.hosts.iter_mut() {
             host.trust.add_root(vendor_ca.root_certificate().clone());
             host.trust.add_root(hardware_ca.root_certificate().clone());
@@ -69,11 +71,7 @@ impl Pki {
             world.dns.register(
                 Domain::new(d),
                 Ipv4::new(203, 0, 113, 10 + i as u8),
-                Registrant {
-                    name: "futbol fan".into(),
-                    country: "MY".into(),
-                    registrar: "reg-sport".into(),
-                },
+                Registrant { name: "futbol fan".into(), country: "MY".into(), registrar: "reg-sport".into() },
             );
         }
     }

@@ -1,5 +1,5 @@
 //! The experiment harness: one function per experiment in DESIGN.md's index
-//! (E1–E12). Examples and benches call these and print the returned rows.
+//! (E1–E13). Examples and benches call these and print the returned rows.
 
 use malsim_kernel::time::{SimDuration, SimTime};
 use malsim_malware::flame;
@@ -90,11 +90,8 @@ pub fn e2_zero_day_ablation(seed: u64, n: usize, days: u64, patch_rates: &[f64])
             pki.arm_stuxnet(&mut world);
             // Seed via USB on host 0 regardless of its patch state? The LNK
             // vector needs an unpatched seed; pick the first vulnerable host.
-            let seed_host = world
-                .hosts
-                .iter()
-                .find(|(_, h)| h.is_vulnerable_to(Bulletin::Ms10_046))
-                .map(|(id, _)| id);
+            let seed_host =
+                world.hosts.iter().find(|(_, h)| h.is_vulnerable_to(Bulletin::Ms10_046)).map(|(id, _)| id);
             if let Some(h) = seed_host {
                 stuxnet::infection::infect_host(&mut world, &mut sim, h, "usb-lnk");
                 sim.run_until(&mut world, sim.now() + SimDuration::from_days(days));
@@ -155,11 +152,8 @@ fn build_plant(world: &mut World, sim: &mut WorldSim, targeted: bool) -> (PlantI
     world.topology.place(station, zone);
     let mut plc = Plc::new(if targeted { CommProcessor::Profibus } else { CommProcessor::Ethernet });
     for _ in 0..10 {
-        let vendor = if targeted {
-            DriveVendor::Vacon
-        } else {
-            DriveVendor::Other("Generic Drives GmbH".into())
-        };
+        let vendor =
+            if targeted { DriveVendor::Vacon } else { DriveVendor::Other("Generic Drives GmbH".into()) };
         plc.attach_drive(FrequencyDrive::new(vendor, 1_064.0));
     }
     let cascade = Cascade::for_plc(&plc);
@@ -428,8 +422,7 @@ pub fn e8_exfil_ablation(seed: u64, clients: usize, days: u64) -> Vec<E8Row> {
             let host = HostId::new(i);
             for d in 0..6 {
                 let (ext, size) = if d % 2 == 0 { ("docx", 500_000) } else { ("txt", 400_000) };
-                let path =
-                    malsim_os::path::WinPath::new(format!(r"C:\Users\user\Documents\f{d}.{ext}"));
+                let path = malsim_os::path::WinPath::new(format!(r"C:\Users\user\Documents\f{d}.{ext}"));
                 world.hosts[host]
                     .fs
                     .write(&path, malsim_os::fs::FileData::Bytes(vec![0; size]), sim.now())
@@ -454,9 +447,7 @@ pub fn e8_exfil_ablation(seed: u64, clients: usize, days: u64) -> Vec<E8Row> {
             .retrieved
             .iter()
             .filter_map(|d| match d {
-                StolenData::FileContent { path, size, .. } if path.ends_with(".docx") => {
-                    Some(*size as u64)
-                }
+                StolenData::FileContent { path, size, .. } if path.ends_with(".docx") => Some(*size as u64),
                 _ => None,
             })
             .sum();
@@ -537,7 +528,11 @@ pub fn e10_trend_matrix(seed: u64) -> Vec<malsim_analysis::trends::TrendProfile>
     flame::client::infect_host(&mut world, &mut sim, HostId::new(4), "seed");
     flame::mitm::snack_claim_wpad(&mut world, &mut sim, HostId::new(4));
     shamoon::dropper::infect_host(&mut world, &mut sim, HostId::new(8), "phish");
-    activity::schedule_update_checks(&mut sim, (0..12).map(HostId::new).collect(), SimDuration::from_hours(24));
+    activity::schedule_update_checks(
+        &mut sim,
+        (0..12).map(HostId::new).collect(),
+        SimDuration::from_hours(24),
+    );
     activity::schedule_flame_operator(&mut sim, SimDuration::from_mins(30));
     activity::schedule_stuxnet_checkins(&mut sim, SimDuration::from_hours(8));
     // Push one module update so modularity registers.
@@ -634,9 +629,7 @@ pub fn e12_suicide_forensics(seed: u64, lan: usize) -> Vec<E12Row> {
             flame::suicide::broadcast_kill(&mut world, &mut sim);
             sim.run_until(&mut world, sim.now() + SimDuration::from_hours(3));
         }
-        let indicators = vec![Indicator::File(malsim_os::path::WinPath::expand(
-            r"%system%\mssecmgr.ocx",
-        ))];
+        let indicators = vec![Indicator::File(malsim_os::path::WinPath::expand(r"%system%\mssecmgr.ocx"))];
         let scores: Vec<f64> = (0..lan)
             .map(|i| analyze_host(&world.hosts[HostId::new(i)], &indicators).recovery_score())
             .collect();
@@ -645,6 +638,124 @@ pub fn e12_suicide_forensics(seed: u64, lan: usize) -> Vec<E12Row> {
             scenario: label.to_owned(),
             recovery_score: scores.iter().sum::<f64>() / scores.len().max(1) as f64,
             server_logs_remaining: platform.servers.iter().map(|s| s.logs.len()).sum(),
+        });
+    }
+    rows
+}
+
+/// E13 (§III-C / fault plane): takedown resilience of the exfiltration
+/// pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E13Row {
+    /// Fraction of the 22 C&C servers sinkholed.
+    pub sinkhole_fraction: f64,
+    /// Servers seized (nested prefix, so higher fractions strictly contain
+    /// lower ones).
+    pub servers_seized: usize,
+    /// Domains seized along with them.
+    pub domains_seized: usize,
+    /// Fraction of clients that still have a live direct path at the end.
+    pub reachable_clients: f64,
+    /// Bytes/week uploaded over direct beacons after the takedown.
+    pub direct_bytes_week: f64,
+    /// Bytes/week recovered through the USB store-and-forward ferry.
+    pub ferried_bytes_week: f64,
+    /// Direct + ferried.
+    pub total_bytes_week: f64,
+    /// Documents stranded in the stick's hidden database at the end (only
+    /// non-zero when no live path remained to flush them through).
+    pub stick_backlog: usize,
+}
+
+/// Runs E13: `clients` infected online hosts with document corpora, a USB
+/// courier circulating through all of them, and — per sweep point — a
+/// [`SinkholeCampaign`](malsim_defense::sinkhole::SinkholeCampaign) seizing
+/// the given fraction of the platform's 22 servers (plus every domain
+/// resolving to them) through DNS *and* the kernel fault plane.
+///
+/// The paper's sample server moved ~5.5 GB/week; the sweep shows that
+/// figure degrading monotonically on the direct path as servers fall, while
+/// the hidden-database ferry recovers blocked clients' documents for every
+/// fraction below 1.0 — at full takedown the documents strand on the stick.
+pub fn e13_takedown_resilience(seed: u64, clients: usize, days: u64, fractions: &[f64]) -> Vec<E13Row> {
+    use malsim_defense::sinkhole::SinkholeCampaign;
+    let mut rows = Vec::new();
+    for &frac in fractions {
+        let (mut world, mut sim) = ScenarioBuilder::new(seed).without_trace().office_lan(clients);
+        let pki = Pki::install(&mut world);
+        pki.arm_flame(&mut world, &mut sim, 22, 80);
+        for i in 0..clients {
+            let host = HostId::new(i);
+            let n_docs = sim.rng.range(3..10usize);
+            for d in 0..n_docs {
+                let ext = *sim.rng.pick(&["docx", "pdf", "xls", "dwg"]).expect("non-empty");
+                let size = sim.rng.range(20_000..2_000_000usize);
+                let path = malsim_os::path::WinPath::new(format!(r"C:\Users\user\Documents\file-{d}.{ext}"));
+                world.hosts[host]
+                    .fs
+                    .write(&path, malsim_os::fs::FileData::Bytes(vec![0; size]), sim.now())
+                    .expect("valid path");
+            }
+            flame::client::infect_host(&mut world, &mut sim, host, "seed");
+            // One contact so every client grows to its 10-domain config;
+            // identical across sweep points because the seizure comes later.
+            flame::client::beacon(&mut world, &mut sim, HostId::new(i));
+        }
+        // Everything uploaded before the takedown is the same for every
+        // fraction; measure the campaign from this baseline.
+        let direct_baseline = sim.metrics.counter("flame.bytes_uploaded");
+        let entry_baseline: u64 = {
+            let p = world.campaigns.flame_platform.as_ref().expect("armed");
+            p.servers.iter().map(|s| s.total_entry_bytes).sum()
+        };
+
+        // The coordinated takedown: a nested prefix of servers, so the sweep
+        // is monotone by construction, seized on the defender side (DNS +
+        // fault plane) and marked seized on the platform itself.
+        let ips: Vec<malsim_net::addr::Ipv4> =
+            world.campaigns.flame_platform.as_ref().expect("armed").servers.iter().map(|s| s.ip).collect();
+        let k = ((ips.len() as f64) * frac).round() as usize;
+        let mut op = SinkholeCampaign::new(malsim_net::addr::Ipv4::new(198, 51, 100, 1));
+        let seized_at = sim.now();
+        for &ip in ips.iter().take(k) {
+            op.seize_server_and_domains(&mut world.dns, &mut sim.faults, ip, seized_at);
+        }
+        {
+            let p = world.campaigns.flame_platform.as_mut().expect("armed");
+            for srv in p.servers.iter_mut().take(k) {
+                srv.seized = true;
+            }
+        }
+
+        let usb = world.usb_drives.push(malsim_os::usb::UsbDrive::new("courier"));
+        if clients > 0 {
+            let route: Vec<HostId> = (0..clients).map(HostId::new).collect();
+            activity::schedule_usb_courier(&mut sim, usb, route, SimDuration::from_hours(6));
+        }
+        activity::schedule_flame_operator(&mut sim, SimDuration::from_mins(30));
+        sim.run_until(&mut world, sim.now() + SimDuration::from_days(days));
+
+        let platform = world.campaigns.flame_platform.as_ref().expect("armed");
+        let direct = sim.metrics.counter("flame.bytes_uploaded") - direct_baseline;
+        let total_entry: u64 =
+            platform.servers.iter().map(|s| s.total_entry_bytes).sum::<u64>() - entry_baseline;
+        let ferried = total_entry.saturating_sub(direct);
+        let reachable = world
+            .campaigns
+            .flame_clients
+            .values()
+            .filter(|c| platform.reach_server_faulted(&world.dns, &sim.faults, sim.now(), &c.domains).is_ok())
+            .count();
+        let per_week = 7.0 / days.max(1) as f64;
+        rows.push(E13Row {
+            sinkhole_fraction: frac,
+            servers_seized: op.seized_servers.len(),
+            domains_seized: op.seized_domains.len(),
+            reachable_clients: reachable as f64 / clients.max(1) as f64,
+            direct_bytes_week: direct as f64 * per_week,
+            ferried_bytes_week: ferried as f64 * per_week,
+            total_bytes_week: total_entry as f64 * per_week,
+            stick_backlog: world.usb_drives[usb].hidden_records().len(),
         });
     }
     rows

@@ -167,8 +167,13 @@ impl ScenarioBuilder {
             ));
         }
         let plant_zone = world.topology.add_zone("enrichment-plant", false);
-        let station =
-            self.spawn_host(&mut world, &mut sim, "eng-station".to_owned(), plant_zone, HostRole::EngineeringStation);
+        let station = self.spawn_host(
+            &mut world,
+            &mut sim,
+            "eng-station".to_owned(),
+            plant_zone,
+            HostRole::EngineeringStation,
+        );
         world.hosts[station].config.internet_access = false;
 
         let mut plc = Plc::new(CommProcessor::Profibus);
@@ -209,11 +214,7 @@ mod tests {
     #[test]
     fn patch_rate_is_respected_statistically() {
         let (world, _) = ScenarioBuilder::new(3).patch_rate(0.8).office_lan(500);
-        let patched = world
-            .hosts
-            .iter()
-            .filter(|(_, h)| !h.is_vulnerable_to(Bulletin::Ms10_046))
-            .count();
+        let patched = world.hosts.iter().filter(|(_, h)| !h.is_vulnerable_to(Bulletin::Ms10_046)).count();
         assert!((340..460).contains(&patched), "got {patched}/500 at rate 0.8");
     }
 

@@ -171,14 +171,9 @@ mod tests {
     #[test]
     fn signature_match_beats_heuristics() {
         let mut av = Antivirus::new(10.0);
-        let img = ImageBuilder::new("TrkSvr.exe", Machine::X86)
-            .import("WriteRawSectors")
-            .build();
+        let img = ImageBuilder::new("TrkSvr.exe", Machine::X86).import("WriteRawSectors").build();
         av.add_signature("W32.Disttrack", img.content_hash());
-        assert_eq!(
-            av.scan_image(&img),
-            ScanVerdict::SignatureMatch { name: "W32.Disttrack".into() }
-        );
+        assert_eq!(av.scan_image(&img), ScanVerdict::SignatureMatch { name: "W32.Disttrack".into() });
         assert_eq!(av.signature_count(), 1);
     }
 

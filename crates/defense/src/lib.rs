@@ -12,7 +12,9 @@
 //! - [`ids`] — a passive network sensor with domain blacklists, request
 //!   patterns, and bulk-upload thresholds;
 //! - [`forensics`] — an offline indicator sweep producing a recovery score,
-//!   used to quantify the effect of SUICIDE/LogWiper anti-forensics.
+//!   used to quantify the effect of SUICIDE/LogWiper anti-forensics;
+//! - [`sinkhole`] — the coordinated C&C takedown action: seizures flip DNS
+//!   records and file permanent windows in the kernel's fault plane.
 //!
 //! # Examples
 //!
@@ -34,10 +36,12 @@
 pub mod av;
 pub mod forensics;
 pub mod ids;
+pub mod sinkhole;
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::av::{Antivirus, ScanVerdict};
     pub use crate::forensics::{analyze_host, ForensicReport, Indicator};
     pub use crate::ids::{Ids, IdsAlert, IdsRule};
+    pub use crate::sinkhole::SinkholeCampaign;
 }

@@ -1,0 +1,161 @@
+//! Sinkholing: the defender-side C&C takedown action.
+//!
+//! When Flame became public, registrars and researchers seized its domains
+//! and pointed them at sinkholes; hosting providers pulled servers. This
+//! module models that response as one coordinated campaign object: each
+//! seizure flips the DNS record and files a permanent
+//! [`FaultKind::ServerTakedown`](malsim_kernel::fault::FaultKind) window in
+//! the fault plane, so every fault-aware consumer (beacons, USB ferry
+//! uploads) sees the takedown from the same source of truth.
+
+use malsim_kernel::fault::FaultPlane;
+use malsim_kernel::time::SimTime;
+use malsim_net::addr::{Domain, Ipv4};
+use malsim_net::dns::Dns;
+
+/// A coordinated takedown/sinkhole operation.
+///
+/// # Examples
+///
+/// ```
+/// use malsim_defense::sinkhole::SinkholeCampaign;
+/// use malsim_kernel::fault::FaultPlane;
+/// use malsim_kernel::rng::SimRng;
+/// use malsim_kernel::time::SimTime;
+/// use malsim_net::addr::{Domain, Ipv4};
+/// use malsim_net::dns::{Dns, Registrant};
+///
+/// let mut dns = Dns::new();
+/// let d = Domain::new("cdn-7.example-news.com");
+/// dns.register(d.clone(), Ipv4::new(185, 10, 0, 7), Registrant {
+///     name: "fake".into(), country: "DE".into(), registrar: "reg-a".into(),
+/// });
+/// let mut faults = FaultPlane::new(SimRng::seed_from(1).fork("fault-plane"));
+/// let mut op = SinkholeCampaign::new(Ipv4::new(198, 51, 100, 1));
+/// assert!(op.seize_domain(&mut dns, &mut faults, &d, SimTime::EPOCH));
+/// assert_eq!(dns.resolve(&d), None);
+/// assert!(faults.taken_down_at(d.as_str(), SimTime::EPOCH));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SinkholeCampaign {
+    /// Where seized domains now point (the researchers' sinkhole).
+    pub sink_ip: Ipv4,
+    /// Domains seized so far.
+    pub seized_domains: Vec<Domain>,
+    /// Server addresses seized so far.
+    pub seized_servers: Vec<Ipv4>,
+}
+
+impl SinkholeCampaign {
+    /// Starts an empty campaign pointing seizures at `sink_ip`.
+    pub fn new(sink_ip: Ipv4) -> Self {
+        SinkholeCampaign { sink_ip, seized_domains: Vec::new(), seized_servers: Vec::new() }
+    }
+
+    /// The fault-plane target name for a seized server (`"c2:<ip>"`),
+    /// matching the convention the malware-side consumers query.
+    pub fn server_target(ip: Ipv4) -> String {
+        format!("c2:{ip}")
+    }
+
+    /// Seizes one domain: takes the DNS record down and files a permanent
+    /// takedown window under the domain name. Returns whether the domain
+    /// existed (an unregistered name is recorded nowhere).
+    pub fn seize_domain(
+        &mut self,
+        dns: &mut Dns,
+        faults: &mut FaultPlane,
+        domain: &Domain,
+        from: SimTime,
+    ) -> bool {
+        if !dns.take_down(domain) {
+            return false;
+        }
+        faults.takedown(domain.as_str(), from);
+        self.seized_domains.push(domain.clone());
+        true
+    }
+
+    /// Seizes a server address: files a permanent takedown window under
+    /// `"c2:<ip>"` so even a still-resolving domain cannot reach it.
+    pub fn seize_server(&mut self, faults: &mut FaultPlane, ip: Ipv4, from: SimTime) {
+        faults.takedown(Self::server_target(ip), from);
+        self.seized_servers.push(ip);
+    }
+
+    /// Seizes a server *and* every registered domain resolving to it — the
+    /// full takedown of one C&C node. Returns how many domains were seized.
+    pub fn seize_server_and_domains(
+        &mut self,
+        dns: &mut Dns,
+        faults: &mut FaultPlane,
+        ip: Ipv4,
+        from: SimTime,
+    ) -> usize {
+        let pointing: Vec<Domain> = dns
+            .domains()
+            .filter(|d| dns.record(d).is_some_and(|r| r.ip == ip && !r.taken_down))
+            .cloned()
+            .collect();
+        for d in &pointing {
+            self.seize_domain(dns, faults, d, from);
+        }
+        self.seize_server(faults, ip, from);
+        pointing.len()
+    }
+
+    /// Number of seizure actions taken so far.
+    pub fn actions(&self) -> usize {
+        self.seized_domains.len() + self.seized_servers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malsim_kernel::rng::SimRng;
+    use malsim_net::dns::Registrant;
+
+    fn reg() -> Registrant {
+        Registrant { name: "fake".into(), country: "DE".into(), registrar: "r".into() }
+    }
+
+    fn plane() -> FaultPlane {
+        FaultPlane::new(SimRng::seed_from(9).fork("fault-plane"))
+    }
+
+    #[test]
+    fn seizing_a_domain_updates_dns_and_plane() {
+        let mut dns = Dns::new();
+        let d = Domain::new("bad.example.com");
+        dns.register(d.clone(), Ipv4::new(185, 10, 0, 1), reg());
+        let mut faults = plane();
+        let mut op = SinkholeCampaign::new(Ipv4::new(198, 51, 100, 1));
+        assert!(op.seize_domain(&mut dns, &mut faults, &d, SimTime::EPOCH));
+        assert_eq!(dns.resolve(&d), None);
+        assert!(faults.taken_down_at(d.as_str(), SimTime::EPOCH));
+        assert_eq!(op.actions(), 1);
+        assert!(!op.seize_domain(&mut dns, &mut faults, &Domain::new("no.example"), SimTime::EPOCH));
+        assert_eq!(op.actions(), 1, "unregistered domain recorded nowhere");
+    }
+
+    #[test]
+    fn full_node_takedown_seizes_every_pointing_domain() {
+        let mut dns = Dns::new();
+        let target = Ipv4::new(185, 10, 0, 2);
+        let other = Ipv4::new(185, 10, 0, 3);
+        for (name, ip) in [("a.example", target), ("b.example", target), ("c.example", other)] {
+            dns.register(Domain::new(name), ip, reg());
+        }
+        let mut faults = plane();
+        let mut op = SinkholeCampaign::new(Ipv4::new(198, 51, 100, 1));
+        let n = op.seize_server_and_domains(&mut dns, &mut faults, target, SimTime::EPOCH);
+        assert_eq!(n, 2);
+        assert_eq!(dns.resolve(&Domain::new("a.example")), None);
+        assert_eq!(dns.resolve(&Domain::new("c.example")), Some(other), "other node untouched");
+        assert!(faults.taken_down_at(&SinkholeCampaign::server_target(target), SimTime::EPOCH));
+        assert!(!faults.taken_down_at(&SinkholeCampaign::server_target(other), SimTime::EPOCH));
+        assert_eq!(op.seized_servers.len(), 1);
+        assert_eq!(op.seized_domains.len(), 2);
+    }
+}

@@ -1,0 +1,399 @@
+//! Deterministic fault-injection plane.
+//!
+//! A [`FaultPlane`] holds a schedule of [`FaultWindow`]s — time intervals
+//! during which a named target (a zone, a domain, a C&C server, a host; the
+//! kernel does not interpret the names) suffers a [`FaultKind`]. Higher
+//! layers consult the plane at decision points (DNS resolution, beaconing,
+//! link traversal) and receive deterministic answers:
+//!
+//! - Pure window queries (`link_down_at`, `dns_outage_at`, …) are just
+//!   interval lookups and consume no randomness.
+//! - Stochastic faults (packet loss) and retry jitter draw from the plane's
+//!   **own forked rng stream**, never from `Sim::rng`. An empty schedule
+//!   therefore leaves the main random stream byte-identical to a run without
+//!   a fault plane at all — fault injection is zero-cost by default.
+//!
+//! Targets are free-form strings matched exactly; the reserved target `"*"`
+//! on a window matches every query. Windows are half-open `[start, end)`;
+//! use [`SimTime::MAX`] as the end for permanent faults (takedowns).
+
+use std::fmt;
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// The class of failure a fault window injects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// The target's network link is severed: no traffic in or out.
+    LinkDown,
+    /// Traffic involving the target is dropped with this probability.
+    PacketLoss {
+        /// Probability in `[0, 1]` that any single exchange is lost.
+        probability: f64,
+    },
+    /// DNS resolution fails for the target domain (or all, for `"*"`).
+    DnsOutage,
+    /// The target server has been seized or sinkholed and answers nothing.
+    ServerTakedown,
+    /// The target host has crashed.
+    HostCrash {
+        /// If set, the host reboots this long after the crash begins.
+        reboot_after: Option<SimDuration>,
+    },
+}
+
+impl FaultKind {
+    /// Short lower-case label used in traces and `Display` output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::LinkDown => "link-down",
+            FaultKind::PacketLoss { .. } => "packet-loss",
+            FaultKind::DnsOutage => "dns-outage",
+            FaultKind::ServerTakedown => "takedown",
+            FaultKind::HostCrash { .. } => "host-crash",
+        }
+    }
+}
+
+/// One scheduled fault: `kind` afflicts `target` during `[start, end)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultWindow {
+    /// Name of the afflicted entity; `"*"` matches every query.
+    pub target: String,
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// First instant the fault is active (inclusive).
+    pub start: SimTime,
+    /// First instant the fault is over (exclusive); [`SimTime::MAX`] = forever.
+    pub end: SimTime,
+}
+
+impl FaultWindow {
+    /// Whether the window covers instant `now`.
+    pub fn active_at(&self, now: SimTime) -> bool {
+        self.start <= now && now < self.end
+    }
+
+    fn matches(&self, target: &str) -> bool {
+        self.target == "*" || self.target == target
+    }
+}
+
+impl fmt::Display for FaultWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.end == SimTime::MAX {
+            write!(f, "{} on {} from {}", self.kind.label(), self.target, self.start)
+        } else {
+            write!(f, "{} on {} during [{}, {})", self.kind.label(), self.target, self.start, self.end)
+        }
+    }
+}
+
+/// The fault schedule owned by [`crate::sched::Sim`].
+///
+/// # Examples
+///
+/// ```
+/// use malsim_kernel::fault::FaultPlane;
+/// use malsim_kernel::rng::SimRng;
+/// use malsim_kernel::time::{SimDuration, SimTime};
+///
+/// let mut plane = FaultPlane::new(SimRng::seed_from(7).fork("fault-plane"));
+/// let noon = SimTime::from_utc(2012, 8, 15, 12, 0, 0);
+/// plane.link_down("zone:office", noon, noon + SimDuration::from_hours(2));
+/// assert!(plane.link_down_at("zone:office", noon + SimDuration::from_mins(30)));
+/// assert!(!plane.link_down_at("zone:office", noon + SimDuration::from_hours(3)));
+/// assert!(!plane.link_down_at("zone:plant", noon));
+/// ```
+pub struct FaultPlane {
+    windows: Vec<FaultWindow>,
+    rng: SimRng,
+}
+
+impl fmt::Debug for FaultPlane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultPlane").field("windows", &self.windows.len()).finish()
+    }
+}
+
+impl FaultPlane {
+    /// Creates an empty plane drawing stochastic faults from `rng`.
+    ///
+    /// [`crate::sched::Sim::new`] builds one automatically from a stream
+    /// forked off the run seed with the label `"fault-plane"`.
+    pub fn new(rng: SimRng) -> Self {
+        FaultPlane { windows: Vec::new(), rng }
+    }
+
+    /// True when no fault has ever been scheduled.
+    ///
+    /// Every query short-circuits on this, so an unused plane costs one
+    /// branch per consultation and zero random draws.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Number of scheduled windows (active or not).
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// All scheduled windows, in insertion order.
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// Windows covering instant `now`.
+    pub fn active_at(&self, now: SimTime) -> impl Iterator<Item = &FaultWindow> {
+        self.windows.iter().filter(move |w| w.active_at(now))
+    }
+
+    /// Adds an arbitrary window to the schedule.
+    pub fn schedule(&mut self, window: FaultWindow) -> &mut Self {
+        self.windows.push(window);
+        self
+    }
+
+    /// Schedules a link outage on `target` during `[start, end)`.
+    pub fn link_down(&mut self, target: impl Into<String>, start: SimTime, end: SimTime) -> &mut Self {
+        self.schedule(FaultWindow { target: target.into(), kind: FaultKind::LinkDown, start, end })
+    }
+
+    /// Schedules lossy traffic on `target` during `[start, end)`.
+    pub fn packet_loss(
+        &mut self,
+        target: impl Into<String>,
+        probability: f64,
+        start: SimTime,
+        end: SimTime,
+    ) -> &mut Self {
+        assert!((0.0..=1.0).contains(&probability), "loss probability {probability} outside [0, 1]");
+        self.schedule(FaultWindow {
+            target: target.into(),
+            kind: FaultKind::PacketLoss { probability },
+            start,
+            end,
+        })
+    }
+
+    /// Schedules a DNS outage for `target` (a domain, or `"*"`) during `[start, end)`.
+    pub fn dns_outage(&mut self, target: impl Into<String>, start: SimTime, end: SimTime) -> &mut Self {
+        self.schedule(FaultWindow { target: target.into(), kind: FaultKind::DnsOutage, start, end })
+    }
+
+    /// Schedules a permanent seizure of `target` starting at `start`.
+    pub fn takedown(&mut self, target: impl Into<String>, start: SimTime) -> &mut Self {
+        self.schedule(FaultWindow {
+            target: target.into(),
+            kind: FaultKind::ServerTakedown,
+            start,
+            end: SimTime::MAX,
+        })
+    }
+
+    /// Schedules a crash of `target` at `start`, optionally rebooting after
+    /// `reboot_after` (a crash with `None` lasts forever).
+    pub fn host_crash(
+        &mut self,
+        target: impl Into<String>,
+        start: SimTime,
+        reboot_after: Option<SimDuration>,
+    ) -> &mut Self {
+        let end = match reboot_after {
+            Some(d) => start.saturating_add(d),
+            None => SimTime::MAX,
+        };
+        self.schedule(FaultWindow {
+            target: target.into(),
+            kind: FaultKind::HostCrash { reboot_after },
+            start,
+            end,
+        })
+    }
+
+    fn kind_active(&self, target: &str, now: SimTime, pred: impl Fn(&FaultKind) -> bool) -> bool {
+        !self.windows.is_empty()
+            && self.windows.iter().any(|w| pred(&w.kind) && w.matches(target) && w.active_at(now))
+    }
+
+    /// Is `target`'s link severed at `now`?
+    pub fn link_down_at(&self, target: &str, now: SimTime) -> bool {
+        self.kind_active(target, now, |k| matches!(k, FaultKind::LinkDown))
+    }
+
+    /// Does DNS resolution fail for `target` at `now`?
+    pub fn dns_outage_at(&self, target: &str, now: SimTime) -> bool {
+        self.kind_active(target, now, |k| matches!(k, FaultKind::DnsOutage))
+    }
+
+    /// Has `target` been seized/sinkholed as of `now`?
+    pub fn taken_down_at(&self, target: &str, now: SimTime) -> bool {
+        self.kind_active(target, now, |k| matches!(k, FaultKind::ServerTakedown))
+    }
+
+    /// Is `target` crashed (and not yet rebooted) at `now`?
+    pub fn host_crashed_at(&self, target: &str, now: SimTime) -> bool {
+        self.kind_active(target, now, |k| matches!(k, FaultKind::HostCrash { .. }))
+    }
+
+    /// Effective loss probability for `target` at `now` (max over windows).
+    pub fn loss_probability(&self, target: &str, now: SimTime) -> f64 {
+        if self.windows.is_empty() {
+            return 0.0;
+        }
+        self.windows
+            .iter()
+            .filter(|w| w.matches(target) && w.active_at(now))
+            .filter_map(|w| match w.kind {
+                FaultKind::PacketLoss { probability } => Some(probability),
+                _ => None,
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Rolls the dice on packet loss for one exchange involving `target`.
+    ///
+    /// Draws from the plane's forked stream **only when** a loss window is
+    /// active, so runs without scheduled loss consume no randomness here.
+    pub fn roll_packet_loss(&mut self, target: &str, now: SimTime) -> bool {
+        let p = self.loss_probability(target, now);
+        if p <= 0.0 {
+            return false;
+        }
+        self.rng.chance(p)
+    }
+
+    /// Deterministic jitter draw in `[0, bound_ms]` from the plane's stream.
+    ///
+    /// Retry policies use this (rather than `Sim::rng`) so that backoff
+    /// jitter never perturbs the main random stream.
+    pub fn jitter_ms(&mut self, bound_ms: u64) -> u64 {
+        if bound_ms == 0 {
+            return 0;
+        }
+        self.rng.range(0..bound_ms + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane(seed: u64) -> FaultPlane {
+        FaultPlane::new(SimRng::seed_from(seed).fork("fault-plane"))
+    }
+
+    fn t(hours: u64) -> SimTime {
+        SimTime::EPOCH + SimDuration::from_hours(hours)
+    }
+
+    #[test]
+    fn empty_plane_answers_negative_without_rng() {
+        let mut p = plane(1);
+        assert!(p.is_empty());
+        assert!(!p.link_down_at("zone:a", t(1)));
+        assert!(!p.dns_outage_at("example.com", t(1)));
+        assert!(!p.taken_down_at("c2:0", t(1)));
+        assert!(!p.host_crashed_at("host:3", t(1)));
+        assert_eq!(p.loss_probability("zone:a", t(1)), 0.0);
+        assert!(!p.roll_packet_loss("zone:a", t(1)));
+        // The rng stream was never touched: it still matches a fresh fork.
+        let mut fresh = SimRng::seed_from(1).fork("fault-plane");
+        assert_eq!(p.rng.bits(), fresh.bits());
+    }
+
+    #[test]
+    fn windows_are_half_open() {
+        let mut p = plane(2);
+        p.link_down("zone:a", t(10), t(12));
+        assert!(!p.link_down_at("zone:a", t(9)));
+        assert!(p.link_down_at("zone:a", t(10)));
+        assert!(p.link_down_at("zone:a", t(11)));
+        assert!(!p.link_down_at("zone:a", t(12)), "end is exclusive");
+    }
+
+    #[test]
+    fn wildcard_target_matches_everything() {
+        let mut p = plane(3);
+        p.dns_outage("*", t(0), t(5));
+        assert!(p.dns_outage_at("anything.example.com", t(2)));
+        assert!(!p.dns_outage_at("anything.example.com", t(6)));
+    }
+
+    #[test]
+    fn takedown_is_permanent() {
+        let mut p = plane(4);
+        p.takedown("c2:7", t(3));
+        assert!(!p.taken_down_at("c2:7", t(2)));
+        assert!(p.taken_down_at("c2:7", t(3)));
+        assert!(p.taken_down_at("c2:7", t(500_000)));
+    }
+
+    #[test]
+    fn crash_with_reboot_window_ends() {
+        let mut p = plane(5);
+        p.host_crash("host:1", t(1), Some(SimDuration::from_hours(4)));
+        p.host_crash("host:2", t(1), None);
+        assert!(p.host_crashed_at("host:1", t(2)));
+        assert!(!p.host_crashed_at("host:1", t(5)), "rebooted");
+        assert!(p.host_crashed_at("host:2", t(5_000)), "no reboot scheduled");
+    }
+
+    #[test]
+    fn loss_probability_takes_max_of_overlaps() {
+        let mut p = plane(6);
+        p.packet_loss("zone:a", 0.2, t(0), t(10));
+        p.packet_loss("*", 0.5, t(5), t(10));
+        assert_eq!(p.loss_probability("zone:a", t(1)), 0.2);
+        assert_eq!(p.loss_probability("zone:a", t(6)), 0.5);
+        assert_eq!(p.loss_probability("zone:b", t(6)), 0.5);
+        assert_eq!(p.loss_probability("zone:b", t(1)), 0.0);
+    }
+
+    #[test]
+    fn packet_loss_rolls_are_deterministic_per_seed() {
+        let roll_series = |seed: u64| {
+            let mut p = plane(seed);
+            p.packet_loss("zone:a", 0.5, t(0), t(100));
+            (0..64).map(|h| p.roll_packet_loss("zone:a", t(h))).collect::<Vec<_>>()
+        };
+        assert_eq!(roll_series(9), roll_series(9));
+        assert_ne!(roll_series(9), roll_series(10));
+        let lost = roll_series(9).iter().filter(|&&l| l).count();
+        assert!((16..=48).contains(&lost), "p=0.5 should lose roughly half, got {lost}/64");
+    }
+
+    #[test]
+    fn certain_loss_always_drops() {
+        let mut p = plane(7);
+        p.packet_loss("zone:a", 1.0, t(0), t(10));
+        assert!((0..10).all(|h| p.roll_packet_loss("zone:a", t(h))));
+    }
+
+    #[test]
+    fn jitter_respects_bound() {
+        let mut p = plane(8);
+        for bound in [0u64, 1, 17, 60_000] {
+            for _ in 0..32 {
+                assert!(p.jitter_ms(bound) <= bound);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn invalid_probability_panics() {
+        plane(9).packet_loss("zone:a", 1.5, t(0), t(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut p = plane(10);
+        p.takedown("c2:3", t(1));
+        p.link_down("zone:a", t(1), t(2));
+        let rendered: Vec<String> = p.windows().iter().map(|w| w.to_string()).collect();
+        assert!(rendered[0].starts_with("takedown on c2:3 from "));
+        assert!(rendered[1].contains("link-down on zone:a during ["));
+    }
+}

@@ -11,6 +11,9 @@
 //!   a caller-owned world; ordering is total and deterministic.
 //! - [`rng::SimRng`] — a seeded, forkable ChaCha8 random source; the same
 //!   `(scenario, seed)` pair always yields the same trace.
+//! - [`fault::FaultPlane`] — a deterministic fault-injection schedule (link
+//!   outages, packet loss, DNS outages, takedowns, host crashes) with its own
+//!   forked random stream, so an empty schedule never perturbs a run.
 //! - [`trace::TraceLog`] — the structured forensic record of a run.
 //! - [`metrics::Metrics`] — counters, histograms, and time series that
 //!   experiments read back out.
@@ -40,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod ids;
 pub mod metrics;
 pub mod rng;
@@ -49,9 +53,10 @@ pub mod trace;
 
 /// Convenient glob-import of the kernel's commonly used items.
 pub mod prelude {
+    pub use crate::fault::{FaultKind, FaultPlane, FaultWindow};
     pub use crate::metrics::Metrics;
     pub use crate::rng::SimRng;
     pub use crate::sched::{EventHandle, Sim};
-    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::time::{SimDuration, SimTime, TimeError};
     pub use crate::trace::{TraceCategory, TraceEvent, TraceLog};
 }

@@ -112,7 +112,7 @@ impl SimRng {
     pub fn exp_millis(&mut self, mean_ms: f64) -> u64 {
         let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
         let v = -mean_ms * u.ln();
-        v.max(1.0).min(1e15) as u64
+        v.clamp(1.0, 1e15) as u64
     }
 
     /// Raw 64 random bits.

@@ -14,6 +14,7 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 use std::fmt;
 
+use crate::fault::FaultPlane;
 use crate::metrics::Metrics;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -77,6 +78,12 @@ pub struct Sim<W> {
     pub trace: TraceLog,
     /// Metric registry.
     pub metrics: Metrics,
+    /// Deterministic fault-injection schedule (empty by default).
+    ///
+    /// Draws stochastic faults from a stream forked off the run seed with
+    /// the label `"fault-plane"`, so scheduling faults never perturbs
+    /// [`Sim::rng`] and an empty schedule is observationally free.
+    pub faults: FaultPlane,
 }
 
 impl<W> fmt::Debug for Sim<W> {
@@ -101,6 +108,7 @@ impl<W> Sim<W> {
             rng: SimRng::seed_from(seed),
             trace: TraceLog::new(),
             metrics: Metrics::new(),
+            faults: FaultPlane::new(SimRng::seed_from(seed).fork("fault-plane")),
         }
     }
 

@@ -38,9 +38,36 @@ pub struct SimTime(u64);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimDuration(u64);
 
+/// Typed error for time arithmetic that cannot be represented.
+///
+/// Returned by the `checked_*` operations on [`SimTime`] and
+/// [`SimDuration`]; the plain operators saturate instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeError {
+    /// The result exceeds the representable range.
+    Overflow,
+    /// Subtraction would produce a negative time or duration.
+    Underflow,
+}
+
+impl fmt::Display for TimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeError::Overflow => write!(f, "time arithmetic overflowed"),
+            TimeError::Underflow => write!(f, "time arithmetic underflowed"),
+        }
+    }
+}
+
+impl std::error::Error for TimeError {}
+
 impl SimTime {
     /// The zero point (Unix epoch, 1970-01-01T00:00:00Z).
     pub const EPOCH: SimTime = SimTime(0);
+
+    /// The last representable instant; used as the open end of permanent
+    /// fault windows ("forever").
+    pub const MAX: SimTime = SimTime(u64::MAX);
 
     /// Creates a time from raw milliseconds since the Unix epoch.
     pub const fn from_millis(ms: u64) -> Self {
@@ -121,6 +148,23 @@ impl SimTime {
     pub const fn saturating_since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
+
+    /// Checked addition of a duration; [`TimeError::Overflow`] past [`SimTime::MAX`].
+    pub const fn checked_add(self, rhs: SimDuration) -> Result<SimTime, TimeError> {
+        match self.0.checked_add(rhs.0) {
+            Some(ms) => Ok(SimTime(ms)),
+            None => Err(TimeError::Overflow),
+        }
+    }
+
+    /// Checked duration since an earlier time; [`TimeError::Underflow`] if
+    /// `earlier` is actually later.
+    pub const fn checked_since(self, earlier: SimTime) -> Result<SimDuration, TimeError> {
+        match self.0.checked_sub(earlier.0) {
+            Some(ms) => Ok(SimDuration(ms)),
+            None => Err(TimeError::Underflow),
+        }
+    }
 }
 
 impl SimDuration {
@@ -172,43 +216,75 @@ impl SimDuration {
         SimDuration(self.0.saturating_mul(factor))
     }
 
+    /// Checked addition; [`TimeError::Overflow`] if the sum is unrepresentable.
+    pub const fn checked_add(self, rhs: SimDuration) -> Result<SimDuration, TimeError> {
+        match self.0.checked_add(rhs.0) {
+            Some(ms) => Ok(SimDuration(ms)),
+            None => Err(TimeError::Overflow),
+        }
+    }
+
+    /// Checked subtraction; [`TimeError::Underflow`] if `rhs` is longer.
+    pub const fn checked_sub(self, rhs: SimDuration) -> Result<SimDuration, TimeError> {
+        match self.0.checked_sub(rhs.0) {
+            Some(ms) => Ok(SimDuration(ms)),
+            None => Err(TimeError::Underflow),
+        }
+    }
+
+    /// Checked multiplication by an integer factor.
+    pub const fn checked_mul(self, factor: u64) -> Result<SimDuration, TimeError> {
+        match self.0.checked_mul(factor) {
+            Some(ms) => Ok(SimDuration(ms)),
+            None => Err(TimeError::Overflow),
+        }
+    }
+
+    /// The longest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
     /// Returns true if the duration is zero.
     pub const fn is_zero(self) -> bool {
         self.0 == 0
     }
 }
 
+// The operators saturate rather than panic: simulation arithmetic near the
+// edges of the representable range (e.g. `SimTime::MAX` fault windows) must
+// never abort a run. Code that needs to *detect* the edge uses the
+// `checked_*` methods and handles `TimeError` explicitly.
+
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0 + rhs.0)
+        self.saturating_add(rhs)
     }
 }
 
 impl AddAssign<SimDuration> for SimTime {
     fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
+        *self = self.saturating_add(rhs);
     }
 }
 
 impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
     fn sub(self, rhs: SimTime) -> SimDuration {
-        SimDuration(self.0 - rhs.0)
+        self.saturating_since(rhs)
     }
 }
 
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0 + rhs.0)
+        SimDuration(self.0.saturating_add(rhs.0))
     }
 }
 
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0 - rhs.0)
+        SimDuration(self.0.saturating_sub(rhs.0))
     }
 }
 
@@ -242,7 +318,7 @@ impl fmt::Display for SimDuration {
 }
 
 const fn is_leap(year: u32) -> bool {
-    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+    year.is_multiple_of(4) && (!year.is_multiple_of(100) || year.is_multiple_of(400))
 }
 
 const fn days_in_month(year: u32, month: u32) -> u32 {
@@ -314,6 +390,34 @@ mod tests {
         assert_eq!((t + SimDuration::from_secs(2)).as_millis(), 3_000);
         assert_eq!(t.saturating_since(SimTime::from_millis(5_000)), SimDuration::ZERO);
         assert_eq!(SimDuration::from_mins(2).saturating_mul(30), SimDuration::from_hours(1));
+    }
+
+    #[test]
+    fn checked_arithmetic_reports_edges() {
+        let t = SimTime::from_millis(1_000);
+        assert_eq!(t.checked_add(SimDuration::from_secs(2)), Ok(SimTime::from_millis(3_000)));
+        assert_eq!(SimTime::MAX.checked_add(SimDuration::from_millis(1)), Err(TimeError::Overflow));
+        assert_eq!(t.checked_since(SimTime::from_millis(5_000)), Err(TimeError::Underflow));
+        assert_eq!(t.checked_since(SimTime::from_millis(400)), Ok(SimDuration::from_millis(600)));
+        assert_eq!(SimDuration::MAX.checked_add(SimDuration::from_millis(1)), Err(TimeError::Overflow));
+        assert_eq!(
+            SimDuration::from_secs(1).checked_sub(SimDuration::from_secs(2)),
+            Err(TimeError::Underflow)
+        );
+        assert_eq!(SimDuration::MAX.checked_mul(2), Err(TimeError::Overflow));
+        assert_eq!(SimDuration::from_mins(2).checked_mul(30), Ok(SimDuration::from_hours(1)));
+        assert_eq!(TimeError::Overflow.to_string(), "time arithmetic overflowed");
+    }
+
+    #[test]
+    fn operators_saturate_at_the_edges() {
+        assert_eq!(SimTime::MAX + SimDuration::from_days(1), SimTime::MAX);
+        assert_eq!(SimTime::EPOCH - SimTime::MAX, SimDuration::ZERO);
+        assert_eq!(SimDuration::MAX + SimDuration::from_secs(1), SimDuration::MAX);
+        assert_eq!(SimDuration::from_secs(1) - SimDuration::from_secs(5), SimDuration::ZERO);
+        let mut t = SimTime::MAX;
+        t += SimDuration::from_hours(1);
+        assert_eq!(t, SimTime::MAX);
     }
 
     #[test]

@@ -116,12 +116,7 @@ impl TraceLog {
         message: impl Into<String>,
     ) {
         if self.enabled {
-            self.events.push(TraceEvent {
-                time,
-                category,
-                actor: actor.into(),
-                message: message.into(),
-            });
+            self.events.push(TraceEvent { time, category, actor: actor.into(), message: message.into() });
         }
     }
 

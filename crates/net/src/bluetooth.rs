@@ -102,9 +102,7 @@ impl BluetoothPlane {
         self.radios
             .iter()
             .filter(|(id, r)| {
-                **id != from
-                    && r.discoverable
-                    && dist(origin.x, origin.y, r.x, r.y) <= self.range_m
+                **id != from && r.discoverable && dist(origin.x, origin.y, r.x, r.y) <= self.range_m
             })
             .map(|(id, _)| *id)
             .collect()
@@ -129,7 +127,7 @@ impl BluetoothPlane {
     /// leaks, not the geometry error).
     pub fn leak_position(&self, id: RadioId) -> Option<(f64, f64)> {
         let r = self.radios.get(&id)?;
-        if self.observers_of(id).len() >= 1 {
+        if !self.observers_of(id).is_empty() {
             Some((r.x, r.y))
         } else {
             None
@@ -214,10 +212,8 @@ mod tests {
         let phone_id = p.add(phone("boss", 3.0, 0.0));
         let found = p.discover_from(host);
         assert_eq!(found, vec![phone_id]);
-        let contacts: Vec<&str> = found
-            .iter()
-            .flat_map(|id| p.radio(*id).unwrap().contacts.iter().map(String::as_str))
-            .collect();
+        let contacts: Vec<&str> =
+            found.iter().flat_map(|id| p.radio(*id).unwrap().contacts.iter().map(String::as_str)).collect();
         assert_eq!(contacts, vec!["boss-contact"]);
     }
 

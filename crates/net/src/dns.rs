@@ -7,10 +7,36 @@
 //! reachability.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
+use malsim_kernel::fault::FaultPlane;
+use malsim_kernel::time::SimTime;
 use serde::{Deserialize, Serialize};
 
 use crate::addr::{Domain, Ipv4};
+
+/// Typed resolution failure, distinguishing *why* a lookup found nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DnsError {
+    /// The domain was never registered.
+    NxDomain,
+    /// The record exists but has been seized/taken down.
+    TakenDown,
+    /// A scheduled fault window is suppressing resolution right now.
+    Outage,
+}
+
+impl fmt::Display for DnsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnsError::NxDomain => write!(f, "no such domain"),
+            DnsError::TakenDown => write!(f, "domain taken down"),
+            DnsError::Outage => write!(f, "dns outage"),
+        }
+    }
+}
+
+impl std::error::Error for DnsError {}
 
 /// Who registered a domain (fake identities, per the paper).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -70,6 +96,22 @@ impl Dns {
         self.records.get(domain).filter(|r| !r.taken_down).map(|r| r.ip)
     }
 
+    /// Fault-aware resolution with a typed failure reason.
+    ///
+    /// Consults the fault plane for DNS-outage windows matching the domain
+    /// (or `"*"`). With an empty plane this reduces to [`Dns::resolve`] plus
+    /// one branch, and draws no randomness.
+    pub fn try_resolve(&self, domain: &Domain, faults: &FaultPlane, now: SimTime) -> Result<Ipv4, DnsError> {
+        if faults.dns_outage_at(domain.as_str(), now) {
+            return Err(DnsError::Outage);
+        }
+        match self.records.get(domain) {
+            None => Err(DnsError::NxDomain),
+            Some(r) if r.taken_down => Err(DnsError::TakenDown),
+            Some(r) => Ok(r.ip),
+        }
+    }
+
     /// Marks a domain as taken down. Returns whether the domain existed.
     pub fn take_down(&mut self, domain: &Domain) -> bool {
         match self.records.get_mut(domain) {
@@ -104,8 +146,7 @@ impl Dns {
     /// Distinct IPs that still have at least one live domain pointing at
     /// them.
     pub fn live_ips(&self) -> Vec<Ipv4> {
-        let mut ips: Vec<Ipv4> =
-            self.records.values().filter(|r| !r.taken_down).map(|r| r.ip).collect();
+        let mut ips: Vec<Ipv4> = self.records.values().filter(|r| !r.taken_down).map(|r| r.ip).collect();
         ips.sort_unstable();
         ips.dedup();
         ips
@@ -150,5 +191,34 @@ mod tests {
         let dns = Dns::new();
         assert_eq!(dns.resolve(&Domain::new("nope.org")), None);
         assert!(dns.is_empty());
+    }
+
+    #[test]
+    fn try_resolve_distinguishes_failure_modes() {
+        use malsim_kernel::rng::SimRng;
+        use malsim_kernel::time::SimDuration;
+
+        let mut dns = Dns::new();
+        let live = Domain::new("live.example.com");
+        let seized = Domain::new("seized.example.com");
+        dns.register(live.clone(), Ipv4::new(1, 1, 1, 1), reg("DE"));
+        dns.register(seized.clone(), Ipv4::new(2, 2, 2, 2), reg("AT"));
+        dns.take_down(&seized);
+
+        let mut faults = FaultPlane::new(SimRng::seed_from(1).fork("fault-plane"));
+        let t0 = SimTime::EPOCH;
+        assert_eq!(dns.try_resolve(&live, &faults, t0), Ok(Ipv4::new(1, 1, 1, 1)));
+        assert_eq!(dns.try_resolve(&seized, &faults, t0), Err(DnsError::TakenDown));
+        assert_eq!(dns.try_resolve(&Domain::new("nope.org"), &faults, t0), Err(DnsError::NxDomain));
+
+        // An outage window beats the record while active, then clears.
+        faults.dns_outage(live.as_str(), t0, t0 + SimDuration::from_hours(1));
+        assert_eq!(dns.try_resolve(&live, &faults, t0), Err(DnsError::Outage));
+        let after = t0 + SimDuration::from_hours(2);
+        assert_eq!(dns.try_resolve(&live, &faults, after), Ok(Ipv4::new(1, 1, 1, 1)));
+
+        // Global outage via the wildcard target.
+        faults.dns_outage("*", after, after + SimDuration::from_hours(1));
+        assert_eq!(dns.try_resolve(&live, &faults, after), Err(DnsError::Outage));
     }
 }

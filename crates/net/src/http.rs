@@ -6,10 +6,93 @@
 //! the wipe statistics. These are modelled as simple structured messages.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
+use malsim_kernel::fault::FaultPlane;
+use malsim_kernel::time::SimTime;
 use serde::{Deserialize, Serialize};
 
 use crate::addr::Domain;
+use crate::dns::DnsError;
+
+/// Typed transport-level failure for one HTTP exchange.
+///
+/// Produced by [`check_transport`] (and the fault-aware call sites built on
+/// it) so callers can distinguish *retryable* conditions — a severed link, a
+/// lost packet, a DNS outage — from terminal ones like a seized server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpError {
+    /// The client's uplink is severed (zone link down).
+    LinkDown,
+    /// The exchange was dropped by an active packet-loss window.
+    PacketLost,
+    /// Name resolution failed.
+    Dns(DnsError),
+    /// The server end is seized, sinkholed, or otherwise not answering.
+    ServerUnavailable,
+}
+
+impl HttpError {
+    /// Whether retrying later could plausibly succeed.
+    ///
+    /// Takedowns and unregistered names are terminal for this destination;
+    /// outages, loss, and link faults are transient by construction (they
+    /// are windows).
+    pub fn is_transient(&self) -> bool {
+        match self {
+            HttpError::LinkDown | HttpError::PacketLost => true,
+            HttpError::Dns(DnsError::Outage) => true,
+            HttpError::Dns(DnsError::NxDomain) | HttpError::Dns(DnsError::TakenDown) => false,
+            HttpError::ServerUnavailable => false,
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::LinkDown => write!(f, "link down"),
+            HttpError::PacketLost => write!(f, "packet lost"),
+            HttpError::Dns(e) => write!(f, "dns: {e}"),
+            HttpError::ServerUnavailable => write!(f, "server unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<DnsError> for HttpError {
+    fn from(e: DnsError) -> Self {
+        HttpError::Dns(e)
+    }
+}
+
+/// Consults the fault plane for one client→server exchange.
+///
+/// Checks, in order: a link-down window on `client_target` (e.g.
+/// `"zone:office"`), a takedown window on `server_target` (e.g. a domain or
+/// `"c2:<ip>"`), then rolls packet loss for either end. With an empty plane
+/// this is three branches and no randomness.
+pub fn check_transport(
+    faults: &mut FaultPlane,
+    now: SimTime,
+    client_target: &str,
+    server_target: &str,
+) -> Result<(), HttpError> {
+    if faults.is_empty() {
+        return Ok(());
+    }
+    if faults.link_down_at(client_target, now) {
+        return Err(HttpError::LinkDown);
+    }
+    if faults.taken_down_at(server_target, now) {
+        return Err(HttpError::ServerUnavailable);
+    }
+    if faults.roll_packet_loss(client_target, now) || faults.roll_packet_loss(server_target, now) {
+        return Err(HttpError::PacketLost);
+    }
+    Ok(())
+}
 
 /// HTTP method subset used by the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -61,8 +144,7 @@ impl HttpRequest {
         if self.query.is_empty() {
             format!("{m} http://{}{}", self.host, self.path)
         } else {
-            let qs: Vec<String> =
-                self.query.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let qs: Vec<String> = self.query.iter().map(|(k, v)| format!("{k}={v}")).collect();
             format!("{m} http://{}{}?{}", self.host, self.path, qs.join("&"))
         }
     }
@@ -132,5 +214,37 @@ mod tests {
         assert!(HttpResponse::ok(vec![]).is_success());
         assert!(!HttpResponse::not_found().is_success());
         assert_eq!(HttpResponse::unavailable().status, 503);
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(HttpError::LinkDown.is_transient());
+        assert!(HttpError::PacketLost.is_transient());
+        assert!(HttpError::Dns(DnsError::Outage).is_transient());
+        assert!(!HttpError::Dns(DnsError::NxDomain).is_transient());
+        assert!(!HttpError::Dns(DnsError::TakenDown).is_transient());
+        assert!(!HttpError::ServerUnavailable.is_transient());
+    }
+
+    #[test]
+    fn check_transport_consults_each_fault_class() {
+        use malsim_kernel::rng::SimRng;
+        use malsim_kernel::time::SimDuration;
+
+        let mut faults = FaultPlane::new(SimRng::seed_from(3).fork("fault-plane"));
+        let t0 = SimTime::EPOCH;
+        assert_eq!(check_transport(&mut faults, t0, "zone:a", "c2:1"), Ok(()));
+
+        faults.link_down("zone:a", t0, t0 + SimDuration::from_hours(1));
+        assert_eq!(check_transport(&mut faults, t0, "zone:a", "c2:1"), Err(HttpError::LinkDown));
+        let later = t0 + SimDuration::from_hours(2);
+        assert_eq!(check_transport(&mut faults, later, "zone:a", "c2:1"), Ok(()));
+
+        faults.takedown("c2:1", later);
+        assert_eq!(check_transport(&mut faults, later, "zone:a", "c2:1"), Err(HttpError::ServerUnavailable));
+        assert_eq!(check_transport(&mut faults, later, "zone:a", "c2:2"), Ok(()));
+
+        faults.packet_loss("zone:b", 1.0, later, SimTime::MAX);
+        assert_eq!(check_transport(&mut faults, later, "zone:b", "c2:2"), Err(HttpError::PacketLost));
     }
 }

@@ -9,7 +9,10 @@
 //!   ~22 server addresses);
 //! - [`topology`] — zones/LANs, internet vs air-gapped reachability, and
 //!   WPAD-claimant proxy resolution (the SNACK man-in-the-middle hook);
-//! - [`http`] — plain-data requests/responses both C&C protocols ride on;
+//! - [`http`] — plain-data requests/responses both C&C protocols ride on,
+//!   plus typed transport errors and the fault-plane consultation point;
+//! - [`retry`] — capped exponential backoff with deterministic jitter, the
+//!   discipline fault-aware clients use to survive outages;
 //! - [`lateral`] — lateral-movement predicates: SMB share copy, the
 //!   MS10-061 print-spooler vector, LNK rendering, autorun;
 //! - [`winupdate`] — the Windows Update install decision, including the
@@ -43,6 +46,7 @@ pub mod bluetooth;
 pub mod dns;
 pub mod http;
 pub mod lateral;
+pub mod retry;
 pub mod topology;
 pub mod winupdate;
 
@@ -50,12 +54,12 @@ pub mod winupdate;
 pub mod prelude {
     pub use crate::addr::{Domain, Ipv4};
     pub use crate::bluetooth::{BluetoothPlane, Radio, RadioId, RadioKind};
-    pub use crate::dns::{Dns, DnsRecord, Registrant};
-    pub use crate::http::{HttpRequest, HttpResponse, Method};
+    pub use crate::dns::{Dns, DnsError, DnsRecord, Registrant};
+    pub use crate::http::{check_transport, HttpError, HttpRequest, HttpResponse, Method};
     pub use crate::lateral::{
-        autorun_executes, can_copy_to_share, can_exploit_spooler, lnk_render_compromises,
-        LateralBlocked,
+        autorun_executes, can_copy_to_share, can_exploit_spooler, lnk_render_compromises, LateralBlocked,
     };
+    pub use crate::retry::RetryPolicy;
     pub use crate::topology::{Topology, Zone, ZoneId};
     pub use crate::winupdate::{client_accepts_update, UpdatePackage, UpdateRejected};
 }

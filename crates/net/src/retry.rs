@@ -1,0 +1,160 @@
+//! Retry policy: capped exponential backoff with deterministic jitter.
+//!
+//! Real C&C clients do not give up after one failed beacon — Flame's client
+//! kept a domain list precisely so it could fail over and try again later.
+//! [`RetryPolicy`] models that discipline: attempt `n` waits
+//! `min(base · 2ⁿ, cap)` plus a jitter drawn from the **fault plane's**
+//! forked rng stream (never from `Sim::rng`), so retry scheduling cannot
+//! perturb the main random stream of a run.
+
+use malsim_kernel::fault::FaultPlane;
+use malsim_kernel::time::SimDuration;
+
+/// Capped exponential backoff with bounded retries and proportional jitter.
+///
+/// # Examples
+///
+/// ```
+/// use malsim_net::retry::RetryPolicy;
+/// use malsim_kernel::time::SimDuration;
+///
+/// let p = RetryPolicy::flame_default();
+/// assert!(p.should_retry(0));
+/// assert_eq!(p.backoff(1), p.backoff(0).saturating_mul(2));
+/// assert!(p.backoff(60) <= p.cap, "growth is capped");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Delay before the first retry.
+    pub base: SimDuration,
+    /// Upper bound on any single delay (before jitter).
+    pub cap: SimDuration,
+    /// Maximum number of retries after the initial attempt.
+    pub max_retries: u32,
+    /// Jitter bound as parts-per-hundred of the backoff (0 = none,
+    /// 25 = up to +25%).
+    pub jitter_pct: u32,
+}
+
+impl RetryPolicy {
+    /// The policy the modelled Flame client uses: 2 min base, 1 h cap,
+    /// 5 retries, up to +25% jitter.
+    pub fn flame_default() -> Self {
+        RetryPolicy {
+            base: SimDuration::from_mins(2),
+            cap: SimDuration::from_hours(1),
+            max_retries: 5,
+            jitter_pct: 25,
+        }
+    }
+
+    /// Whether attempt number `attempt` (0-based count of *failures so far*)
+    /// is still within the retry budget.
+    pub fn should_retry(&self, attempt: u32) -> bool {
+        attempt < self.max_retries
+    }
+
+    /// Raw backoff for the given attempt: `min(base · 2^attempt, cap)`.
+    ///
+    /// Monotone non-decreasing in `attempt` and saturating — large attempt
+    /// numbers simply pin to the cap.
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        let factor = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+        self.base.saturating_mul(factor).min(self.cap)
+    }
+
+    /// Backoff plus a deterministic jitter in `[0, jitter_pct%]` of itself,
+    /// drawn from the fault plane's forked stream.
+    pub fn delay(&self, attempt: u32, faults: &mut FaultPlane) -> SimDuration {
+        let backoff = self.backoff(attempt);
+        let bound_ms = backoff.as_millis() / 100 * u64::from(self.jitter_pct);
+        backoff + SimDuration::from_millis(faults.jitter_ms(bound_ms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malsim_kernel::rng::SimRng;
+    use proptest::prelude::*;
+
+    fn plane(seed: u64) -> FaultPlane {
+        FaultPlane::new(SimRng::seed_from(seed).fork("fault-plane"))
+    }
+
+    #[test]
+    fn flame_default_shape() {
+        let p = RetryPolicy::flame_default();
+        assert_eq!(p.backoff(0), SimDuration::from_mins(2));
+        assert_eq!(p.backoff(1), SimDuration::from_mins(4));
+        assert_eq!(p.backoff(4), SimDuration::from_mins(32));
+        assert_eq!(p.backoff(5), SimDuration::from_hours(1), "capped");
+        assert_eq!(p.backoff(600), SimDuration::from_hours(1), "huge attempts saturate");
+        assert!(p.should_retry(4));
+        assert!(!p.should_retry(5));
+    }
+
+    #[test]
+    fn zero_jitter_is_exact() {
+        let p = RetryPolicy { jitter_pct: 0, ..RetryPolicy::flame_default() };
+        let mut faults = plane(11);
+        for attempt in 0..8 {
+            assert_eq!(p.delay(attempt, &mut faults), p.backoff(attempt));
+        }
+    }
+
+    fn arb_policy() -> impl Strategy<Value = RetryPolicy> {
+        (1u64..120_000, 1u64..48, 0u32..12, 0u32..100).prop_map(|(base_ms, cap_h, retries, jitter)| {
+            RetryPolicy {
+                base: SimDuration::from_millis(base_ms),
+                cap: SimDuration::from_hours(cap_h),
+                max_retries: retries,
+                jitter_pct: jitter,
+            }
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn backoff_is_monotone_up_to_cap(p in arb_policy(), attempt in 0u32..64) {
+            let here = p.backoff(attempt);
+            let next = p.backoff(attempt + 1);
+            prop_assert!(next >= here, "backoff must never shrink");
+            prop_assert!(here <= p.cap, "backoff must never exceed the cap");
+            prop_assert!(here >= p.base.min(p.cap), "backoff starts at base (or cap if smaller)");
+        }
+
+        #[test]
+        fn jittered_delay_stays_within_bounds(p in arb_policy(), attempt in 0u32..64, seed in 0u64..1024) {
+            let mut faults = plane(seed);
+            let backoff = p.backoff(attempt);
+            let delay = p.delay(attempt, &mut faults);
+            prop_assert!(delay >= backoff, "jitter only adds");
+            let bound = backoff.as_millis() / 100 * u64::from(p.jitter_pct);
+            prop_assert!(
+                delay.as_millis() <= backoff.as_millis() + bound,
+                "jitter bounded by {}% of backoff",
+                p.jitter_pct
+            );
+        }
+
+        #[test]
+        fn retry_budget_is_respected(p in arb_policy()) {
+            // Walking attempts 0.. stops after exactly max_retries retries.
+            let mut attempt = 0u32;
+            while p.should_retry(attempt) {
+                attempt += 1;
+                prop_assert!(attempt <= p.max_retries, "must stop at the budget");
+            }
+            prop_assert_eq!(attempt, p.max_retries);
+        }
+
+        #[test]
+        fn delay_is_deterministic_per_stream(p in arb_policy(), seed in 0u64..1024) {
+            let series = |mut faults: FaultPlane| {
+                (0..6).map(|a| p.delay(a, &mut faults)).collect::<Vec<_>>()
+            };
+            prop_assert_eq!(series(plane(seed)), series(plane(seed)));
+        }
+    }
+}

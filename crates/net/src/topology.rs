@@ -30,6 +30,9 @@ pub struct Zone {
     /// networks in these scenarios have none; an infected machine claims the
     /// role.
     wpad_claimant: Option<HostId>,
+    /// Whether the zone's uplink is currently up. Fault windows and defender
+    /// actions (unplugging a compromised segment) toggle this.
+    link_up: bool,
 }
 
 impl Zone {
@@ -41,6 +44,16 @@ impl Zone {
     /// The current WPAD claimant.
     pub fn wpad_claimant(&self) -> Option<HostId> {
         self.wpad_claimant
+    }
+
+    /// Whether the zone's uplink is currently up.
+    pub fn link_up(&self) -> bool {
+        self.link_up
+    }
+
+    /// The fault-plane target name for this zone, e.g. `"zone:office"`.
+    pub fn fault_target(&self) -> String {
+        format!("zone:{}", self.name)
     }
 }
 
@@ -72,7 +85,13 @@ impl Topology {
 
     /// Adds a zone.
     pub fn add_zone(&mut self, name: impl Into<String>, internet: bool) -> ZoneId {
-        self.zones.push(Zone { name: name.into(), internet, hosts: Vec::new(), wpad_claimant: None })
+        self.zones.push(Zone {
+            name: name.into(),
+            internet,
+            hosts: Vec::new(),
+            wpad_claimant: None,
+            link_up: true,
+        })
     }
 
     /// Places a host in a zone (moving it if already placed).
@@ -106,9 +125,26 @@ impl Topology {
         }
     }
 
-    /// Whether a host's zone routes to the internet.
+    /// Whether a host's zone routes to the internet *right now*: the zone
+    /// must be internet-connected by design and have its uplink up.
     pub fn has_internet(&self, host: HostId) -> bool {
-        self.zone_of(host).is_some_and(|z| self.zones[z].internet)
+        self.zone_of(host).is_some_and(|z| self.zones[z].internet && self.zones[z].link_up)
+    }
+
+    /// Raises or severs a zone's uplink. Returns the previous state.
+    pub fn set_link(&mut self, zone: ZoneId, up: bool) -> bool {
+        std::mem::replace(&mut self.zones[zone].link_up, up)
+    }
+
+    /// Whether a host's zone uplink is up (true for unzoned hosts' absence
+    /// of a link to sever — they already fail `has_internet`).
+    pub fn link_up(&self, host: HostId) -> bool {
+        self.zone_of(host).is_none_or(|z| self.zones[z].link_up)
+    }
+
+    /// The fault-plane target name for the host's zone (`"zone:<name>"`).
+    pub fn fault_target_of(&self, host: HostId) -> Option<String> {
+        self.zone_of(host).map(|z| self.zones[z].fault_target())
     }
 
     /// Whether two hosts share a zone.
@@ -212,6 +248,31 @@ mod tests {
         assert_eq!(t.effective_proxy(h(0), true), None, "claimant does not proxy itself");
         t.release_wpad(z);
         assert_eq!(t.effective_proxy(h(1), true), None);
+    }
+
+    #[test]
+    fn link_state_gates_internet_access() {
+        let mut t = Topology::new();
+        let office = t.add_zone("office", true);
+        let plant = t.add_zone("plant", false);
+        t.place(h(0), office);
+        t.place(h(1), plant);
+        assert!(t.has_internet(h(0)));
+        assert!(t.link_up(h(0)));
+        assert_eq!(t.zone(office).fault_target(), "zone:office");
+        assert_eq!(t.fault_target_of(h(0)).as_deref(), Some("zone:office"));
+
+        // Severing the uplink cuts internet access without re-zoning.
+        assert!(t.set_link(office, false), "previous state was up");
+        assert!(!t.has_internet(h(0)));
+        assert!(!t.link_up(h(0)));
+        assert!(!t.set_link(office, true));
+        assert!(t.has_internet(h(0)), "restored");
+
+        // An air-gapped zone stays offline regardless of link state.
+        assert!(t.set_link(plant, false));
+        t.set_link(plant, true);
+        assert!(!t.has_internet(h(1)));
     }
 
     #[test]

@@ -101,8 +101,7 @@ mod tests {
     #[test]
     fn forged_update_installs_only_on_legacy_policy() {
         let (store, ca) = vendor_setup();
-        let (key, cert) =
-            ca.activate_terminal_services_licensing("Attacker Org", 7, SimTime::EPOCH, far());
+        let (key, cert) = ca.activate_terminal_services_licensing("Attacker Org", 7, SimTime::EPOCH, far());
         let forged = leverage_licensing_credential(&key, cert, b"flame installer");
         let pkg = UpdatePackage {
             name: "WusetupV.exe".into(),
@@ -123,8 +122,7 @@ mod tests {
     #[test]
     fn distrusted_cert_kills_forged_update_even_on_legacy() {
         let (mut store, ca) = vendor_setup();
-        let (key, cert) =
-            ca.activate_terminal_services_licensing("Attacker Org", 7, SimTime::EPOCH, far());
+        let (key, cert) = ca.activate_terminal_services_licensing("Attacker Org", 7, SimTime::EPOCH, far());
         let serial = cert.serial;
         let forged = leverage_licensing_credential(&key, cert, b"flame installer");
         store.distrust(serial);

@@ -56,8 +56,11 @@ impl Disk {
         mbr[SECTOR_SIZE - 2] = BOOT_MAGIC[0];
         mbr[SECTOR_SIZE - 1] = BOOT_MAGIC[1];
         disk.sectors.insert(0, mbr);
-        disk.partitions =
-            vec![Partition { start_sector: 2_048, sectors: total_sectors.saturating_sub(2_048), active: true }];
+        disk.partitions = vec![Partition {
+            start_sector: 2_048,
+            sectors: total_sectors.saturating_sub(2_048),
+            active: true,
+        }];
         disk
     }
 

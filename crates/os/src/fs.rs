@@ -110,10 +110,8 @@ impl Vfs {
                 node.modified = now;
             }
             None => {
-                self.files.insert(
-                    path.clone(),
-                    FileNode { data, created: now, modified: now, hidden: false },
-                );
+                self.files
+                    .insert(path.clone(), FileNode { data, created: now, modified: now, hidden: false });
             }
         }
         Ok(())
@@ -225,9 +223,7 @@ impl Vfs {
     pub fn find_under_folders(&self, folder_names: &[&str]) -> Vec<&WinPath> {
         self.files
             .keys()
-            .filter(|p| {
-                p.components().any(|c| folder_names.iter().any(|f| c.eq_ignore_ascii_case(f)))
-            })
+            .filter(|p| p.components().any(|c| folder_names.iter().any(|f| c.eq_ignore_ascii_case(f))))
             .collect()
     }
 
@@ -362,10 +358,7 @@ mod tests {
     #[test]
     fn bad_path_rejected() {
         let mut fs = Vfs::new();
-        assert!(matches!(
-            fs.write(&WinPath::new(""), bytes(1), t(1)),
-            Err(FsError::BadPath { .. })
-        ));
+        assert!(matches!(fs.write(&WinPath::new(""), bytes(1), t(1)), Err(FsError::BadPath { .. })));
     }
 
     #[test]
@@ -381,9 +374,7 @@ mod tests {
             t(1),
         )
         .unwrap();
-        let FileData::Shortcut { exploit_payload, .. } = &fs.read(&lnk).unwrap().data else {
-            panic!()
-        };
+        let FileData::Shortcut { exploit_payload, .. } = &fs.read(&lnk).unwrap().data else { panic!() };
         assert!(exploit_payload.is_some());
     }
 }

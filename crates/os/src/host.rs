@@ -141,12 +141,7 @@ impl Default for HostConfig {
 
 impl Host {
     /// Creates a running host with a standard disk and user profile tree.
-    pub fn new(
-        name: impl Into<String>,
-        version: WindowsVersion,
-        role: HostRole,
-        now: SimTime,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, version: WindowsVersion, role: HostRole, now: SimTime) -> Self {
         let name = name.into();
         let mut fs = Vfs::new();
         for dir in ["Documents", "Pictures", "Desktop", "Downloads"] {
@@ -260,12 +255,7 @@ impl Host {
     ///
     /// [`HostError::RawAccessDenied`] without the capability;
     /// [`HostError::NotRunning`] when bricked.
-    pub fn write_raw_sectors(
-        &mut self,
-        lba: u64,
-        data: &[u8],
-        kernel_mode: bool,
-    ) -> Result<(), HostError> {
+    pub fn write_raw_sectors(&mut self, lba: u64, data: &[u8], kernel_mode: bool) -> Result<(), HostError> {
         self.ensure_running()?;
         if !kernel_mode && !self.has_raw_disk_access() {
             return Err(HostError::RawAccessDenied);
@@ -392,10 +382,7 @@ mod tests {
     #[test]
     fn raw_disk_requires_capability() {
         let mut h = host();
-        assert!(matches!(
-            h.write_raw_sectors(0, &[0u8; 512], false),
-            Err(HostError::RawAccessDenied)
-        ));
+        assert!(matches!(h.write_raw_sectors(0, &[0u8; 512], false), Err(HostError::RawAccessDenied)));
         // Kernel mode bypasses.
         h.write_raw_sectors(100, b"data", true).unwrap();
     }
@@ -410,10 +397,7 @@ mod tests {
         assert_eq!(h.state(), HostState::Bricked);
         // Further host operations fail.
         assert!(matches!(h.write_raw_sectors(1, &[0u8; 1], false), Err(HostError::NotRunning)));
-        assert!(matches!(
-            h.load_driver("x.sys", b"", None, false, t(2)),
-            Err(HostError::NotRunning)
-        ));
+        assert!(matches!(h.load_driver("x.sys", b"", None, false, t(2)), Err(HostError::NotRunning)));
     }
 
     #[test]

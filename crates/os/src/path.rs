@@ -86,8 +86,7 @@ impl WinPath {
 
     /// Whether this path equals or descends from `prefix` (case-insensitive).
     pub fn starts_with(&self, prefix: &WinPath) -> bool {
-        self.folded == prefix.folded
-            || self.folded.starts_with(&format!("{}\\", prefix.folded))
+        self.folded == prefix.folded || self.folded.starts_with(&format!("{}\\", prefix.folded))
     }
 
     /// Case-insensitive extension check, e.g. `has_extension("docx")`.

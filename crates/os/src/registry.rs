@@ -45,10 +45,7 @@ impl Registry {
     /// Iterates `(key, value)` pairs under a prefix.
     pub fn under<'a>(&'a self, prefix: &str) -> impl Iterator<Item = (&'a str, &'a str)> {
         let prefix = prefix.to_lowercase();
-        self.values
-            .iter()
-            .filter(move |(k, _)| k.starts_with(&prefix))
-            .map(|(k, v)| (k.as_str(), v.as_str()))
+        self.values.iter().filter(move |(k, _)| k.starts_with(&prefix)).map(|(k, v)| (k.as_str(), v.as_str()))
     }
 
     /// Number of values.

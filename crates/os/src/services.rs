@@ -96,13 +96,7 @@ impl ServiceManager {
     }
 
     /// Registers a scheduled task.
-    pub fn schedule_task(
-        &mut self,
-        name: impl Into<String>,
-        command: WinPath,
-        at: SimTime,
-        now: SimTime,
-    ) {
+    pub fn schedule_task(&mut self, name: impl Into<String>, command: WinPath, at: SimTime, now: SimTime) {
         self.tasks.push(ScheduledTask { name: name.into(), command, at, created: now });
     }
 
@@ -129,8 +123,7 @@ mod tests {
     #[test]
     fn create_lookup_delete() {
         let mut sm = ServiceManager::new();
-        sm.create_service("TrkSvr", WinPath::new(r"C:\Windows\System32\trksvr.exe"), true, t(1))
-            .unwrap();
+        sm.create_service("TrkSvr", WinPath::new(r"C:\Windows\System32\trksvr.exe"), true, t(1)).unwrap();
         assert!(sm.service("TrkSvr").is_some());
         assert!(sm.service("TrkSvr").unwrap().autostart);
         let removed = sm.delete_service("TrkSvr").unwrap();

@@ -44,12 +44,22 @@ pub struct UsbDrive {
     /// infected machine since the last flush (the paper's "has it seen the
     /// internet" check).
     seen_online_infected: bool,
+    /// Manifest of documents (source host, path) already ferried out through
+    /// this stick, kept so repeated courier passes through the same blocked
+    /// host do not re-steal files the C&C already holds.
+    ferried_log: Vec<(String, WinPath)>,
 }
 
 impl UsbDrive {
     /// Creates an empty drive.
     pub fn new(label: impl Into<String>) -> Self {
-        UsbDrive { label: label.into(), fs: Vfs::new(), hidden_db: None, seen_online_infected: false }
+        UsbDrive {
+            label: label.into(),
+            fs: Vfs::new(),
+            hidden_db: None,
+            seen_online_infected: false,
+            ferried_log: Vec::new(),
+        }
     }
 
     /// Whether a hidden database exists.
@@ -78,9 +88,19 @@ impl UsbDrive {
         self.hidden_db.as_deref().unwrap_or(&[])
     }
 
-    /// Drains the hidden records (after upload to a C&C).
+    /// Drains the hidden records (after upload to a C&C), noting each in the
+    /// ferried manifest.
     pub fn flush_hidden(&mut self) -> Vec<HiddenRecord> {
-        self.hidden_db.as_mut().map(std::mem::take).unwrap_or_default()
+        let records = self.hidden_db.as_mut().map(std::mem::take).unwrap_or_default();
+        for r in &records {
+            self.ferried_log.push((r.source_host.clone(), r.path.clone()));
+        }
+        records
+    }
+
+    /// Whether a document was already ferried out through this stick.
+    pub fn already_ferried(&self, host: &str, path: &WinPath) -> bool {
+        self.ferried_log.iter().any(|(h, p)| h == host && p == path)
     }
 
     /// Marks that the drive was seen in an online infected machine.
@@ -105,10 +125,7 @@ impl UsbDrive {
             self.fs
                 .write(
                     &lnk,
-                    FileData::Shortcut {
-                        target: root.clone(),
-                        exploit_payload: Some(payload_path.clone()),
-                    },
+                    FileData::Shortcut { target: root.clone(), exploit_payload: Some(payload_path.clone()) },
                     now,
                 )
                 .expect("valid lnk path");
@@ -154,6 +171,11 @@ mod tests {
         assert_eq!(drained.len(), 1);
         assert!(usb.hidden_records().is_empty());
         assert!(usb.has_hidden_db(), "flush keeps the db present");
+        assert!(
+            usb.already_ferried("airgap-1", &WinPath::new(r"C:\docs\secret.docx")),
+            "flush records the document in the ferried manifest"
+        );
+        assert!(!usb.already_ferried("airgap-2", &WinPath::new(r"C:\docs\secret.docx")));
     }
 
     #[test]

@@ -151,10 +151,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid section name")]
     fn long_section_name_panics() {
-        let _ = ImageBuilder::new("a.exe", Machine::X86).section(
-            "x".repeat(300),
-            SectionKind::Code,
-            vec![],
-        );
+        let _ = ImageBuilder::new("a.exe", Machine::X86).section("x".repeat(300), SectionKind::Code, vec![]);
     }
 }

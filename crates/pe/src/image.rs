@@ -331,8 +331,8 @@ impl Image {
         if computed != stored_checksum {
             return Err(ParseImageError::ChecksumMismatch { stored: stored_checksum, computed });
         }
-        let name = String::from_utf8(rd.take(name_len)?.to_vec())
-            .map_err(|_| ParseImageError::BadName("image"))?;
+        let name =
+            String::from_utf8(rd.take(name_len)?.to_vec()).map_err(|_| ParseImageError::BadName("image"))?;
         struct RawSection {
             name: String,
             kind: SectionKind,
@@ -351,8 +351,8 @@ impl Image {
             let sname = String::from_utf8(rd.take(nlen)?.to_vec())
                 .map_err(|_| ParseImageError::BadName("section"))?;
             let kind_code = rd.u8()?;
-            let kind = SectionKind::from_code(kind_code)
-                .ok_or(ParseImageError::LimitExceeded("section kind"))?;
+            let kind =
+                SectionKind::from_code(kind_code).ok_or(ParseImageError::LimitExceeded("section kind"))?;
             let offset = rd.u32()? as usize;
             let len = rd.u32()? as usize;
             raw_sections.push(RawSection { name: sname, kind, offset, len });
@@ -372,8 +372,8 @@ impl Image {
         let mut imports = Vec::with_capacity(n_imports);
         for _ in 0..n_imports {
             let nlen = rd.u8()? as usize;
-            let iname = String::from_utf8(rd.take(nlen)?.to_vec())
-                .map_err(|_| ParseImageError::BadName("import"))?;
+            let iname =
+                String::from_utf8(rd.take(nlen)?.to_vec()).map_err(|_| ParseImageError::BadName("import"))?;
             imports.push(iname);
         }
         let payload_start = rd.pos;
@@ -407,15 +407,7 @@ impl Image {
             resources.push(Resource { name: rr.name, xor_key: rr.xor_key, data });
         }
         let signature = if sig_len > 0 { Some(bytes[payload_end..].to_vec()) } else { None };
-        Ok(Image {
-            machine,
-            timestamp_secs,
-            name,
-            sections,
-            resources,
-            imports,
-            signature,
-        })
+        Ok(Image { machine, timestamp_secs, name, sections, resources, imports, signature })
     }
 }
 
@@ -439,10 +431,7 @@ struct Reader<'a> {
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], ParseImageError> {
         if self.pos + n > self.buf.len() {
-            return Err(ParseImageError::Truncated {
-                needed: self.pos + n,
-                available: self.buf.len(),
-            });
+            return Err(ParseImageError::Truncated { needed: self.pos + n, available: self.buf.len() });
         }
         let out = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -543,10 +532,7 @@ mod tests {
         let mut bytes = sample().to_bytes();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
-        assert!(matches!(
-            Image::parse(&bytes),
-            Err(ParseImageError::ChecksumMismatch { .. })
-        ));
+        assert!(matches!(Image::parse(&bytes), Err(ParseImageError::ChecksumMismatch { .. })));
     }
 
     #[test]

@@ -84,9 +84,7 @@ impl Centrifuge {
         }
         self.last_freq_hz = Some(freq_hz);
         // Productive output only inside the normal band.
-        if self.is_intact()
-            && (envelope::NORMAL_MIN_HZ..=envelope::NORMAL_MAX_HZ).contains(&freq_hz)
-        {
+        if self.is_intact() && (envelope::NORMAL_MIN_HZ..=envelope::NORMAL_MAX_HZ).contains(&freq_hz) {
             self.enrichment += Self::ENRICH_RATE * dt_s;
         }
         if self.damage >= 1.0 {

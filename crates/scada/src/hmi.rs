@@ -140,9 +140,8 @@ impl OperatorView {
     /// Shows a frame to the operator; counts frames that look abnormal
     /// (outside the normal band by eye).
     pub fn show(&mut self, frequencies: &[f64]) {
-        let abnormal = frequencies
-            .iter()
-            .any(|&f| !(envelope::NORMAL_MIN_HZ..=envelope::NORMAL_MAX_HZ).contains(&f));
+        let abnormal =
+            frequencies.iter().any(|&f| !(envelope::NORMAL_MIN_HZ..=envelope::NORMAL_MAX_HZ).contains(&f));
         if abnormal {
             self.anomalies_seen += 1;
         }

@@ -63,9 +63,7 @@ impl CommLibrary {
             .into_iter()
             .filter(|n| match self {
                 CommLibrary::Genuine => true,
-                CommLibrary::Compromised => {
-                    !plc.read_block_raw(n).is_some_and(|b| b.attacker_written)
-                }
+                CommLibrary::Compromised => !plc.read_block_raw(n).is_some_and(|b| b.attacker_written),
             })
             .map(str::to_owned)
             .collect()
@@ -81,8 +79,7 @@ impl CommLibrary {
                 true
             }
             CommLibrary::Compromised => {
-                let protected =
-                    plc.read_block_raw(&block.name).is_some_and(|b| b.attacker_written);
+                let protected = plc.read_block_raw(&block.name).is_some_and(|b| b.attacker_written);
                 if protected {
                     false
                 } else {

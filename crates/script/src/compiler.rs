@@ -227,15 +227,13 @@ impl Compiler {
                 self.expression(e, code)?;
                 code.push(Op::Pop);
             }
-            Stmt::Return(value) => {
-                match value {
-                    Some(e) => {
-                        self.expression(e, code)?;
-                        code.push(Op::Return);
-                    }
-                    None => code.push(Op::ReturnNil),
+            Stmt::Return(value) => match value {
+                Some(e) => {
+                    self.expression(e, code)?;
+                    code.push(Op::Return);
                 }
-            }
+                None => code.push(Op::ReturnNil),
+            },
             Stmt::Break => {
                 let Some(sites) = self.break_sites.last_mut() else {
                     return self.err("'break' outside a loop");

@@ -100,10 +100,7 @@ mod tests {
 
     #[test]
     fn display_compile_error() {
-        let e = CompileScriptError {
-            pos: SourcePos { line: 3, col: 7 },
-            message: "unexpected token".into(),
-        };
+        let e = CompileScriptError { pos: SourcePos { line: 3, col: 7 }, message: "unexpected token".into() };
         assert_eq!(e.to_string(), "compile error at 3:7: unexpected token");
     }
 

@@ -8,9 +8,10 @@ use std::rc::Rc;
 /// Lists use `Rc<Vec<_>>` with copy-on-write semantics (mutation is only
 /// possible through host functions, which clone), keeping the VM simple and
 /// free of cycles.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Value {
     /// The absent value.
+    #[default]
     Nil,
     /// Boolean.
     Bool(bool),
@@ -84,12 +85,6 @@ impl Value {
             Value::List(l) => Some(l),
             _ => None,
         }
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Nil
     }
 }
 

@@ -37,11 +37,14 @@ impl HostEnv for NoHost {
     }
 }
 
+/// A host-callable function: the boxed closure a [`FnHost`] dispatches to.
+pub type HostFn<'a> = Box<dyn FnMut(&[Value]) -> Result<Value, RunScriptError> + 'a>;
+
 /// A [`HostEnv`] backed by a map of closures — convenient for tests and for
 /// composing module capabilities.
 #[derive(Default)]
 pub struct FnHost<'a> {
-    fns: HashMap<String, Box<dyn FnMut(&[Value]) -> Result<Value, RunScriptError> + 'a>>,
+    fns: HashMap<String, HostFn<'a>>,
 }
 
 impl<'a> FnHost<'a> {
@@ -148,12 +151,8 @@ impl Vm {
     ) -> Result<RunOutcome, RunScriptError> {
         let mut fuel = limits.fuel;
         let mut stack: Vec<Value> = Vec::with_capacity(64);
-        let mut frames: Vec<Frame> = vec![Frame {
-            proto: None,
-            ip: 0,
-            stack_base: 0,
-            locals: HashMap::new(),
-        }];
+        let mut frames: Vec<Frame> =
+            vec![Frame { proto: None, ip: 0, stack_base: 0, locals: HashMap::new() }];
         loop {
             let frame = frames.last_mut().expect("at least one frame");
             let code: &[Op] = match &frame.proto {
@@ -202,8 +201,8 @@ impl Vm {
                 Op::Store(i) => {
                     let v = pop(&mut stack)?;
                     let frame = frames.last_mut().expect("frame");
-                    if frame.locals.contains_key(&i) {
-                        frame.locals.insert(i, v);
+                    if let std::collections::hash_map::Entry::Occupied(mut e) = frame.locals.entry(i) {
+                        e.insert(v);
                     } else {
                         // Existing global or new global (top-level semantics).
                         self.globals.insert(chunk.name(i).to_owned(), v);
@@ -351,11 +350,7 @@ impl Vm {
                         let mut locals = HashMap::new();
                         for (p, v) in proto.params.iter().zip(args) {
                             // Parameter names live in the shared name table.
-                            let idx = chunk
-                                .names
-                                .iter()
-                                .position(|n| n == p)
-                                .map(|i| i as u16);
+                            let idx = chunk.names.iter().position(|n| n == p).map(|i| i as u16);
                             match idx {
                                 Some(i) => {
                                     locals.insert(i, v);
@@ -676,9 +671,7 @@ mod tests {
     fn fuel_limit_stops_infinite_loop() {
         let chunk = compile("while true do end").unwrap();
         let mut vm = Vm::new();
-        let err = vm
-            .run(&chunk, &mut NoHost, VmLimits { fuel: 10_000, ..VmLimits::default() })
-            .unwrap_err();
+        let err = vm.run(&chunk, &mut NoHost, VmLimits { fuel: 10_000, ..VmLimits::default() }).unwrap_err();
         assert_eq!(err, RunScriptError::OutOfFuel);
     }
 
@@ -697,9 +690,7 @@ mod tests {
         let mut uploaded: Vec<(String, i64)> = Vec::new();
         {
             let mut host = FnHost::new();
-            host.register("exfiltrate", |args| {
-                Ok(Value::str(format!("queued:{}:{}", args[0], args[1])))
-            });
+            host.register("exfiltrate", |args| Ok(Value::str(format!("queued:{}:{}", args[0], args[1]))));
             let out = vm.run(&chunk, &mut host, VmLimits::default()).unwrap();
             assert_eq!(out.value, Value::str("queued:secret.docx:1024"));
         }

@@ -31,11 +31,7 @@ fn main() {
     println!("\nstealth/detection ablation (E11): aggressive spreading trips behavioural AV");
     let mut t = Table::new(vec!["actions/round".into(), "infected".into(), "behavioural alerts".into()]);
     for row in experiments::e11_stealth_tradeoff(seed, 20, &[1.0, 4.0, 12.0]) {
-        t.row(vec![
-            format!("{:.0}", row.aggressiveness),
-            row.infected.to_string(),
-            row.alerts.to_string(),
-        ]);
+        t.row(vec![format!("{:.0}", row.aggressiveness), row.infected.to_string(), row.alerts.to_string()]);
     }
     print!("{t}");
 

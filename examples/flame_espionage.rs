@@ -31,7 +31,11 @@ fn main() {
     let seed_host = HostId::new(0);
     flame::client::infect_host(&mut world, &mut sim, seed_host, "spearphish");
     flame::mitm::snack_claim_wpad(&mut world, &mut sim, seed_host);
-    activity::schedule_update_checks(&mut sim, (0..lan).map(HostId::new).collect(), SimDuration::from_hours(24));
+    activity::schedule_update_checks(
+        &mut sim,
+        (0..lan).map(HostId::new).collect(),
+        SimDuration::from_hours(24),
+    );
     activity::schedule_flame_operator(&mut sim, SimDuration::from_mins(30));
 
     // An air-gapped machine with classified material, reachable only by USB.
@@ -51,12 +55,7 @@ fn main() {
         .unwrap();
     flame::client::infect_host(&mut world, &mut sim, iso_id, "usb");
     let courier = world.usb_drives.push(UsbDrive::new("courier"));
-    activity::schedule_usb_courier(
-        &mut sim,
-        courier,
-        vec![seed_host, iso_id],
-        SimDuration::from_hours(24),
-    );
+    activity::schedule_usb_courier(&mut sim, courier, vec![seed_host, iso_id], SimDuration::from_hours(24));
 
     // Two weeks of espionage.
     sim.run_until(&mut world, sim.now() + SimDuration::from_days(14));
@@ -72,10 +71,7 @@ fn main() {
         "bytes at attack center".into(),
         format!("{:.1} MB", platform.attack_center.total_bytes as f64 / 1e6),
     ]);
-    t.row(vec![
-        "usb-ferried documents".into(),
-        sim.metrics.counter("flame.usb_ferried_uploads").to_string(),
-    ]);
+    t.row(vec!["usb-ferried documents".into(), sim.metrics.counter("flame.usb_ferried_uploads").to_string()]);
     print!("{t}");
 
     let ferried = platform
@@ -91,14 +87,7 @@ fn main() {
     sim.run_until(&mut world, sim.now() + SimDuration::from_days(1));
     println!("clients remaining: {}", world.campaigns.flame_clients.len());
     println!("suicides executed: {}", sim.metrics.counter("flame.suicides"));
-    let logs: usize = world
-        .campaigns
-        .flame_platform
-        .as_ref()
-        .unwrap()
-        .servers
-        .iter()
-        .map(|s| s.logs.len())
-        .sum();
+    let logs: usize =
+        world.campaigns.flame_platform.as_ref().unwrap().servers.iter().map(|s| s.logs.len()).sum();
     println!("c2 server log lines remaining after LogWiper: {logs}");
 }

@@ -16,10 +16,7 @@ fn main() {
     let mut table = Table::new(vec!["quantity".into(), "value".into()]);
     table.row(vec!["infected hosts (office + station)".into(), r.infected_hosts.to_string()]);
     table.row(vec!["plc implanted".into(), r.plc_implanted.to_string()]);
-    table.row(vec![
-        "centrifuges destroyed".into(),
-        format!("{}/{}", r.destroyed, r.total_centrifuges),
-    ]);
+    table.row(vec!["centrifuges destroyed".into(), format!("{}/{}", r.destroyed, r.total_centrifuges)]);
     table.row(vec!["digital safety system tripped".into(), r.safety_tripped.to_string()]);
     table.row(vec!["abnormal frames shown to operator".into(), r.operator_anomalies.to_string()]);
     table.row(vec![

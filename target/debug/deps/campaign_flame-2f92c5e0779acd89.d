@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/campaign_flame-2f92c5e0779acd89.d: crates/core/../../tests/campaign_flame.rs
+
+/root/repo/target/debug/deps/campaign_flame-2f92c5e0779acd89: crates/core/../../tests/campaign_flame.rs
+
+crates/core/../../tests/campaign_flame.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/campaign_flame-940e3cb7973dcebc.d: crates/core/../../tests/campaign_flame.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampaign_flame-940e3cb7973dcebc.rmeta: crates/core/../../tests/campaign_flame.rs Cargo.toml
+
+crates/core/../../tests/campaign_flame.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/campaign_shamoon-17bad9074107597b.d: crates/core/../../tests/campaign_shamoon.rs
+
+/root/repo/target/debug/deps/campaign_shamoon-17bad9074107597b: crates/core/../../tests/campaign_shamoon.rs
+
+crates/core/../../tests/campaign_shamoon.rs:

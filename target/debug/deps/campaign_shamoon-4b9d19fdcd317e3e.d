@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/campaign_shamoon-4b9d19fdcd317e3e.d: crates/core/../../tests/campaign_shamoon.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampaign_shamoon-4b9d19fdcd317e3e.rmeta: crates/core/../../tests/campaign_shamoon.rs Cargo.toml
+
+crates/core/../../tests/campaign_shamoon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

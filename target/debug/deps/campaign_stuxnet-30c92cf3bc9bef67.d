@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/campaign_stuxnet-30c92cf3bc9bef67.d: crates/core/../../tests/campaign_stuxnet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampaign_stuxnet-30c92cf3bc9bef67.rmeta: crates/core/../../tests/campaign_stuxnet.rs Cargo.toml
+
+crates/core/../../tests/campaign_stuxnet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/campaign_stuxnet-3da7071368fec715.d: crates/core/../../tests/campaign_stuxnet.rs
+
+/root/repo/target/debug/deps/campaign_stuxnet-3da7071368fec715: crates/core/../../tests/campaign_stuxnet.rs
+
+crates/core/../../tests/campaign_stuxnet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-1c81c3a4b1467115.d: crates/core/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-1c81c3a4b1467115: crates/core/../../tests/determinism.rs
+
+crates/core/../../tests/determinism.rs:

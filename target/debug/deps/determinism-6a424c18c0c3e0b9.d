@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-6a424c18c0c3e0b9.d: crates/core/../../tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-6a424c18c0c3e0b9.rmeta: crates/core/../../tests/determinism.rs Cargo.toml
+
+crates/core/../../tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

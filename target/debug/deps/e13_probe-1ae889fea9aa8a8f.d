@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e13_probe-1ae889fea9aa8a8f.d: crates/core/../../tests/e13_probe.rs
+
+/root/repo/target/debug/deps/e13_probe-1ae889fea9aa8a8f: crates/core/../../tests/e13_probe.rs
+
+crates/core/../../tests/e13_probe.rs:

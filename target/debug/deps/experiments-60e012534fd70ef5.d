@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments-60e012534fd70ef5.d: crates/bench/benches/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-60e012534fd70ef5.rmeta: crates/bench/benches/experiments.rs Cargo.toml
+
+crates/bench/benches/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments_shape-280f16a7c0c6b32e.d: crates/core/../../tests/experiments_shape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments_shape-280f16a7c0c6b32e.rmeta: crates/core/../../tests/experiments_shape.rs Cargo.toml
+
+crates/core/../../tests/experiments_shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_shape-a350624be0dabafd.d: crates/core/../../tests/experiments_shape.rs
+
+/root/repo/target/debug/deps/experiments_shape-a350624be0dabafd: crates/core/../../tests/experiments_shape.rs
+
+crates/core/../../tests/experiments_shape.rs:

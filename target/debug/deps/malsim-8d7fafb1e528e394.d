@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/malsim-8d7fafb1e528e394.d: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/armory.rs crates/core/src/experiments.rs crates/core/src/scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmalsim-8d7fafb1e528e394.rmeta: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/armory.rs crates/core/src/experiments.rs crates/core/src/scenario.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/activity.rs:
+crates/core/src/armory.rs:
+crates/core/src/experiments.rs:
+crates/core/src/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

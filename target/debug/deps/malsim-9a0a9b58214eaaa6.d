@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/malsim-9a0a9b58214eaaa6.d: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/armory.rs crates/core/src/experiments.rs crates/core/src/scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmalsim-9a0a9b58214eaaa6.rmeta: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/armory.rs crates/core/src/experiments.rs crates/core/src/scenario.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/activity.rs:
+crates/core/src/armory.rs:
+crates/core/src/experiments.rs:
+crates/core/src/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/malsim-ae904a420750baf2.d: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/armory.rs crates/core/src/experiments.rs crates/core/src/scenario.rs
+
+/root/repo/target/debug/deps/malsim-ae904a420750baf2: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/armory.rs crates/core/src/experiments.rs crates/core/src/scenario.rs
+
+crates/core/src/lib.rs:
+crates/core/src/activity.rs:
+crates/core/src/armory.rs:
+crates/core/src/experiments.rs:
+crates/core/src/scenario.rs:

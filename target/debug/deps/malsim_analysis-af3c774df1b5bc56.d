@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/malsim_analysis-af3c774df1b5bc56.d: crates/analysis/src/lib.rs crates/analysis/src/table.rs crates/analysis/src/timeline.rs crates/analysis/src/trends.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmalsim_analysis-af3c774df1b5bc56.rmeta: crates/analysis/src/lib.rs crates/analysis/src/table.rs crates/analysis/src/timeline.rs crates/analysis/src/trends.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/table.rs:
+crates/analysis/src/timeline.rs:
+crates/analysis/src/trends.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/malsim_analysis-eed87d5d665a5826.d: crates/analysis/src/lib.rs crates/analysis/src/table.rs crates/analysis/src/timeline.rs crates/analysis/src/trends.rs
+
+/root/repo/target/debug/deps/malsim_analysis-eed87d5d665a5826: crates/analysis/src/lib.rs crates/analysis/src/table.rs crates/analysis/src/timeline.rs crates/analysis/src/trends.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/table.rs:
+crates/analysis/src/timeline.rs:
+crates/analysis/src/trends.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/malsim_analysis-ef86842573edc7c3.d: crates/analysis/src/lib.rs crates/analysis/src/table.rs crates/analysis/src/timeline.rs crates/analysis/src/trends.rs
+
+/root/repo/target/debug/deps/libmalsim_analysis-ef86842573edc7c3.rlib: crates/analysis/src/lib.rs crates/analysis/src/table.rs crates/analysis/src/timeline.rs crates/analysis/src/trends.rs
+
+/root/repo/target/debug/deps/libmalsim_analysis-ef86842573edc7c3.rmeta: crates/analysis/src/lib.rs crates/analysis/src/table.rs crates/analysis/src/timeline.rs crates/analysis/src/trends.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/table.rs:
+crates/analysis/src/timeline.rs:
+crates/analysis/src/trends.rs:

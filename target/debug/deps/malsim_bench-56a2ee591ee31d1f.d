@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/malsim_bench-56a2ee591ee31d1f.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmalsim_bench-56a2ee591ee31d1f.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

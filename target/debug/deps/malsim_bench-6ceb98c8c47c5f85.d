@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/malsim_bench-6ceb98c8c47c5f85.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmalsim_bench-6ceb98c8c47c5f85.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmalsim_bench-6ceb98c8c47c5f85.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/malsim_bench-f4aacaaf73c01c3f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/malsim_bench-f4aacaaf73c01c3f: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

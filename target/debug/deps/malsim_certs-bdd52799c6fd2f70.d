@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/malsim_certs-bdd52799c6fd2f70.d: crates/certs/src/lib.rs crates/certs/src/authority.rs crates/certs/src/cert.rs crates/certs/src/error.rs crates/certs/src/forgery.rs crates/certs/src/hash.rs crates/certs/src/key.rs crates/certs/src/store.rs
+
+/root/repo/target/debug/deps/libmalsim_certs-bdd52799c6fd2f70.rlib: crates/certs/src/lib.rs crates/certs/src/authority.rs crates/certs/src/cert.rs crates/certs/src/error.rs crates/certs/src/forgery.rs crates/certs/src/hash.rs crates/certs/src/key.rs crates/certs/src/store.rs
+
+/root/repo/target/debug/deps/libmalsim_certs-bdd52799c6fd2f70.rmeta: crates/certs/src/lib.rs crates/certs/src/authority.rs crates/certs/src/cert.rs crates/certs/src/error.rs crates/certs/src/forgery.rs crates/certs/src/hash.rs crates/certs/src/key.rs crates/certs/src/store.rs
+
+crates/certs/src/lib.rs:
+crates/certs/src/authority.rs:
+crates/certs/src/cert.rs:
+crates/certs/src/error.rs:
+crates/certs/src/forgery.rs:
+crates/certs/src/hash.rs:
+crates/certs/src/key.rs:
+crates/certs/src/store.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/malsim_certs-c3c8c4735de1d4e1.d: crates/certs/src/lib.rs crates/certs/src/authority.rs crates/certs/src/cert.rs crates/certs/src/error.rs crates/certs/src/forgery.rs crates/certs/src/hash.rs crates/certs/src/key.rs crates/certs/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmalsim_certs-c3c8c4735de1d4e1.rmeta: crates/certs/src/lib.rs crates/certs/src/authority.rs crates/certs/src/cert.rs crates/certs/src/error.rs crates/certs/src/forgery.rs crates/certs/src/hash.rs crates/certs/src/key.rs crates/certs/src/store.rs Cargo.toml
+
+crates/certs/src/lib.rs:
+crates/certs/src/authority.rs:
+crates/certs/src/cert.rs:
+crates/certs/src/error.rs:
+crates/certs/src/forgery.rs:
+crates/certs/src/hash.rs:
+crates/certs/src/key.rs:
+crates/certs/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

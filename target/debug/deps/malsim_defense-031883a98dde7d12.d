@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/malsim_defense-031883a98dde7d12.d: crates/defense/src/lib.rs crates/defense/src/av.rs crates/defense/src/forensics.rs crates/defense/src/ids.rs crates/defense/src/sinkhole.rs
+
+/root/repo/target/debug/deps/libmalsim_defense-031883a98dde7d12.rlib: crates/defense/src/lib.rs crates/defense/src/av.rs crates/defense/src/forensics.rs crates/defense/src/ids.rs crates/defense/src/sinkhole.rs
+
+/root/repo/target/debug/deps/libmalsim_defense-031883a98dde7d12.rmeta: crates/defense/src/lib.rs crates/defense/src/av.rs crates/defense/src/forensics.rs crates/defense/src/ids.rs crates/defense/src/sinkhole.rs
+
+crates/defense/src/lib.rs:
+crates/defense/src/av.rs:
+crates/defense/src/forensics.rs:
+crates/defense/src/ids.rs:
+crates/defense/src/sinkhole.rs:

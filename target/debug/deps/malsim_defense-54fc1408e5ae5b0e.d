@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/malsim_defense-54fc1408e5ae5b0e.d: crates/defense/src/lib.rs crates/defense/src/av.rs crates/defense/src/forensics.rs crates/defense/src/ids.rs crates/defense/src/sinkhole.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmalsim_defense-54fc1408e5ae5b0e.rmeta: crates/defense/src/lib.rs crates/defense/src/av.rs crates/defense/src/forensics.rs crates/defense/src/ids.rs crates/defense/src/sinkhole.rs Cargo.toml
+
+crates/defense/src/lib.rs:
+crates/defense/src/av.rs:
+crates/defense/src/forensics.rs:
+crates/defense/src/ids.rs:
+crates/defense/src/sinkhole.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

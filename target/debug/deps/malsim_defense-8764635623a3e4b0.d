@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/malsim_defense-8764635623a3e4b0.d: crates/defense/src/lib.rs crates/defense/src/av.rs crates/defense/src/forensics.rs crates/defense/src/ids.rs crates/defense/src/sinkhole.rs
+
+/root/repo/target/debug/deps/malsim_defense-8764635623a3e4b0: crates/defense/src/lib.rs crates/defense/src/av.rs crates/defense/src/forensics.rs crates/defense/src/ids.rs crates/defense/src/sinkhole.rs
+
+crates/defense/src/lib.rs:
+crates/defense/src/av.rs:
+crates/defense/src/forensics.rs:
+crates/defense/src/ids.rs:
+crates/defense/src/sinkhole.rs:

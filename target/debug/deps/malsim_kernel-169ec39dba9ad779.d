@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/malsim_kernel-169ec39dba9ad779.d: crates/kernel/src/lib.rs crates/kernel/src/fault.rs crates/kernel/src/ids.rs crates/kernel/src/metrics.rs crates/kernel/src/rng.rs crates/kernel/src/sched.rs crates/kernel/src/time.rs crates/kernel/src/trace.rs
+
+/root/repo/target/debug/deps/libmalsim_kernel-169ec39dba9ad779.rlib: crates/kernel/src/lib.rs crates/kernel/src/fault.rs crates/kernel/src/ids.rs crates/kernel/src/metrics.rs crates/kernel/src/rng.rs crates/kernel/src/sched.rs crates/kernel/src/time.rs crates/kernel/src/trace.rs
+
+/root/repo/target/debug/deps/libmalsim_kernel-169ec39dba9ad779.rmeta: crates/kernel/src/lib.rs crates/kernel/src/fault.rs crates/kernel/src/ids.rs crates/kernel/src/metrics.rs crates/kernel/src/rng.rs crates/kernel/src/sched.rs crates/kernel/src/time.rs crates/kernel/src/trace.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/fault.rs:
+crates/kernel/src/ids.rs:
+crates/kernel/src/metrics.rs:
+crates/kernel/src/rng.rs:
+crates/kernel/src/sched.rs:
+crates/kernel/src/time.rs:
+crates/kernel/src/trace.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/malsim_kernel-6f7c648ae0dfdb0c.d: crates/kernel/src/lib.rs crates/kernel/src/fault.rs crates/kernel/src/ids.rs crates/kernel/src/metrics.rs crates/kernel/src/rng.rs crates/kernel/src/sched.rs crates/kernel/src/time.rs crates/kernel/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmalsim_kernel-6f7c648ae0dfdb0c.rmeta: crates/kernel/src/lib.rs crates/kernel/src/fault.rs crates/kernel/src/ids.rs crates/kernel/src/metrics.rs crates/kernel/src/rng.rs crates/kernel/src/sched.rs crates/kernel/src/time.rs crates/kernel/src/trace.rs Cargo.toml
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/fault.rs:
+crates/kernel/src/ids.rs:
+crates/kernel/src/metrics.rs:
+crates/kernel/src/rng.rs:
+crates/kernel/src/sched.rs:
+crates/kernel/src/time.rs:
+crates/kernel/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/malsim_kernel-dc94fa7ad695aff3.d: crates/kernel/src/lib.rs crates/kernel/src/fault.rs crates/kernel/src/ids.rs crates/kernel/src/metrics.rs crates/kernel/src/rng.rs crates/kernel/src/sched.rs crates/kernel/src/time.rs crates/kernel/src/trace.rs
+
+/root/repo/target/debug/deps/malsim_kernel-dc94fa7ad695aff3: crates/kernel/src/lib.rs crates/kernel/src/fault.rs crates/kernel/src/ids.rs crates/kernel/src/metrics.rs crates/kernel/src/rng.rs crates/kernel/src/sched.rs crates/kernel/src/time.rs crates/kernel/src/trace.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/fault.rs:
+crates/kernel/src/ids.rs:
+crates/kernel/src/metrics.rs:
+crates/kernel/src/rng.rs:
+crates/kernel/src/sched.rs:
+crates/kernel/src/time.rs:
+crates/kernel/src/trace.rs:

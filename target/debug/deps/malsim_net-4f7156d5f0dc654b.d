@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/malsim_net-4f7156d5f0dc654b.d: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/bluetooth.rs crates/net/src/dns.rs crates/net/src/http.rs crates/net/src/lateral.rs crates/net/src/retry.rs crates/net/src/topology.rs crates/net/src/winupdate.rs
+
+/root/repo/target/debug/deps/malsim_net-4f7156d5f0dc654b: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/bluetooth.rs crates/net/src/dns.rs crates/net/src/http.rs crates/net/src/lateral.rs crates/net/src/retry.rs crates/net/src/topology.rs crates/net/src/winupdate.rs
+
+crates/net/src/lib.rs:
+crates/net/src/addr.rs:
+crates/net/src/bluetooth.rs:
+crates/net/src/dns.rs:
+crates/net/src/http.rs:
+crates/net/src/lateral.rs:
+crates/net/src/retry.rs:
+crates/net/src/topology.rs:
+crates/net/src/winupdate.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/malsim_net-55c41b92cff5d003.d: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/bluetooth.rs crates/net/src/dns.rs crates/net/src/http.rs crates/net/src/lateral.rs crates/net/src/retry.rs crates/net/src/topology.rs crates/net/src/winupdate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmalsim_net-55c41b92cff5d003.rmeta: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/bluetooth.rs crates/net/src/dns.rs crates/net/src/http.rs crates/net/src/lateral.rs crates/net/src/retry.rs crates/net/src/topology.rs crates/net/src/winupdate.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/addr.rs:
+crates/net/src/bluetooth.rs:
+crates/net/src/dns.rs:
+crates/net/src/http.rs:
+crates/net/src/lateral.rs:
+crates/net/src/retry.rs:
+crates/net/src/topology.rs:
+crates/net/src/winupdate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/malsim_net-5b0b58a88e703b99.d: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/bluetooth.rs crates/net/src/dns.rs crates/net/src/http.rs crates/net/src/lateral.rs crates/net/src/retry.rs crates/net/src/topology.rs crates/net/src/winupdate.rs
+
+/root/repo/target/debug/deps/libmalsim_net-5b0b58a88e703b99.rlib: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/bluetooth.rs crates/net/src/dns.rs crates/net/src/http.rs crates/net/src/lateral.rs crates/net/src/retry.rs crates/net/src/topology.rs crates/net/src/winupdate.rs
+
+/root/repo/target/debug/deps/libmalsim_net-5b0b58a88e703b99.rmeta: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/bluetooth.rs crates/net/src/dns.rs crates/net/src/http.rs crates/net/src/lateral.rs crates/net/src/retry.rs crates/net/src/topology.rs crates/net/src/winupdate.rs
+
+crates/net/src/lib.rs:
+crates/net/src/addr.rs:
+crates/net/src/bluetooth.rs:
+crates/net/src/dns.rs:
+crates/net/src/http.rs:
+crates/net/src/lateral.rs:
+crates/net/src/retry.rs:
+crates/net/src/topology.rs:
+crates/net/src/winupdate.rs:

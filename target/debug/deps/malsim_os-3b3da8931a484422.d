@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/malsim_os-3b3da8931a484422.d: crates/os/src/lib.rs crates/os/src/disk.rs crates/os/src/error.rs crates/os/src/fs.rs crates/os/src/host.rs crates/os/src/patches.rs crates/os/src/path.rs crates/os/src/registry.rs crates/os/src/services.rs crates/os/src/usb.rs
+
+/root/repo/target/debug/deps/libmalsim_os-3b3da8931a484422.rlib: crates/os/src/lib.rs crates/os/src/disk.rs crates/os/src/error.rs crates/os/src/fs.rs crates/os/src/host.rs crates/os/src/patches.rs crates/os/src/path.rs crates/os/src/registry.rs crates/os/src/services.rs crates/os/src/usb.rs
+
+/root/repo/target/debug/deps/libmalsim_os-3b3da8931a484422.rmeta: crates/os/src/lib.rs crates/os/src/disk.rs crates/os/src/error.rs crates/os/src/fs.rs crates/os/src/host.rs crates/os/src/patches.rs crates/os/src/path.rs crates/os/src/registry.rs crates/os/src/services.rs crates/os/src/usb.rs
+
+crates/os/src/lib.rs:
+crates/os/src/disk.rs:
+crates/os/src/error.rs:
+crates/os/src/fs.rs:
+crates/os/src/host.rs:
+crates/os/src/patches.rs:
+crates/os/src/path.rs:
+crates/os/src/registry.rs:
+crates/os/src/services.rs:
+crates/os/src/usb.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/malsim_os-e950e31b2f2ca0e5.d: crates/os/src/lib.rs crates/os/src/disk.rs crates/os/src/error.rs crates/os/src/fs.rs crates/os/src/host.rs crates/os/src/patches.rs crates/os/src/path.rs crates/os/src/registry.rs crates/os/src/services.rs crates/os/src/usb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmalsim_os-e950e31b2f2ca0e5.rmeta: crates/os/src/lib.rs crates/os/src/disk.rs crates/os/src/error.rs crates/os/src/fs.rs crates/os/src/host.rs crates/os/src/patches.rs crates/os/src/path.rs crates/os/src/registry.rs crates/os/src/services.rs crates/os/src/usb.rs Cargo.toml
+
+crates/os/src/lib.rs:
+crates/os/src/disk.rs:
+crates/os/src/error.rs:
+crates/os/src/fs.rs:
+crates/os/src/host.rs:
+crates/os/src/patches.rs:
+crates/os/src/path.rs:
+crates/os/src/registry.rs:
+crates/os/src/services.rs:
+crates/os/src/usb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/malsim_pe-b43f5032ae1c23fe.d: crates/pe/src/lib.rs crates/pe/src/builder.rs crates/pe/src/error.rs crates/pe/src/image.rs crates/pe/src/xor.rs
+
+/root/repo/target/debug/deps/malsim_pe-b43f5032ae1c23fe: crates/pe/src/lib.rs crates/pe/src/builder.rs crates/pe/src/error.rs crates/pe/src/image.rs crates/pe/src/xor.rs
+
+crates/pe/src/lib.rs:
+crates/pe/src/builder.rs:
+crates/pe/src/error.rs:
+crates/pe/src/image.rs:
+crates/pe/src/xor.rs:

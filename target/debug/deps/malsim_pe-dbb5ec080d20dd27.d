@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/malsim_pe-dbb5ec080d20dd27.d: crates/pe/src/lib.rs crates/pe/src/builder.rs crates/pe/src/error.rs crates/pe/src/image.rs crates/pe/src/xor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmalsim_pe-dbb5ec080d20dd27.rmeta: crates/pe/src/lib.rs crates/pe/src/builder.rs crates/pe/src/error.rs crates/pe/src/image.rs crates/pe/src/xor.rs Cargo.toml
+
+crates/pe/src/lib.rs:
+crates/pe/src/builder.rs:
+crates/pe/src/error.rs:
+crates/pe/src/image.rs:
+crates/pe/src/xor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/malsim_pe-f066ca6992e271b1.d: crates/pe/src/lib.rs crates/pe/src/builder.rs crates/pe/src/error.rs crates/pe/src/image.rs crates/pe/src/xor.rs
+
+/root/repo/target/debug/deps/libmalsim_pe-f066ca6992e271b1.rlib: crates/pe/src/lib.rs crates/pe/src/builder.rs crates/pe/src/error.rs crates/pe/src/image.rs crates/pe/src/xor.rs
+
+/root/repo/target/debug/deps/libmalsim_pe-f066ca6992e271b1.rmeta: crates/pe/src/lib.rs crates/pe/src/builder.rs crates/pe/src/error.rs crates/pe/src/image.rs crates/pe/src/xor.rs
+
+crates/pe/src/lib.rs:
+crates/pe/src/builder.rs:
+crates/pe/src/error.rs:
+crates/pe/src/image.rs:
+crates/pe/src/xor.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/malsim_scada-42701d306dd7dacf.d: crates/scada/src/lib.rs crates/scada/src/cascade.rs crates/scada/src/centrifuge.rs crates/scada/src/drive.rs crates/scada/src/hmi.rs crates/scada/src/plc.rs crates/scada/src/step7.rs
+
+/root/repo/target/debug/deps/malsim_scada-42701d306dd7dacf: crates/scada/src/lib.rs crates/scada/src/cascade.rs crates/scada/src/centrifuge.rs crates/scada/src/drive.rs crates/scada/src/hmi.rs crates/scada/src/plc.rs crates/scada/src/step7.rs
+
+crates/scada/src/lib.rs:
+crates/scada/src/cascade.rs:
+crates/scada/src/centrifuge.rs:
+crates/scada/src/drive.rs:
+crates/scada/src/hmi.rs:
+crates/scada/src/plc.rs:
+crates/scada/src/step7.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/malsim_scada-8401e6b1a4a6b23f.d: crates/scada/src/lib.rs crates/scada/src/cascade.rs crates/scada/src/centrifuge.rs crates/scada/src/drive.rs crates/scada/src/hmi.rs crates/scada/src/plc.rs crates/scada/src/step7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmalsim_scada-8401e6b1a4a6b23f.rmeta: crates/scada/src/lib.rs crates/scada/src/cascade.rs crates/scada/src/centrifuge.rs crates/scada/src/drive.rs crates/scada/src/hmi.rs crates/scada/src/plc.rs crates/scada/src/step7.rs Cargo.toml
+
+crates/scada/src/lib.rs:
+crates/scada/src/cascade.rs:
+crates/scada/src/centrifuge.rs:
+crates/scada/src/drive.rs:
+crates/scada/src/hmi.rs:
+crates/scada/src/plc.rs:
+crates/scada/src/step7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

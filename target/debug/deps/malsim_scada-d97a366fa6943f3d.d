@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/malsim_scada-d97a366fa6943f3d.d: crates/scada/src/lib.rs crates/scada/src/cascade.rs crates/scada/src/centrifuge.rs crates/scada/src/drive.rs crates/scada/src/hmi.rs crates/scada/src/plc.rs crates/scada/src/step7.rs
+
+/root/repo/target/debug/deps/libmalsim_scada-d97a366fa6943f3d.rlib: crates/scada/src/lib.rs crates/scada/src/cascade.rs crates/scada/src/centrifuge.rs crates/scada/src/drive.rs crates/scada/src/hmi.rs crates/scada/src/plc.rs crates/scada/src/step7.rs
+
+/root/repo/target/debug/deps/libmalsim_scada-d97a366fa6943f3d.rmeta: crates/scada/src/lib.rs crates/scada/src/cascade.rs crates/scada/src/centrifuge.rs crates/scada/src/drive.rs crates/scada/src/hmi.rs crates/scada/src/plc.rs crates/scada/src/step7.rs
+
+crates/scada/src/lib.rs:
+crates/scada/src/cascade.rs:
+crates/scada/src/centrifuge.rs:
+crates/scada/src/drive.rs:
+crates/scada/src/hmi.rs:
+crates/scada/src/plc.rs:
+crates/scada/src/step7.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/malsim_script-32c42b1366d38576.d: crates/script/src/lib.rs crates/script/src/ast.rs crates/script/src/compiler.rs crates/script/src/error.rs crates/script/src/lexer.rs crates/script/src/parser.rs crates/script/src/value.rs crates/script/src/vm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmalsim_script-32c42b1366d38576.rmeta: crates/script/src/lib.rs crates/script/src/ast.rs crates/script/src/compiler.rs crates/script/src/error.rs crates/script/src/lexer.rs crates/script/src/parser.rs crates/script/src/value.rs crates/script/src/vm.rs Cargo.toml
+
+crates/script/src/lib.rs:
+crates/script/src/ast.rs:
+crates/script/src/compiler.rs:
+crates/script/src/error.rs:
+crates/script/src/lexer.rs:
+crates/script/src/parser.rs:
+crates/script/src/value.rs:
+crates/script/src/vm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/malsim_script-724138eae0a59a75.d: crates/script/src/lib.rs crates/script/src/ast.rs crates/script/src/compiler.rs crates/script/src/error.rs crates/script/src/lexer.rs crates/script/src/parser.rs crates/script/src/value.rs crates/script/src/vm.rs
+
+/root/repo/target/debug/deps/libmalsim_script-724138eae0a59a75.rlib: crates/script/src/lib.rs crates/script/src/ast.rs crates/script/src/compiler.rs crates/script/src/error.rs crates/script/src/lexer.rs crates/script/src/parser.rs crates/script/src/value.rs crates/script/src/vm.rs
+
+/root/repo/target/debug/deps/libmalsim_script-724138eae0a59a75.rmeta: crates/script/src/lib.rs crates/script/src/ast.rs crates/script/src/compiler.rs crates/script/src/error.rs crates/script/src/lexer.rs crates/script/src/parser.rs crates/script/src/value.rs crates/script/src/vm.rs
+
+crates/script/src/lib.rs:
+crates/script/src/ast.rs:
+crates/script/src/compiler.rs:
+crates/script/src/error.rs:
+crates/script/src/lexer.rs:
+crates/script/src/parser.rs:
+crates/script/src/value.rs:
+crates/script/src/vm.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/malsim_script-b03384b2e26de94a.d: crates/script/src/lib.rs crates/script/src/ast.rs crates/script/src/compiler.rs crates/script/src/error.rs crates/script/src/lexer.rs crates/script/src/parser.rs crates/script/src/value.rs crates/script/src/vm.rs
+
+/root/repo/target/debug/deps/malsim_script-b03384b2e26de94a: crates/script/src/lib.rs crates/script/src/ast.rs crates/script/src/compiler.rs crates/script/src/error.rs crates/script/src/lexer.rs crates/script/src/parser.rs crates/script/src/value.rs crates/script/src/vm.rs
+
+crates/script/src/lib.rs:
+crates/script/src/ast.rs:
+crates/script/src/compiler.rs:
+crates/script/src/error.rs:
+crates/script/src/lexer.rs:
+crates/script/src/parser.rs:
+crates/script/src/value.rs:
+crates/script/src/vm.rs:

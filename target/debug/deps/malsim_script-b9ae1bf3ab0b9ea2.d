@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/malsim_script-b9ae1bf3ab0b9ea2.d: crates/script/src/lib.rs crates/script/src/ast.rs crates/script/src/compiler.rs crates/script/src/error.rs crates/script/src/lexer.rs crates/script/src/parser.rs crates/script/src/value.rs crates/script/src/vm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmalsim_script-b9ae1bf3ab0b9ea2.rmeta: crates/script/src/lib.rs crates/script/src/ast.rs crates/script/src/compiler.rs crates/script/src/error.rs crates/script/src/lexer.rs crates/script/src/parser.rs crates/script/src/value.rs crates/script/src/vm.rs Cargo.toml
+
+crates/script/src/lib.rs:
+crates/script/src/ast.rs:
+crates/script/src/compiler.rs:
+crates/script/src/error.rs:
+crates/script/src/lexer.rs:
+crates/script/src/parser.rs:
+crates/script/src/value.rs:
+crates/script/src/vm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_certs-2658d5dfa983290b.d: crates/certs/tests/prop_certs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_certs-2658d5dfa983290b.rmeta: crates/certs/tests/prop_certs.rs Cargo.toml
+
+crates/certs/tests/prop_certs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

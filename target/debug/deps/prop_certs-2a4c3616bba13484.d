@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_certs-2a4c3616bba13484.d: crates/certs/tests/prop_certs.rs
+
+/root/repo/target/debug/deps/prop_certs-2a4c3616bba13484: crates/certs/tests/prop_certs.rs
+
+crates/certs/tests/prop_certs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_defense-78aa8d4c989842fb.d: crates/defense/tests/prop_defense.rs
+
+/root/repo/target/debug/deps/prop_defense-78aa8d4c989842fb: crates/defense/tests/prop_defense.rs
+
+crates/defense/tests/prop_defense.rs:

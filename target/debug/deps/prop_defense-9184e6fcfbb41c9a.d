@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_defense-9184e6fcfbb41c9a.d: crates/defense/tests/prop_defense.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_defense-9184e6fcfbb41c9a.rmeta: crates/defense/tests/prop_defense.rs Cargo.toml
+
+crates/defense/tests/prop_defense.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_fs-149e1d77ea613bcd.d: crates/os/tests/prop_fs.rs
+
+/root/repo/target/debug/deps/prop_fs-149e1d77ea613bcd: crates/os/tests/prop_fs.rs
+
+crates/os/tests/prop_fs.rs:

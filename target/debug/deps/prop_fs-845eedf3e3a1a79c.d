@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_fs-845eedf3e3a1a79c.d: crates/os/tests/prop_fs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_fs-845eedf3e3a1a79c.rmeta: crates/os/tests/prop_fs.rs Cargo.toml
+
+crates/os/tests/prop_fs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

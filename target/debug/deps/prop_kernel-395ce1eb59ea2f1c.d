@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_kernel-395ce1eb59ea2f1c.d: crates/kernel/tests/prop_kernel.rs
+
+/root/repo/target/debug/deps/prop_kernel-395ce1eb59ea2f1c: crates/kernel/tests/prop_kernel.rs
+
+crates/kernel/tests/prop_kernel.rs:

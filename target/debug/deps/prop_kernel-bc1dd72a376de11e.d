@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_kernel-bc1dd72a376de11e.d: crates/kernel/tests/prop_kernel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_kernel-bc1dd72a376de11e.rmeta: crates/kernel/tests/prop_kernel.rs Cargo.toml
+
+crates/kernel/tests/prop_kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_net-a1e814c9bd35e6b0.d: crates/net/tests/prop_net.rs
+
+/root/repo/target/debug/deps/prop_net-a1e814c9bd35e6b0: crates/net/tests/prop_net.rs
+
+crates/net/tests/prop_net.rs:

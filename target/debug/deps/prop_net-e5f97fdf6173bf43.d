@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_net-e5f97fdf6173bf43.d: crates/net/tests/prop_net.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_net-e5f97fdf6173bf43.rmeta: crates/net/tests/prop_net.rs Cargo.toml
+
+crates/net/tests/prop_net.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_roundtrip-4ba5b6b2a40d210d.d: crates/pe/tests/prop_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_roundtrip-4ba5b6b2a40d210d.rmeta: crates/pe/tests/prop_roundtrip.rs Cargo.toml
+
+crates/pe/tests/prop_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_roundtrip-c4bb7eea240f306a.d: crates/pe/tests/prop_roundtrip.rs
+
+/root/repo/target/debug/deps/prop_roundtrip-c4bb7eea240f306a: crates/pe/tests/prop_roundtrip.rs
+
+crates/pe/tests/prop_roundtrip.rs:

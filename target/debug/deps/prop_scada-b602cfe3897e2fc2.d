@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_scada-b602cfe3897e2fc2.d: crates/scada/tests/prop_scada.rs
+
+/root/repo/target/debug/deps/prop_scada-b602cfe3897e2fc2: crates/scada/tests/prop_scada.rs
+
+crates/scada/tests/prop_scada.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_scada-d02927f38f9722bc.d: crates/scada/tests/prop_scada.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_scada-d02927f38f9722bc.rmeta: crates/scada/tests/prop_scada.rs Cargo.toml
+
+crates/scada/tests/prop_scada.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

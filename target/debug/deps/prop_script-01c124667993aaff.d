@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_script-01c124667993aaff.d: crates/script/tests/prop_script.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_script-01c124667993aaff.rmeta: crates/script/tests/prop_script.rs Cargo.toml
+
+crates/script/tests/prop_script.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_script-1403909bd6acdfc4.d: crates/script/tests/prop_script.rs
+
+/root/repo/target/debug/deps/prop_script-1403909bd6acdfc4: crates/script/tests/prop_script.rs
+
+crates/script/tests/prop_script.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trends_siblings-3492fcc259579f2e.d: crates/analysis/tests/trends_siblings.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrends_siblings-3492fcc259579f2e.rmeta: crates/analysis/tests/trends_siblings.rs Cargo.toml
+
+crates/analysis/tests/trends_siblings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trends_siblings-b74f8d2c49168508.d: crates/analysis/tests/trends_siblings.rs
+
+/root/repo/target/debug/deps/trends_siblings-b74f8d2c49168508: crates/analysis/tests/trends_siblings.rs
+
+crates/analysis/tests/trends_siblings.rs:

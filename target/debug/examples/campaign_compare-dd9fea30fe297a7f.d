@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/campaign_compare-dd9fea30fe297a7f.d: crates/core/../../examples/campaign_compare.rs
+
+/root/repo/target/debug/examples/campaign_compare-dd9fea30fe297a7f: crates/core/../../examples/campaign_compare.rs
+
+crates/core/../../examples/campaign_compare.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/campaign_compare-f8ef873da6e7c1fe.d: crates/core/../../examples/campaign_compare.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcampaign_compare-f8ef873da6e7c1fe.rmeta: crates/core/../../examples/campaign_compare.rs Cargo.toml
+
+crates/core/../../examples/campaign_compare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/flame_espionage-4ed48f46e7f6bf01.d: crates/core/../../examples/flame_espionage.rs
+
+/root/repo/target/debug/examples/flame_espionage-4ed48f46e7f6bf01: crates/core/../../examples/flame_espionage.rs
+
+crates/core/../../examples/flame_espionage.rs:

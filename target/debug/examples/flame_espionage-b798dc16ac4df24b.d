@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/flame_espionage-b798dc16ac4df24b.d: crates/core/../../examples/flame_espionage.rs Cargo.toml
+
+/root/repo/target/debug/examples/libflame_espionage-b798dc16ac4df24b.rmeta: crates/core/../../examples/flame_espionage.rs Cargo.toml
+
+crates/core/../../examples/flame_espionage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/natanz-9adfdd1f8399408c.d: crates/core/../../examples/natanz.rs
+
+/root/repo/target/debug/examples/natanz-9adfdd1f8399408c: crates/core/../../examples/natanz.rs
+
+crates/core/../../examples/natanz.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/natanz-b2f322a6b6d60ffd.d: crates/core/../../examples/natanz.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnatanz-b2f322a6b6d60ffd.rmeta: crates/core/../../examples/natanz.rs Cargo.toml
+
+crates/core/../../examples/natanz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d20a12cbc774d402.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d20a12cbc774d402: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/shamoon_wiper-5dfcb254355d948e.d: crates/core/../../examples/shamoon_wiper.rs Cargo.toml
+
+/root/repo/target/debug/examples/libshamoon_wiper-5dfcb254355d948e.rmeta: crates/core/../../examples/shamoon_wiper.rs Cargo.toml
+
+crates/core/../../examples/shamoon_wiper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

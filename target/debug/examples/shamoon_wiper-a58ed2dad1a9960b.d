@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shamoon_wiper-a58ed2dad1a9960b.d: crates/core/../../examples/shamoon_wiper.rs
+
+/root/repo/target/debug/examples/shamoon_wiper-a58ed2dad1a9960b: crates/core/../../examples/shamoon_wiper.rs
+
+crates/core/../../examples/shamoon_wiper.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/takedown_resilience-291dca12db482433.d: crates/core/../../examples/takedown_resilience.rs
+
+/root/repo/target/debug/examples/takedown_resilience-291dca12db482433: crates/core/../../examples/takedown_resilience.rs
+
+crates/core/../../examples/takedown_resilience.rs:

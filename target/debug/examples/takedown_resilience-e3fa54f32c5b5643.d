@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/takedown_resilience-e3fa54f32c5b5643.d: crates/core/../../examples/takedown_resilience.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtakedown_resilience-e3fa54f32c5b5643.rmeta: crates/core/../../examples/takedown_resilience.rs Cargo.toml
+
+crates/core/../../examples/takedown_resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

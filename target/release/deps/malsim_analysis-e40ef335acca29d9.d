@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/malsim_analysis-e40ef335acca29d9.d: crates/analysis/src/lib.rs crates/analysis/src/table.rs crates/analysis/src/timeline.rs crates/analysis/src/trends.rs
+
+/root/repo/target/release/deps/libmalsim_analysis-e40ef335acca29d9.rlib: crates/analysis/src/lib.rs crates/analysis/src/table.rs crates/analysis/src/timeline.rs crates/analysis/src/trends.rs
+
+/root/repo/target/release/deps/libmalsim_analysis-e40ef335acca29d9.rmeta: crates/analysis/src/lib.rs crates/analysis/src/table.rs crates/analysis/src/timeline.rs crates/analysis/src/trends.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/table.rs:
+crates/analysis/src/timeline.rs:
+crates/analysis/src/trends.rs:

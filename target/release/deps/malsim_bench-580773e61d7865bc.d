@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/malsim_bench-580773e61d7865bc.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmalsim_bench-580773e61d7865bc.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmalsim_bench-580773e61d7865bc.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

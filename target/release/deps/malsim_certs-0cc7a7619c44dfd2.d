@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/malsim_certs-0cc7a7619c44dfd2.d: crates/certs/src/lib.rs crates/certs/src/authority.rs crates/certs/src/cert.rs crates/certs/src/error.rs crates/certs/src/forgery.rs crates/certs/src/hash.rs crates/certs/src/key.rs crates/certs/src/store.rs
+
+/root/repo/target/release/deps/libmalsim_certs-0cc7a7619c44dfd2.rlib: crates/certs/src/lib.rs crates/certs/src/authority.rs crates/certs/src/cert.rs crates/certs/src/error.rs crates/certs/src/forgery.rs crates/certs/src/hash.rs crates/certs/src/key.rs crates/certs/src/store.rs
+
+/root/repo/target/release/deps/libmalsim_certs-0cc7a7619c44dfd2.rmeta: crates/certs/src/lib.rs crates/certs/src/authority.rs crates/certs/src/cert.rs crates/certs/src/error.rs crates/certs/src/forgery.rs crates/certs/src/hash.rs crates/certs/src/key.rs crates/certs/src/store.rs
+
+crates/certs/src/lib.rs:
+crates/certs/src/authority.rs:
+crates/certs/src/cert.rs:
+crates/certs/src/error.rs:
+crates/certs/src/forgery.rs:
+crates/certs/src/hash.rs:
+crates/certs/src/key.rs:
+crates/certs/src/store.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/malsim_defense-7cd9d2bf3f232993.d: crates/defense/src/lib.rs crates/defense/src/av.rs crates/defense/src/forensics.rs crates/defense/src/ids.rs crates/defense/src/sinkhole.rs
+
+/root/repo/target/release/deps/libmalsim_defense-7cd9d2bf3f232993.rlib: crates/defense/src/lib.rs crates/defense/src/av.rs crates/defense/src/forensics.rs crates/defense/src/ids.rs crates/defense/src/sinkhole.rs
+
+/root/repo/target/release/deps/libmalsim_defense-7cd9d2bf3f232993.rmeta: crates/defense/src/lib.rs crates/defense/src/av.rs crates/defense/src/forensics.rs crates/defense/src/ids.rs crates/defense/src/sinkhole.rs
+
+crates/defense/src/lib.rs:
+crates/defense/src/av.rs:
+crates/defense/src/forensics.rs:
+crates/defense/src/ids.rs:
+crates/defense/src/sinkhole.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/malsim_kernel-24d00922f4ae122e.d: crates/kernel/src/lib.rs crates/kernel/src/fault.rs crates/kernel/src/ids.rs crates/kernel/src/metrics.rs crates/kernel/src/rng.rs crates/kernel/src/sched.rs crates/kernel/src/time.rs crates/kernel/src/trace.rs
+
+/root/repo/target/release/deps/libmalsim_kernel-24d00922f4ae122e.rlib: crates/kernel/src/lib.rs crates/kernel/src/fault.rs crates/kernel/src/ids.rs crates/kernel/src/metrics.rs crates/kernel/src/rng.rs crates/kernel/src/sched.rs crates/kernel/src/time.rs crates/kernel/src/trace.rs
+
+/root/repo/target/release/deps/libmalsim_kernel-24d00922f4ae122e.rmeta: crates/kernel/src/lib.rs crates/kernel/src/fault.rs crates/kernel/src/ids.rs crates/kernel/src/metrics.rs crates/kernel/src/rng.rs crates/kernel/src/sched.rs crates/kernel/src/time.rs crates/kernel/src/trace.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/fault.rs:
+crates/kernel/src/ids.rs:
+crates/kernel/src/metrics.rs:
+crates/kernel/src/rng.rs:
+crates/kernel/src/sched.rs:
+crates/kernel/src/time.rs:
+crates/kernel/src/trace.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/malsim_net-6e967b28a0c2382a.d: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/bluetooth.rs crates/net/src/dns.rs crates/net/src/http.rs crates/net/src/lateral.rs crates/net/src/retry.rs crates/net/src/topology.rs crates/net/src/winupdate.rs
+
+/root/repo/target/release/deps/libmalsim_net-6e967b28a0c2382a.rlib: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/bluetooth.rs crates/net/src/dns.rs crates/net/src/http.rs crates/net/src/lateral.rs crates/net/src/retry.rs crates/net/src/topology.rs crates/net/src/winupdate.rs
+
+/root/repo/target/release/deps/libmalsim_net-6e967b28a0c2382a.rmeta: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/bluetooth.rs crates/net/src/dns.rs crates/net/src/http.rs crates/net/src/lateral.rs crates/net/src/retry.rs crates/net/src/topology.rs crates/net/src/winupdate.rs
+
+crates/net/src/lib.rs:
+crates/net/src/addr.rs:
+crates/net/src/bluetooth.rs:
+crates/net/src/dns.rs:
+crates/net/src/http.rs:
+crates/net/src/lateral.rs:
+crates/net/src/retry.rs:
+crates/net/src/topology.rs:
+crates/net/src/winupdate.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/malsim_os-677b951a13378e4b.d: crates/os/src/lib.rs crates/os/src/disk.rs crates/os/src/error.rs crates/os/src/fs.rs crates/os/src/host.rs crates/os/src/patches.rs crates/os/src/path.rs crates/os/src/registry.rs crates/os/src/services.rs crates/os/src/usb.rs
+
+/root/repo/target/release/deps/libmalsim_os-677b951a13378e4b.rlib: crates/os/src/lib.rs crates/os/src/disk.rs crates/os/src/error.rs crates/os/src/fs.rs crates/os/src/host.rs crates/os/src/patches.rs crates/os/src/path.rs crates/os/src/registry.rs crates/os/src/services.rs crates/os/src/usb.rs
+
+/root/repo/target/release/deps/libmalsim_os-677b951a13378e4b.rmeta: crates/os/src/lib.rs crates/os/src/disk.rs crates/os/src/error.rs crates/os/src/fs.rs crates/os/src/host.rs crates/os/src/patches.rs crates/os/src/path.rs crates/os/src/registry.rs crates/os/src/services.rs crates/os/src/usb.rs
+
+crates/os/src/lib.rs:
+crates/os/src/disk.rs:
+crates/os/src/error.rs:
+crates/os/src/fs.rs:
+crates/os/src/host.rs:
+crates/os/src/patches.rs:
+crates/os/src/path.rs:
+crates/os/src/registry.rs:
+crates/os/src/services.rs:
+crates/os/src/usb.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/malsim_pe-9ef7a7f54b4b33e3.d: crates/pe/src/lib.rs crates/pe/src/builder.rs crates/pe/src/error.rs crates/pe/src/image.rs crates/pe/src/xor.rs
+
+/root/repo/target/release/deps/libmalsim_pe-9ef7a7f54b4b33e3.rlib: crates/pe/src/lib.rs crates/pe/src/builder.rs crates/pe/src/error.rs crates/pe/src/image.rs crates/pe/src/xor.rs
+
+/root/repo/target/release/deps/libmalsim_pe-9ef7a7f54b4b33e3.rmeta: crates/pe/src/lib.rs crates/pe/src/builder.rs crates/pe/src/error.rs crates/pe/src/image.rs crates/pe/src/xor.rs
+
+crates/pe/src/lib.rs:
+crates/pe/src/builder.rs:
+crates/pe/src/error.rs:
+crates/pe/src/image.rs:
+crates/pe/src/xor.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/malsim_scada-1c365f039c259005.d: crates/scada/src/lib.rs crates/scada/src/cascade.rs crates/scada/src/centrifuge.rs crates/scada/src/drive.rs crates/scada/src/hmi.rs crates/scada/src/plc.rs crates/scada/src/step7.rs
+
+/root/repo/target/release/deps/libmalsim_scada-1c365f039c259005.rlib: crates/scada/src/lib.rs crates/scada/src/cascade.rs crates/scada/src/centrifuge.rs crates/scada/src/drive.rs crates/scada/src/hmi.rs crates/scada/src/plc.rs crates/scada/src/step7.rs
+
+/root/repo/target/release/deps/libmalsim_scada-1c365f039c259005.rmeta: crates/scada/src/lib.rs crates/scada/src/cascade.rs crates/scada/src/centrifuge.rs crates/scada/src/drive.rs crates/scada/src/hmi.rs crates/scada/src/plc.rs crates/scada/src/step7.rs
+
+crates/scada/src/lib.rs:
+crates/scada/src/cascade.rs:
+crates/scada/src/centrifuge.rs:
+crates/scada/src/drive.rs:
+crates/scada/src/hmi.rs:
+crates/scada/src/plc.rs:
+crates/scada/src/step7.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/malsim_script-3a7f91cec3e09805.d: crates/script/src/lib.rs crates/script/src/ast.rs crates/script/src/compiler.rs crates/script/src/error.rs crates/script/src/lexer.rs crates/script/src/parser.rs crates/script/src/value.rs crates/script/src/vm.rs
+
+/root/repo/target/release/deps/libmalsim_script-3a7f91cec3e09805.rlib: crates/script/src/lib.rs crates/script/src/ast.rs crates/script/src/compiler.rs crates/script/src/error.rs crates/script/src/lexer.rs crates/script/src/parser.rs crates/script/src/value.rs crates/script/src/vm.rs
+
+/root/repo/target/release/deps/libmalsim_script-3a7f91cec3e09805.rmeta: crates/script/src/lib.rs crates/script/src/ast.rs crates/script/src/compiler.rs crates/script/src/error.rs crates/script/src/lexer.rs crates/script/src/parser.rs crates/script/src/value.rs crates/script/src/vm.rs
+
+crates/script/src/lib.rs:
+crates/script/src/ast.rs:
+crates/script/src/compiler.rs:
+crates/script/src/error.rs:
+crates/script/src/lexer.rs:
+crates/script/src/parser.rs:
+crates/script/src/value.rs:
+crates/script/src/vm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/campaign_compare-d66c7527a3e719d9.d: crates/core/../../examples/campaign_compare.rs
+
+/root/repo/target/release/examples/campaign_compare-d66c7527a3e719d9: crates/core/../../examples/campaign_compare.rs
+
+crates/core/../../examples/campaign_compare.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/flame_espionage-c033eeee6f8bfd04.d: crates/core/../../examples/flame_espionage.rs
+
+/root/repo/target/release/examples/flame_espionage-c033eeee6f8bfd04: crates/core/../../examples/flame_espionage.rs
+
+crates/core/../../examples/flame_espionage.rs:

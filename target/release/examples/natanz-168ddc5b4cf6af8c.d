@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/natanz-168ddc5b4cf6af8c.d: crates/core/../../examples/natanz.rs
+
+/root/repo/target/release/examples/natanz-168ddc5b4cf6af8c: crates/core/../../examples/natanz.rs
+
+crates/core/../../examples/natanz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-48303dd10ef8ce46.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-48303dd10ef8ce46: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/shamoon_wiper-fef7bcedb5871b9d.d: crates/core/../../examples/shamoon_wiper.rs
+
+/root/repo/target/release/examples/shamoon_wiper-fef7bcedb5871b9d: crates/core/../../examples/shamoon_wiper.rs
+
+crates/core/../../examples/shamoon_wiper.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/takedown_resilience-7a97950308006d41.d: crates/core/../../examples/takedown_resilience.rs
+
+/root/repo/target/release/examples/takedown_resilience-7a97950308006d41: crates/core/../../examples/takedown_resilience.rs
+
+crates/core/../../examples/takedown_resilience.rs:

@@ -20,7 +20,11 @@ fn mitm_spread_saturates_an_unprotected_lan() {
     let (mut world, mut sim, _pki) = flame_lan(1, 10);
     flame::client::infect_host(&mut world, &mut sim, HostId::new(0), "seed");
     flame::mitm::snack_claim_wpad(&mut world, &mut sim, HostId::new(0));
-    activity::schedule_update_checks(&mut sim, (0..10).map(HostId::new).collect(), SimDuration::from_hours(24));
+    activity::schedule_update_checks(
+        &mut sim,
+        (0..10).map(HostId::new).collect(),
+        SimDuration::from_hours(24),
+    );
     sim.run_until(&mut world, sim.now() + SimDuration::from_days(2));
     assert_eq!(world.campaigns.flame_clients.len(), 10);
     assert_eq!(sim.metrics.counter("flame.mitm_infections"), 9);
@@ -31,7 +35,11 @@ fn advisory_rollout_halts_the_spread_mid_campaign() {
     let (mut world, mut sim, pki) = flame_lan(2, 8);
     flame::client::infect_host(&mut world, &mut sim, HostId::new(0), "seed");
     flame::mitm::snack_claim_wpad(&mut world, &mut sim, HostId::new(0));
-    activity::schedule_update_checks(&mut sim, (0..8).map(HostId::new).collect(), SimDuration::from_hours(24));
+    activity::schedule_update_checks(
+        &mut sim,
+        (0..8).map(HostId::new).collect(),
+        SimDuration::from_hours(24),
+    );
     // Day 2: only some hosts have fallen; the advisory ships fleet-wide.
     sim.run_until(&mut world, sim.now() + SimDuration::from_hours(30));
     let infected_at_advisory = world.campaigns.flame_clients.len();
@@ -54,11 +62,19 @@ fn collection_pipeline_delivers_triaged_content_to_attack_center() {
         let h = HostId::new(i);
         world.hosts[h]
             .fs
-            .write(&WinPath::new(r"C:\Users\user\Documents\secret.docx"), FileData::Bytes(vec![0; 250_000]), sim.now())
+            .write(
+                &WinPath::new(r"C:\Users\user\Documents\secret.docx"),
+                FileData::Bytes(vec![0; 250_000]),
+                sim.now(),
+            )
             .unwrap();
         world.hosts[h]
             .fs
-            .write(&WinPath::new(r"C:\Users\user\Documents\shopping.txt"), FileData::Bytes(vec![0; 250_000]), sim.now())
+            .write(
+                &WinPath::new(r"C:\Users\user\Documents\shopping.txt"),
+                FileData::Bytes(vec![0; 250_000]),
+                sim.now(),
+            )
             .unwrap();
         flame::client::infect_host(&mut world, &mut sim, h, "seed");
     }
@@ -72,13 +88,11 @@ fn collection_pipeline_delivers_triaged_content_to_attack_center() {
         .filter(|d| matches!(d, StolenData::FileContent { .. }))
         .collect();
     assert_eq!(contents.len(), 3, "one juicy file per host");
-    assert!(contents.iter().all(|d| matches!(d, StolenData::FileContent { path, .. } if path.ends_with(".docx"))));
-    // Sysinfo from FLASK also arrived.
-    assert!(platform
-        .attack_center
-        .retrieved
+    assert!(contents
         .iter()
-        .any(|d| matches!(d, StolenData::SystemInfo { .. })));
+        .all(|d| matches!(d, StolenData::FileContent { path, .. } if path.ends_with(".docx"))));
+    // Sysinfo from FLASK also arrived.
+    assert!(platform.attack_center.retrieved.iter().any(|d| matches!(d, StolenData::SystemInfo { .. })));
     // Cleanup kept servers empty.
     assert!(platform.servers.iter().all(|s| s.entries.is_empty()));
 }
@@ -89,8 +103,7 @@ fn bluetooth_module_maps_social_surroundings() {
     let (mut world, mut sim, _pki) = flame_lan(4, 1);
     let h = HostId::new(0);
     world.hosts[h].config.bluetooth = true;
-    let radio = world.bluetooth = malsim_net::bluetooth::BluetoothPlane::new(10.0);
-    let _ = radio;
+    world.bluetooth = malsim_net::bluetooth::BluetoothPlane::new(10.0);
     let host_radio = world.bluetooth.add(Radio {
         kind: RadioKind::HostAdapter,
         name: "victim-pc".into(),

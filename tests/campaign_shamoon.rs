@@ -80,7 +80,9 @@ fn av_signature_shipment_models_post_analysis_detection() {
     assert!(av.scan_image(&carrier).is_detection());
     // Post-analysis: vendors ship the exact signature.
     av.add_signature("W32.Disttrack", carrier.content_hash());
-    assert!(matches!(av.scan_image(&carrier), ScanVerdict::SignatureMatch { name } if name == "W32.Disttrack"));
+    assert!(
+        matches!(av.scan_image(&carrier), ScanVerdict::SignatureMatch { name } if name == "W32.Disttrack")
+    );
 }
 
 #[test]

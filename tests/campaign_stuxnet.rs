@@ -4,7 +4,6 @@
 
 use malsim::prelude::*;
 use malsim_kernel::time::SimDuration;
-use malsim_os::patches::Bulletin;
 use malsim_os::usb::UsbDrive;
 
 fn e1(seed: u64) -> experiments::E1Result {

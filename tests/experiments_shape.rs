@@ -9,10 +9,7 @@ fn e2_infection_falls_as_patch_rate_rises() {
     let rows = experiments::e2_zero_day_ablation(11, 40, 5, &[0.0, 0.5, 1.0]);
     assert_eq!(rows.len(), 3);
     assert!(rows[0].infected_fraction > 0.9, "unpatched LAN saturates: {rows:?}");
-    assert!(
-        rows[0].infected_fraction >= rows[1].infected_fraction,
-        "more patches, fewer infections"
-    );
+    assert!(rows[0].infected_fraction >= rows[1].infected_fraction, "more patches, fewer infections");
     assert!(rows[2].infected_fraction <= 0.05, "fully patched fleet resists: {rows:?}");
 }
 
@@ -71,10 +68,7 @@ fn e8_triage_uploads_less_but_keeps_the_juice() {
     let rows = experiments::e8_exfil_ablation(11, 5, 4);
     let triage = rows.iter().find(|r| r.strategy.contains("triage")).unwrap();
     let greedy = rows.iter().find(|r| r.strategy.contains("everything")).unwrap();
-    assert!(
-        triage.bytes_uploaded < greedy.bytes_uploaded,
-        "triage moves fewer bytes: {rows:?}"
-    );
+    assert!(triage.bytes_uploaded < greedy.bytes_uploaded, "triage moves fewer bytes: {rows:?}");
     assert!(triage.juicy_bytes > 0, "but still gets the juicy documents");
     assert_eq!(triage.juicy_bytes, greedy.juicy_bytes, "no juicy content lost to triage");
 }
@@ -120,4 +114,36 @@ fn e12_suicide_defeats_forensics() {
     assert!(before.recovery_score > 0.9);
     assert!(after.recovery_score < 0.1);
     assert!(after.server_logs_remaining < before.server_logs_remaining);
+}
+
+#[test]
+fn e13_ferry_recovers_documents_until_full_takedown() {
+    let rows = experiments::e13_takedown_resilience(11, 10, 7, &[0.0, 0.5, 0.9, 1.0]);
+    assert_eq!(rows.len(), 4);
+    // The direct path degrades monotonically as servers fall.
+    for pair in rows.windows(2) {
+        assert!(
+            pair[1].direct_bytes_week <= pair[0].direct_bytes_week,
+            "direct exfiltration must not grow as the sinkhole widens"
+        );
+    }
+    let (full, half, deep, total) = (&rows[0], &rows[1], &rows[2], &rows[3]);
+    // No takedown: everything flows directly, the stick carries nothing.
+    assert!((full.reachable_clients - 1.0).abs() < f64::EPSILON);
+    assert_eq!(full.ferried_bytes_week, 0.0);
+    assert_eq!(full.stick_backlog, 0);
+    // Half the servers gone: the 80-domain fan-out absorbs it (Fig. 4).
+    assert!((half.reachable_clients - 1.0).abs() < f64::EPSILON);
+    assert!(half.direct_bytes_week > 0.9 * full.direct_bytes_week);
+    // Deep takedown: some clients lose every path, but the USB
+    // store-and-forward ferry recovers their documents — nothing strands.
+    assert!(deep.reachable_clients < 1.0 && deep.reachable_clients > 0.0);
+    assert!(deep.ferried_bytes_week > 0.0, "blocked documents travel by stick");
+    assert_eq!(deep.stick_backlog, 0, "full document recovery below 100% takedown");
+    assert!(deep.total_bytes_week > 0.8 * full.total_bytes_week, "graceful degradation");
+    // Full takedown: nothing flows; documents strand in the hidden database.
+    assert_eq!(total.reachable_clients, 0.0);
+    assert_eq!(total.direct_bytes_week, 0.0);
+    assert_eq!(total.ferried_bytes_week, 0.0);
+    assert!(total.stick_backlog > 0, "documents strand on the stick");
 }

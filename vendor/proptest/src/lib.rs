@@ -1,0 +1,834 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy combinators this workspace's property tests use —
+//! ranges, regex-literal strings, tuples, collections, `prop_map`,
+//! `prop_recursive`, `prop_oneof!`, `prop_compose!`, and the `proptest!`
+//! harness macro — over a deterministic per-test RNG seeded from the test
+//! name. There is no shrinking and no persistence: a failing case panics with
+//! the generated inputs left to the assertion message. Case count is fixed at
+//! [`NUM_CASES`] per property.
+
+use std::rc::Rc;
+
+/// Number of generated cases per property.
+pub const NUM_CASES: usize = 64;
+
+pub mod test_runner {
+    /// Deterministic RNG for strategy generation (SplitMix64 stream seeded
+    /// from an FNV-1a hash of the test name, so every run and every platform
+    /// explores the same cases).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from a test's name.
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            let rem = (u64::MAX % n).wrapping_add(1) % n;
+            loop {
+                let v = self.next_u64();
+                if rem == 0 || v < u64::MAX - rem + 1 {
+                    return v % n;
+                }
+            }
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of values for property tests.
+///
+/// Unlike upstream proptest there is no value tree and no shrinking: a
+/// strategy is just a cloneable recipe that draws a value from a [`TestRng`].
+pub trait Strategy: Clone {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O + Clone,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let inner = self;
+        BoxedStrategy { gen: Rc::new(move |rng| inner.gen_value(rng)) }
+    }
+
+    /// Builds a recursive strategy: `recurse` receives the strategy for the
+    /// previous depth and returns the strategy for one level deeper. The
+    /// tree is unrolled `depth` times; at each level the base case is drawn
+    /// half the time so generated values cover all depths up to `depth`.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let base = self.clone().boxed();
+        let mut strat = self.boxed();
+        for _ in 0..depth {
+            let deeper = recurse(strat).boxed();
+            let shallow = base.clone();
+            strat = BoxedStrategy {
+                gen: Rc::new(move |rng: &mut TestRng| {
+                    if rng.next_u64() & 1 == 0 {
+                        shallow.gen_value(rng)
+                    } else {
+                        deeper.gen_value(rng)
+                    }
+                }),
+            };
+        }
+        strat
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { gen: Rc::clone(&self.gen) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O + Clone,
+{
+    type Value = O;
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Builds a strategy from a generation closure.
+pub fn from_fn<T, F>(f: F) -> FnStrategy<F>
+where
+    F: Fn(&mut TestRng) -> T + Clone,
+{
+    FnStrategy(f)
+}
+
+/// See [`from_fn`].
+#[derive(Clone)]
+pub struct FnStrategy<F>(F);
+
+impl<T, F> Strategy for FnStrategy<F>
+where
+    F: Fn(&mut TestRng) -> T + Clone,
+{
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+macro_rules! strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (*self.start() as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! strategy_for_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let v = self.start + rng.unit_f64() as $t * (self.end - self.start);
+                if v >= self.end { self.start } else { v }
+            }
+        }
+    )*};
+}
+strategy_for_float_range!(f32, f64);
+
+macro_rules! strategy_for_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    };
+}
+strategy_for_tuple!(A: 0, B: 1);
+strategy_for_tuple!(A: 0, B: 1, C: 2);
+strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3);
+strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+mod regex_gen {
+    use super::test_runner::TestRng;
+
+    /// One regex element plus its repetition bounds.
+    #[derive(Clone, Debug)]
+    pub struct Piece {
+        node: Node,
+        min: usize,
+        max: usize,
+    }
+
+    #[derive(Clone, Debug)]
+    enum Node {
+        Lit(char),
+        /// Inclusive character ranges; single chars are `(c, c)`.
+        Class(Vec<(char, char)>),
+        Group(Vec<Piece>),
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Vec<(char, char)> {
+        let mut ranges = Vec::new();
+        loop {
+            let c = chars.next().expect("unterminated character class");
+            let c = match c {
+                ']' => break,
+                '\\' => unescape(chars.next().expect("dangling escape in class")),
+                other => other,
+            };
+            if chars.peek() == Some(&'-') {
+                let mut look = chars.clone();
+                look.next();
+                if look.peek() != Some(&']') {
+                    chars.next();
+                    let hi = match chars.next().expect("unterminated range") {
+                        '\\' => unescape(chars.next().expect("dangling escape in class")),
+                        other => other,
+                    };
+                    ranges.push((c, hi));
+                    continue;
+                }
+            }
+            ranges.push((c, c));
+        }
+        assert!(!ranges.is_empty(), "empty character class");
+        ranges
+    }
+
+    fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars>) -> (usize, usize) {
+        match chars.peek() {
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('{') => {
+                chars.next();
+                let mut body = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    body.push(c);
+                }
+                match body.split_once(',') {
+                    Some((lo, "")) => {
+                        let lo = lo.parse().expect("bad quantifier");
+                        (lo, lo + 8)
+                    }
+                    Some((lo, hi)) => (
+                        lo.parse().expect("bad quantifier"),
+                        hi.parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = body.parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn parse_seq(chars: &mut std::iter::Peekable<std::str::Chars>, in_group: bool) -> Vec<Piece> {
+        let mut pieces = Vec::new();
+        while let Some(&c) = chars.peek() {
+            if c == ')' && in_group {
+                chars.next();
+                break;
+            }
+            chars.next();
+            let node = match c {
+                '[' => Node::Class(parse_class(chars)),
+                '(' => Node::Group(parse_seq(chars, true)),
+                '\\' => Node::Lit(unescape(chars.next().expect("dangling escape"))),
+                '.' => Node::Class(vec![(' ', '~')]),
+                other => Node::Lit(other),
+            };
+            let (min, max) = parse_quantifier(chars);
+            pieces.push(Piece { node, min, max });
+        }
+        pieces
+    }
+
+    /// Parses the regex subset used by the workspace's tests: literals,
+    /// escapes, character classes with ranges, groups, and the quantifiers
+    /// `?`, `*`, `+`, `{n}`, `{m,n}`, `{m,}`.
+    pub fn parse(pattern: &str) -> Vec<Piece> {
+        let mut chars = pattern.chars().peekable();
+        parse_seq(&mut chars, false)
+    }
+
+    fn gen_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Lit(c) => out.push(*c),
+            Node::Class(ranges) => {
+                let total: u64 = ranges.iter().map(|(lo, hi)| *hi as u64 - *lo as u64 + 1).sum();
+                let mut pick = rng.below(total);
+                for (lo, hi) in ranges {
+                    let size = *hi as u64 - *lo as u64 + 1;
+                    if pick < size {
+                        out.push(char::from_u32(*lo as u32 + pick as u32).expect("valid char"));
+                        return;
+                    }
+                    pick -= size;
+                }
+                unreachable!("class pick out of bounds");
+            }
+            Node::Group(pieces) => gen_seq(pieces, rng, out),
+        }
+    }
+
+    /// Generates one string matching the parsed pattern.
+    pub fn gen_seq(pieces: &[Piece], rng: &mut TestRng, out: &mut String) {
+        for piece in pieces {
+            let n = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+            for _ in 0..n {
+                gen_node(&piece.node, rng, out);
+            }
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let pieces = regex_gen::parse(self);
+        let mut out = String::new();
+        regex_gen::gen_seq(&pieces, rng, &mut out);
+        out
+    }
+}
+
+/// Types with a canonical [`any`] strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// See [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(std::marker::PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// An index into a not-yet-known-length collection, mirroring
+    /// `proptest::sample::Index`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Maps the raw draw onto `[0, len)`. `len` must be non-zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64() as usize)
+        }
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specifications accepted by the collection strategies.
+    pub trait SizeRange: Clone {
+        /// Draws a target length.
+        fn pick_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn pick_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start() <= self.end(), "empty size range");
+            self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+        }
+    }
+
+    impl SizeRange for usize {
+        fn pick_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    /// Vector of values drawn from `elem`, with length drawn from `len`.
+    pub fn vec<S: Strategy, L: SizeRange>(elem: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { elem, len }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S, L> {
+        elem: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.pick_len(rng);
+            (0..n).map(|_| self.elem.gen_value(rng)).collect()
+        }
+    }
+
+    /// Ordered set of values drawn from `elem`. Duplicates are redrawn a
+    /// bounded number of times, so the result may fall short of the target
+    /// length when the element domain is small.
+    pub fn btree_set<S, L>(elem: S, len: L) -> SetStrategy<S, L>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        L: SizeRange,
+    {
+        SetStrategy { elem, len }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Clone)]
+    pub struct SetStrategy<S, L> {
+        elem: S,
+        len: L,
+    }
+
+    impl<S, L> Strategy for SetStrategy<S, L>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        L: SizeRange,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let n = self.len.pick_len(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < n && attempts < n * 10 + 16 {
+                out.insert(self.elem.gen_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// Ordered map with keys from `key` and values from `value`.
+    pub fn btree_map<K, V, L>(key: K, value: V, len: L) -> MapStrategy<K, V, L>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+        L: SizeRange,
+    {
+        MapStrategy { key, value, len }
+    }
+
+    /// See [`btree_map`].
+    #[derive(Clone)]
+    pub struct MapStrategy<K, V, L> {
+        key: K,
+        value: V,
+        len: L,
+    }
+
+    impl<K, V, L> Strategy for MapStrategy<K, V, L>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+        L: SizeRange,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let n = self.len.pick_len(rng);
+            let mut out = BTreeMap::new();
+            let mut attempts = 0usize;
+            while out.len() < n && attempts < n * 10 + 16 {
+                out.insert(self.key.gen_value(rng), self.value.gen_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// `Some` three times out of four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 3 == 0 {
+                None
+            } else {
+                Some(self.inner.gen_value(rng))
+            }
+        }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, Strategy,
+    };
+    /// Alias matching upstream proptest's `prelude::prop` re-export.
+    pub use crate as prop;
+}
+
+/// Runs each contained `#[test]` function over [`NUM_CASES`](crate::NUM_CASES)
+/// deterministically generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..$crate::NUM_CASES {
+                    let _ = __case;
+                    $(let $pat = $crate::Strategy::gen_value(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Picks uniformly among the argument strategies (all must share a value
+/// type). Upstream's weighted `w => strategy` arms are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        let __arms = vec![$($crate::Strategy::boxed($arm)),+];
+        $crate::from_fn(move |rng: &mut $crate::test_runner::TestRng| {
+            let __i = rng.below(__arms.len() as u64) as usize;
+            $crate::Strategy::gen_value(&__arms[__i], rng)
+        })
+    }};
+}
+
+/// Defines a function returning a composite strategy, mirroring upstream's
+/// two-argument-list form: the first list is ordinary parameters, the second
+/// binds `pattern in strategy` draws available to the body.
+#[macro_export]
+macro_rules! prop_compose {
+    ($vis:vis fn $name:ident($($arg:ident: $aty:ty),* $(,)?)($($pat:pat in $strat:expr),* $(,)?) -> $out:ty $body:block) => {
+        $vis fn $name($($arg: $aty),*) -> impl $crate::Strategy<Value = $out> {
+            $crate::from_fn(move |__rng: &mut $crate::test_runner::TestRng| {
+                $(let $pat = $crate::Strategy::gen_value(&($strat), __rng);)*
+                $body
+            })
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::test_runner::TestRng;
+    use super::Strategy;
+
+    #[test]
+    fn regex_subset_generates_matching_shapes() {
+        let mut rng = TestRng::for_test("regex");
+        for _ in 0..200 {
+            let s = Strategy::gen_value(&"[a-z]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let p = Strategy::gen_value(&"[a-zA-Z0-9_]{1,8}(\\.[a-z]{1,4})?", &mut rng);
+            let (stem, ext) = match p.split_once('.') {
+                Some((s, e)) => (s, Some(e)),
+                None => (p.as_str(), None),
+            };
+            assert!((1..=8).contains(&stem.len()));
+            if let Some(e) = ext {
+                assert!((1..=4).contains(&e.len()));
+                assert!(e.chars().all(|c| c.is_ascii_lowercase()));
+            }
+
+            let exe = Strategy::gen_value(&"[a-z]{3,10}\\.exe", &mut rng);
+            assert!(exe.ends_with(".exe"));
+
+            let path = Strategy::gen_value(&"/[a-z]{0,10}", &mut rng);
+            assert!(path.starts_with('/'));
+        }
+    }
+
+    #[test]
+    fn ranges_and_tuples_stay_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..500 {
+            let (a, b) = Strategy::gen_value(&(0usize..50, 0usize..5), &mut rng);
+            assert!(a < 50 && b < 5);
+            let v = Strategy::gen_value(&(1u8..=255), &mut rng);
+            assert!(v >= 1);
+            let f = Strategy::gen_value(&(0.0f64..2_000.0), &mut rng);
+            assert!((0.0..2_000.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn collections_honor_length_bounds() {
+        let mut rng = TestRng::for_test("collections");
+        for _ in 0..100 {
+            let v = Strategy::gen_value(&crate::collection::vec(any::<u8>(), 0..6), &mut rng);
+            assert!(v.len() < 6);
+            let s =
+                Strategy::gen_value(&crate::collection::btree_set(0usize..60, 0..30), &mut rng);
+            assert!(s.len() < 30);
+            let m = Strategy::gen_value(
+                &crate::collection::btree_map("[a-z]{1,6}", any::<bool>(), 1..30),
+                &mut rng,
+            );
+            assert!(!m.is_empty() && m.len() < 30);
+        }
+    }
+
+    #[test]
+    fn oneof_covers_every_arm() {
+        let mut rng = TestRng::for_test("oneof");
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[Strategy::gen_value(&strat, &mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate_and_vary() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum E {
+            L(i32),
+            Add(Box<E>, Box<E>),
+        }
+        fn depth(e: &E) -> usize {
+            match e {
+                E::L(_) => 0,
+                E::Add(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (-10i32..10).prop_map(E::L);
+        let strat = leaf.prop_recursive(4, 32, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b)))
+        });
+        let mut rng = TestRng::for_test("recursive");
+        let mut max_depth = 0;
+        for _ in 0..200 {
+            let e = Strategy::gen_value(&strat, &mut rng);
+            let d = depth(&e);
+            assert!(d <= 4);
+            max_depth = max_depth.max(d);
+        }
+        assert!(max_depth >= 2, "recursion should actually recurse");
+    }
+
+    proptest! {
+        #[test]
+        fn the_harness_macro_itself_works(x in 0u64..100, label in "[a-z]{1,4}") {
+            prop_assert!(x < 100);
+            prop_assert_ne!(label.len(), 0);
+            prop_assert_eq!(label.len(), label.chars().count());
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container has no network access and no crates.io mirror, so the
+//! workspace vendors the minimal surface it actually uses: the `Serialize`
+//! and `Deserialize` trait names (as markers with blanket impls) and the
+//! same-named derive macros (which expand to nothing). Nothing in the tree
+//! drives serde's data model, so this is behavior-preserving.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. Blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`. Blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Mirrors `serde::de` far enough for `DeserializeOwned` imports.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirrors `serde::ser` far enough for `Serialize` imports.
+pub mod ser {
+    pub use crate::Serialize;
+}

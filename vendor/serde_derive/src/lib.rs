@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as a
+//! marker — nothing in the tree serializes through serde's data model — so
+//! the derives expand to nothing. The marker traits themselves carry
+//! blanket impls in the sibling `serde` stub.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the `serde` stub's blanket impl covers every type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the `serde` stub's blanket impl covers every type.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
