@@ -1,4 +1,4 @@
-//! One benchmark group per experiment in DESIGN.md's index (E1–E12).
+//! One benchmark group per experiment in DESIGN.md's index (E1–E13).
 //!
 //! Besides timing, each bench prints the experiment's headline rows once at
 //! startup so `cargo bench` regenerates the paper-shaped numbers recorded in
@@ -34,7 +34,7 @@ fn e1(c: &mut Criterion) {
 
 fn e2(c: &mut Criterion) {
     print_once("E2 zero-day ablation (50-host LAN, 5 days)", || {
-        for row in experiments::e2_zero_day_ablation(42, 50, 5, &[0.0, 0.25, 0.5, 0.75, 1.0]) {
+        for row in experiments::e2_zero_day_ablation(42, 50, 5, experiments::grids::E2_PATCH_RATES) {
             println!("patch_rate={:.2} infected_fraction={:.2}", row.patch_rate, row.infected_fraction);
         }
     });
@@ -56,7 +56,7 @@ fn e3(c: &mut Criterion) {
 
 fn e4(c: &mut Criterion) {
     print_once("E4 (Fig.2) wpad mitm spread (72h)", || {
-        for row in experiments::e4_wpad_mitm(42, &[8, 16, 32], 72) {
+        for row in experiments::e4_wpad_mitm(42, experiments::grids::E4_LAN_SIZES, 72) {
             println!(
                 "lan={} mitm={} infected_fraction={:.2}",
                 row.lan_size, row.mitm_active, row.infected_fraction
@@ -81,7 +81,7 @@ fn e5(c: &mut Criterion) {
 
 fn e6(c: &mut Criterion) {
     print_once("E6 (Fig.4) c2 takedown resilience (30 clients)", || {
-        for row in experiments::e6_candc_resilience(42, 30, &[0.0, 0.25, 0.5, 0.75, 0.9, 1.0]) {
+        for row in experiments::e6_candc_resilience(42, 30, experiments::grids::E6_TAKEDOWNS) {
             println!(
                 "takedown={:.2} reachable(80-domain)={:.2} reachable(single)={:.0}",
                 row.takedown_fraction, row.reachable_many, row.reachable_single
@@ -153,7 +153,7 @@ fn e10(c: &mut Criterion) {
 
 fn e11(c: &mut Criterion) {
     print_once("E11 stealth vs spread", || {
-        for row in experiments::e11_stealth_tradeoff(5, 20, &[1.0, 4.0, 12.0]) {
+        for row in experiments::e11_stealth_tradeoff(5, 20, experiments::grids::E11_ACTION_RATES) {
             println!(
                 "aggressiveness={:.0} infected={} alerts={}",
                 row.aggressiveness, row.infected, row.alerts
@@ -179,9 +179,30 @@ fn e12(c: &mut Criterion) {
     });
 }
 
+fn e13(c: &mut Criterion) {
+    print_once("E13 takedown resilience sweep (10 clients, 7 days)", || {
+        for row in experiments::e13_takedown_resilience(11, 10, 7, experiments::grids::E13_SINKHOLE_FRACTIONS)
+        {
+            println!(
+                "sinkholed={:.2} seized={}srv/{}dom reachable={:.2} direct={:.1}MB/wk ferried={:.1}MB/wk backlog={}",
+                row.sinkhole_fraction,
+                row.servers_seized,
+                row.domains_seized,
+                row.reachable_clients,
+                row.direct_bytes_week / 1e6,
+                row.ferried_bytes_week / 1e6,
+                row.stick_backlog
+            );
+        }
+    });
+    c.bench_function("e13_takedown_sweep", |b| {
+        b.iter(|| black_box(experiments::e13_takedown_resilience(black_box(11), 6, 3, &[0.0, 0.5, 1.0])))
+    });
+}
+
 criterion_group! {
     name = experiments_benches;
     config = Criterion::default().sample_size(10);
-    targets = e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12
+    targets = e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, e13
 }
 criterion_main!(experiments_benches);

@@ -1,5 +1,16 @@
 //! The experiment harness: one function per experiment in DESIGN.md's index
 //! (E1–E13). Examples and benches call these and print the returned rows.
+//!
+//! Every grid-shaped experiment runs its points through the deterministic
+//! parallel [`crate::sweep`] runner: the plain entry points size the worker
+//! pool from the environment ([`crate::sweep::threads_from_env`]), and the
+//! `_t`-suffixed variants take an explicit thread count. Output is
+//! byte-identical at every thread count (asserted by
+//! `tests/sweep_parallel.rs`).
+//!
+//! [`golden_specs`] is the regression registry: each experiment at its
+//! documented EXPERIMENTS.md scale, serialized to canonical JSON and checked
+//! against `tests/golden/` by `tests/golden_regression.rs`.
 
 use malsim_kernel::time::{SimDuration, SimTime};
 use malsim_malware::flame;
@@ -12,7 +23,24 @@ use malsim_os::patches::Bulletin;
 
 use crate::activity;
 use crate::armory::Pki;
+use crate::report::Json;
 use crate::scenario::ScenarioBuilder;
+use crate::sweep;
+
+/// The default parameter grids, shared by the golden registry, the benches,
+/// and the example binaries so they all regenerate the same tables.
+pub mod grids {
+    /// E2: fraction of the fleet patched against MS10-046/061.
+    pub const E2_PATCH_RATES: &[f64] = &[0.0, 0.25, 0.5, 0.75, 1.0];
+    /// E4: LAN sizes for the WPAD MITM spread.
+    pub const E4_LAN_SIZES: &[usize] = &[8, 16, 32];
+    /// E6: fraction of the 80 C&C domains taken down.
+    pub const E6_TAKEDOWNS: &[f64] = &[0.0, 0.25, 0.5, 0.75, 0.9, 1.0];
+    /// E11: noisy actions per 2-hour spread round.
+    pub const E11_ACTION_RATES: &[f64] = &[1.0, 4.0, 12.0];
+    /// E13: fraction of the 22 C&C servers sinkholed.
+    pub const E13_SINKHOLE_FRACTIONS: &[f64] = &[0.0, 0.25, 0.5, 0.75, 0.9, 1.0];
+}
 
 /// E1 (Fig. 1): the Stuxnet end-to-end chain.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,27 +109,36 @@ pub struct E2Row {
 
 /// Runs E2 across `patch_rates` on a LAN of `n` hosts for `days`.
 pub fn e2_zero_day_ablation(seed: u64, n: usize, days: u64, patch_rates: &[f64]) -> Vec<E2Row> {
-    patch_rates
-        .iter()
-        .map(|&rate| {
-            let (mut world, mut sim) =
-                ScenarioBuilder::new(seed).patch_rate(rate).without_trace().office_lan(n);
-            let pki = Pki::install(&mut world);
-            pki.arm_stuxnet(&mut world);
-            // Seed via USB on host 0 regardless of its patch state? The LNK
-            // vector needs an unpatched seed; pick the first vulnerable host.
-            let seed_host =
-                world.hosts.iter().find(|(_, h)| h.is_vulnerable_to(Bulletin::Ms10_046)).map(|(id, _)| id);
-            if let Some(h) = seed_host {
-                stuxnet::infection::infect_host(&mut world, &mut sim, h, "usb-lnk");
-                sim.run_until(&mut world, sim.now() + SimDuration::from_days(days));
-            }
-            E2Row {
-                patch_rate: rate,
-                infected_fraction: world.campaigns.stuxnet.infections.len() as f64 / n as f64,
-            }
-        })
-        .collect()
+    e2_zero_day_ablation_t(seed, n, days, patch_rates, sweep::threads_from_env())
+}
+
+/// E2 with an explicit worker count. Each patch rate is an independent sweep
+/// point seeded from its derived `(e2, point, seed)` stream.
+pub fn e2_zero_day_ablation_t(
+    seed: u64,
+    n: usize,
+    days: u64,
+    patch_rates: &[f64],
+    threads: usize,
+) -> Vec<E2Row> {
+    sweep::run("e2", seed, patch_rates, threads, |ctx, &rate| {
+        let (mut world, mut sim) =
+            ScenarioBuilder::new(ctx.derived_seed()).patch_rate(rate).without_trace().office_lan(n);
+        let pki = Pki::install(&mut world);
+        pki.arm_stuxnet(&mut world);
+        // Seed via USB on host 0 regardless of its patch state? The LNK
+        // vector needs an unpatched seed; pick the first vulnerable host.
+        let seed_host =
+            world.hosts.iter().find(|(_, h)| h.is_vulnerable_to(Bulletin::Ms10_046)).map(|(id, _)| id);
+        if let Some(h) = seed_host {
+            stuxnet::infection::infect_host(&mut world, &mut sim, h, "usb-lnk");
+            sim.run_until(&mut world, sim.now() + SimDuration::from_days(days));
+        }
+        E2Row {
+            patch_rate: rate,
+            infected_fraction: world.campaigns.stuxnet.infections.len() as f64 / n as f64,
+        }
+    })
 }
 
 /// E3 (§II-C): PLC targeting discipline.
@@ -117,21 +154,27 @@ pub struct E3Row {
 
 /// Runs E3: the same infection against targeted and non-targeted plants.
 pub fn e3_plc_targeting(seed: u64, days: u64) -> Vec<E3Row> {
-    let mut rows = Vec::new();
-    for (label, targeted) in [("profibus + targeted vendors", true), ("wrong bus / vendors", false)] {
-        let (mut world, mut sim) = ScenarioBuilder::new(seed).office_lan(0);
+    e3_plc_targeting_t(seed, days, sweep::threads_from_env())
+}
+
+/// E3 with an explicit worker count. The two arms form a paired ablation —
+/// both seed from the base seed so they differ only in the PLC
+/// configuration.
+pub fn e3_plc_targeting_t(seed: u64, days: u64, threads: usize) -> Vec<E3Row> {
+    let arms = [("profibus + targeted vendors", true), ("wrong bus / vendors", false)];
+    sweep::run("e3", seed, &arms, threads, |ctx, &(label, targeted)| {
+        let (mut world, mut sim) = ScenarioBuilder::new(ctx.base_seed).office_lan(0);
         let (plant, station) = build_plant(&mut world, &mut sim, targeted);
         let pki = Pki::install(&mut world);
         pki.arm_stuxnet(&mut world);
         stuxnet::infection::infect_host(&mut world, &mut sim, station, "usb-lnk");
         sim.run_until(&mut world, sim.now() + SimDuration::from_days(days));
-        rows.push(E3Row {
+        E3Row {
             configuration: label.to_owned(),
             armed: world.campaigns.stuxnet.plant_attacks.contains_key(&plant),
             destroyed: world.plants[plant].cascade.destroyed_count(),
-        });
-    }
-    rows
+        }
+    })
 }
 
 fn build_plant(world: &mut World, sim: &mut WorldSim, targeted: bool) -> (PlantId, HostId) {
@@ -185,31 +228,34 @@ pub struct E4Row {
 
 /// Runs E4 for each LAN size, with and without the MITM.
 pub fn e4_wpad_mitm(seed: u64, lan_sizes: &[usize], hours: u64) -> Vec<E4Row> {
-    let mut rows = Vec::new();
-    for &n in lan_sizes {
-        for mitm in [false, true] {
-            let (mut world, mut sim) = ScenarioBuilder::new(seed).without_trace().office_lan(n);
-            let pki = Pki::install(&mut world);
-            pki.arm_flame(&mut world, &mut sim, 22, 80);
-            let seed_host = HostId::new(0);
-            flame::client::infect_host(&mut world, &mut sim, seed_host, "seed");
-            if mitm {
-                flame::mitm::snack_claim_wpad(&mut world, &mut sim, seed_host);
-            }
-            activity::schedule_update_checks(
-                &mut sim,
-                (0..n).map(HostId::new).collect(),
-                SimDuration::from_hours(24),
-            );
-            sim.run_until(&mut world, sim.now() + SimDuration::from_hours(hours));
-            rows.push(E4Row {
-                lan_size: n,
-                mitm_active: mitm,
-                infected_fraction: world.campaigns.flame_clients.len() as f64 / n as f64,
-            });
+    e4_wpad_mitm_t(seed, lan_sizes, hours, sweep::threads_from_env())
+}
+
+/// E4 with an explicit worker count; the grid is the cross product of LAN
+/// size × MITM arm, each point an independent derived-seed run.
+pub fn e4_wpad_mitm_t(seed: u64, lan_sizes: &[usize], hours: u64, threads: usize) -> Vec<E4Row> {
+    let points: Vec<(usize, bool)> = lan_sizes.iter().flat_map(|&n| [(n, false), (n, true)]).collect();
+    sweep::run("e4", seed, &points, threads, |ctx, &(n, mitm)| {
+        let (mut world, mut sim) = ScenarioBuilder::new(ctx.derived_seed()).without_trace().office_lan(n);
+        let pki = Pki::install(&mut world);
+        pki.arm_flame(&mut world, &mut sim, 22, 80);
+        let seed_host = HostId::new(0);
+        flame::client::infect_host(&mut world, &mut sim, seed_host, "seed");
+        if mitm {
+            flame::mitm::snack_claim_wpad(&mut world, &mut sim, seed_host);
         }
-    }
-    rows
+        activity::schedule_update_checks(
+            &mut sim,
+            (0..n).map(HostId::new).collect(),
+            SimDuration::from_hours(24),
+        );
+        sim.run_until(&mut world, sim.now() + SimDuration::from_hours(hours));
+        E4Row {
+            lan_size: n,
+            mitm_active: mitm,
+            infected_fraction: world.campaigns.flame_clients.len() as f64 / n as f64,
+        }
+    })
 }
 
 /// E5 (Fig. 3): certificate forgery acceptance under the four policy states.
@@ -303,9 +349,15 @@ pub struct E6Row {
 
 /// Runs E6: `clients` clients, sweeping takedown fractions.
 pub fn e6_candc_resilience(seed: u64, clients: usize, fractions: &[f64]) -> Vec<E6Row> {
-    let mut rows = Vec::new();
-    for &frac in fractions {
-        let (mut world, mut sim) = ScenarioBuilder::new(seed).without_trace().office_lan(clients);
+    e6_candc_resilience_t(seed, clients, fractions, sweep::threads_from_env())
+}
+
+/// E6 with an explicit worker count; each takedown fraction is an
+/// independent derived-seed point.
+pub fn e6_candc_resilience_t(seed: u64, clients: usize, fractions: &[f64], threads: usize) -> Vec<E6Row> {
+    sweep::run("e6", seed, fractions, threads, |ctx, &frac| {
+        let (mut world, mut sim) =
+            ScenarioBuilder::new(ctx.derived_seed()).without_trace().office_lan(clients);
         let pki = Pki::install(&mut world);
         pki.arm_flame(&mut world, &mut sim, 22, 80);
         for i in 0..clients {
@@ -341,13 +393,12 @@ pub fn e6_candc_resilience(seed: u64, clients: usize, fractions: &[f64]) -> Vec<
             .filter(|c| platform.reach_server(&world.dns, &c.domains).is_some())
             .count();
         let single_ok = world.dns.resolve(&single).is_some();
-        rows.push(E6Row {
+        E6Row {
             takedown_fraction: frac,
             reachable_many: reachable as f64 / clients.max(1) as f64,
             reachable_single: if single_ok { 1.0 } else { 0.0 },
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// E7 (Fig. 5): C&C data flow over one week.
@@ -413,9 +464,16 @@ pub struct E8Row {
 
 /// Runs E8: metadata-first triage vs upload-everything.
 pub fn e8_exfil_ablation(seed: u64, clients: usize, days: u64) -> Vec<E8Row> {
-    let mut rows = Vec::new();
-    for (label, upload_everything) in [("metadata-first triage", false), ("upload everything", true)] {
-        let (mut world, mut sim) = ScenarioBuilder::new(seed).without_trace().office_lan(clients);
+    e8_exfil_ablation_t(seed, clients, days, sweep::threads_from_env())
+}
+
+/// E8 with an explicit worker count. A paired ablation: both arms seed from
+/// the base seed so they share the corpus and differ only in the JIMMY
+/// triage logic.
+pub fn e8_exfil_ablation_t(seed: u64, clients: usize, days: u64, threads: usize) -> Vec<E8Row> {
+    let arms = [("metadata-first triage", false), ("upload everything", true)];
+    sweep::run("e8", seed, &arms, threads, |ctx, &(label, upload_everything)| {
+        let (mut world, mut sim) = ScenarioBuilder::new(ctx.base_seed).without_trace().office_lan(clients);
         let pki = Pki::install(&mut world);
         pki.arm_flame(&mut world, &mut sim, 8, 32);
         for i in 0..clients {
@@ -451,13 +509,12 @@ pub fn e8_exfil_ablation(seed: u64, clients: usize, days: u64) -> Vec<E8Row> {
                 _ => None,
             })
             .sum();
-        rows.push(E8Row {
+        E8Row {
             strategy: label.to_owned(),
             bytes_uploaded: sim.metrics.counter("flame.bytes_uploaded"),
             juicy_bytes: juicy,
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// E9 (Fig. 6 / §IV): the Shamoon wipe at enterprise scale.
@@ -562,9 +619,14 @@ pub struct E11Row {
 /// Runs E11: sweeps an abstract aggressiveness parameter; each action spends
 /// behaviour-budget points on the host AV.
 pub fn e11_stealth_tradeoff(seed: u64, lan: usize, levels: &[f64]) -> Vec<E11Row> {
-    let mut rows = Vec::new();
-    for &level in levels {
-        let (mut world, mut sim) = ScenarioBuilder::new(seed).without_trace().office_lan(lan);
+    e11_stealth_tradeoff_t(seed, lan, levels, sweep::threads_from_env())
+}
+
+/// E11 with an explicit worker count; each action rate is an independent
+/// derived-seed point.
+pub fn e11_stealth_tradeoff_t(seed: u64, lan: usize, levels: &[f64], threads: usize) -> Vec<E11Row> {
+    sweep::run("e11", seed, levels, threads, |ctx, &level| {
+        let (mut world, mut sim) = ScenarioBuilder::new(ctx.derived_seed()).without_trace().office_lan(lan);
         // Budget: 20 points per daily scan interval. Twelve 2-hour rounds a
         // day means quiet (1 point/round) stays under; loud blows through.
         for i in 0..lan {
@@ -593,13 +655,8 @@ pub fn e11_stealth_tradeoff(seed: u64, lan: usize, levels: &[f64]) -> Vec<E11Row
         });
         sim.run_until(&mut world, sim.now() + SimDuration::from_days(3));
         let alerts: u32 = world.av.values().map(|a| a.behavioural_alerts()).sum();
-        rows.push(E11Row {
-            aggressiveness: level,
-            infected: world.campaigns.stuxnet.infections.len(),
-            alerts,
-        });
-    }
-    rows
+        E11Row { aggressiveness: level, infected: world.campaigns.stuxnet.infections.len(), alerts }
+    })
 }
 
 /// E12 (§V-F): suicide vs forensic recovery.
@@ -615,10 +672,16 @@ pub struct E12Row {
 
 /// Runs E12: forensic sweep before vs after the fleet-wide SUICIDE.
 pub fn e12_suicide_forensics(seed: u64, lan: usize) -> Vec<E12Row> {
+    e12_suicide_forensics_t(seed, lan, sweep::threads_from_env())
+}
+
+/// E12 with an explicit worker count. A paired ablation: both arms seed from
+/// the base seed and differ only in whether SUICIDE is broadcast.
+pub fn e12_suicide_forensics_t(seed: u64, lan: usize, threads: usize) -> Vec<E12Row> {
     use malsim_defense::forensics::{analyze_host, Indicator};
-    let mut rows = Vec::new();
-    for (label, kill) in [("before suicide", false), ("after suicide", true)] {
-        let (mut world, mut sim) = ScenarioBuilder::new(seed).office_lan(lan);
+    let arms = [("before suicide", false), ("after suicide", true)];
+    sweep::run("e12", seed, &arms, threads, |ctx, &(label, kill)| {
+        let (mut world, mut sim) = ScenarioBuilder::new(ctx.base_seed).office_lan(lan);
         let pki = Pki::install(&mut world);
         pki.arm_flame(&mut world, &mut sim, 6, 24);
         for i in 0..lan {
@@ -634,13 +697,12 @@ pub fn e12_suicide_forensics(seed: u64, lan: usize) -> Vec<E12Row> {
             .map(|i| analyze_host(&world.hosts[HostId::new(i)], &indicators).recovery_score())
             .collect();
         let platform = world.campaigns.flame_platform.as_ref().unwrap();
-        rows.push(E12Row {
+        E12Row {
             scenario: label.to_owned(),
             recovery_score: scores.iter().sum::<f64>() / scores.len().max(1) as f64,
             server_logs_remaining: platform.servers.iter().map(|s| s.logs.len()).sum(),
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// E13 (§III-C / fault plane): takedown resilience of the exfiltration
@@ -678,10 +740,25 @@ pub struct E13Row {
 /// the hidden-database ferry recovers blocked clients' documents for every
 /// fraction below 1.0 — at full takedown the documents strand on the stick.
 pub fn e13_takedown_resilience(seed: u64, clients: usize, days: u64, fractions: &[f64]) -> Vec<E13Row> {
+    e13_takedown_resilience_t(seed, clients, days, fractions, sweep::threads_from_env())
+}
+
+/// E13 with an explicit worker count.
+///
+/// A *paired* sweep: every fraction seeds from the base seed, so all points
+/// share identical corpora and domain configs and the seized servers form a
+/// nested prefix — which is what makes the direct-bytes column monotone by
+/// construction rather than statistically.
+pub fn e13_takedown_resilience_t(
+    seed: u64,
+    clients: usize,
+    days: u64,
+    fractions: &[f64],
+    threads: usize,
+) -> Vec<E13Row> {
     use malsim_defense::sinkhole::SinkholeCampaign;
-    let mut rows = Vec::new();
-    for &frac in fractions {
-        let (mut world, mut sim) = ScenarioBuilder::new(seed).without_trace().office_lan(clients);
+    sweep::run("e13", seed, fractions, threads, |ctx, &frac| {
+        let (mut world, mut sim) = ScenarioBuilder::new(ctx.base_seed).without_trace().office_lan(clients);
         let pki = Pki::install(&mut world);
         pki.arm_flame(&mut world, &mut sim, 22, 80);
         for i in 0..clients {
@@ -747,7 +824,7 @@ pub fn e13_takedown_resilience(seed: u64, clients: usize, days: u64, fractions: 
             .filter(|c| platform.reach_server_faulted(&world.dns, &sim.faults, sim.now(), &c.domains).is_ok())
             .count();
         let per_week = 7.0 / days.max(1) as f64;
-        rows.push(E13Row {
+        E13Row {
             sinkhole_fraction: frac,
             servers_seized: op.seized_servers.len(),
             domains_seized: op.seized_domains.len(),
@@ -756,7 +833,244 @@ pub fn e13_takedown_resilience(seed: u64, clients: usize, days: u64, fractions: 
             ferried_bytes_week: ferried as f64 * per_week,
             total_bytes_week: total_entry as f64 * per_week,
             stick_backlog: world.usb_drives[usb].hidden_records().len(),
-        });
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Canonical JSON emission + the golden-snapshot registry.
+
+impl E1Result {
+    /// Canonical JSON headline row.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("infected_hosts", self.infected_hosts.into()),
+            ("plc_implanted", self.plc_implanted.into()),
+            ("destroyed", self.destroyed.into()),
+            ("total_centrifuges", self.total_centrifuges.into()),
+            ("safety_tripped", self.safety_tripped.into()),
+            ("operator_anomalies", self.operator_anomalies.into()),
+            ("days_to_first_destruction", self.days_to_first_destruction.into()),
+        ])
     }
-    rows
+}
+
+impl E2Row {
+    /// Canonical JSON headline row.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("patch_rate", self.patch_rate.into()),
+            ("infected_fraction", self.infected_fraction.into()),
+        ])
+    }
+}
+
+impl E3Row {
+    /// Canonical JSON headline row.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("configuration", self.configuration.as_str().into()),
+            ("armed", self.armed.into()),
+            ("destroyed", self.destroyed.into()),
+        ])
+    }
+}
+
+impl E4Row {
+    /// Canonical JSON headline row.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("lan_size", self.lan_size.into()),
+            ("mitm_active", self.mitm_active.into()),
+            ("infected_fraction", self.infected_fraction.into()),
+        ])
+    }
+}
+
+impl E5Row {
+    /// Canonical JSON headline row.
+    pub fn to_json(&self) -> Json {
+        Json::obj([("policy", self.policy.as_str().into()), ("accepted", self.accepted.into())])
+    }
+}
+
+impl E6Row {
+    /// Canonical JSON headline row.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("takedown_fraction", self.takedown_fraction.into()),
+            ("reachable_many", self.reachable_many.into()),
+            ("reachable_single", self.reachable_single.into()),
+        ])
+    }
+}
+
+impl E7Result {
+    /// Canonical JSON headline row.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("bytes_uploaded", self.bytes_uploaded.into()),
+            ("bytes_per_server_week", self.bytes_per_server_week.into()),
+            ("entries_retrieved", self.entries_retrieved.into()),
+            ("entries_residual", self.entries_residual.into()),
+            ("attack_center_bytes", self.attack_center_bytes.into()),
+        ])
+    }
+}
+
+impl E8Row {
+    /// Canonical JSON headline row.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("strategy", self.strategy.as_str().into()),
+            ("bytes_uploaded", self.bytes_uploaded.into()),
+            ("juicy_bytes", self.juicy_bytes.into()),
+        ])
+    }
+}
+
+impl E9Result {
+    /// Canonical JSON headline row.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("fleet", self.fleet.into()),
+            ("infected", self.infected.into()),
+            ("bricked", self.bricked.into()),
+            ("reports", self.reports.into()),
+            ("hours_to_trigger", self.hours_to_trigger.into()),
+        ])
+    }
+}
+
+/// Canonical JSON for one derived trend profile (E10).
+pub fn trend_profile_to_json(p: &malsim_analysis::trends::TrendProfile) -> Json {
+    Json::obj([
+        ("family", format!("{:?}", p.family).to_lowercase().into()),
+        ("infections", p.infections.into()),
+        ("zero_day_vectors", p.zero_day_vectors.into()),
+        ("targeted", p.targeted.into()),
+        ("certified", p.certified.into()),
+        ("modular_updates", p.modular_updates.into()),
+        ("usb_vector", p.usb_vector.into()),
+        ("suicides", p.suicides.into()),
+        ("sophistication", p.sophistication.into()),
+    ])
+}
+
+impl E11Row {
+    /// Canonical JSON headline row.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("aggressiveness", self.aggressiveness.into()),
+            ("infected", self.infected.into()),
+            ("alerts", self.alerts.into()),
+        ])
+    }
+}
+
+impl E12Row {
+    /// Canonical JSON headline row.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("scenario", self.scenario.as_str().into()),
+            ("recovery_score", self.recovery_score.into()),
+            ("server_logs_remaining", self.server_logs_remaining.into()),
+        ])
+    }
+}
+
+impl E13Row {
+    /// Canonical JSON headline row.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("sinkhole_fraction", self.sinkhole_fraction.into()),
+            ("servers_seized", self.servers_seized.into()),
+            ("domains_seized", self.domains_seized.into()),
+            ("reachable_clients", self.reachable_clients.into()),
+            ("direct_bytes_week", self.direct_bytes_week.into()),
+            ("ferried_bytes_week", self.ferried_bytes_week.into()),
+            ("total_bytes_week", self.total_bytes_week.into()),
+            ("stick_backlog", self.stick_backlog.into()),
+        ])
+    }
+}
+
+fn rows_json<T>(rows: &[T], to_json: impl Fn(&T) -> Json) -> Json {
+    Json::Arr(rows.iter().map(to_json).collect())
+}
+
+/// One experiment's golden-snapshot entry: its stable name and a runner that
+/// regenerates the headline rows at the documented EXPERIMENTS.md scale.
+pub struct GoldenSpec {
+    /// Snapshot name; the golden lives at `tests/golden/<name>.json`.
+    pub name: &'static str,
+    runner: fn(usize) -> Json,
+}
+
+impl GoldenSpec {
+    /// Regenerates the experiment's canonical JSON on up to `threads`
+    /// workers. Output is identical at every thread count.
+    pub fn run(&self, threads: usize) -> Json {
+        (self.runner)(threads)
+    }
+}
+
+fn golden_e1(_threads: usize) -> Json {
+    e1_stuxnet_end_to_end(42, 30).to_json()
+}
+fn golden_e2(threads: usize) -> Json {
+    rows_json(&e2_zero_day_ablation_t(42, 50, 5, grids::E2_PATCH_RATES, threads), E2Row::to_json)
+}
+fn golden_e3(threads: usize) -> Json {
+    rows_json(&e3_plc_targeting_t(42, 10, threads), E3Row::to_json)
+}
+fn golden_e4(threads: usize) -> Json {
+    rows_json(&e4_wpad_mitm_t(42, grids::E4_LAN_SIZES, 72, threads), E4Row::to_json)
+}
+fn golden_e5(_threads: usize) -> Json {
+    rows_json(&e5_cert_forgery(42), E5Row::to_json)
+}
+fn golden_e6(threads: usize) -> Json {
+    rows_json(&e6_candc_resilience_t(42, 30, grids::E6_TAKEDOWNS, threads), E6Row::to_json)
+}
+fn golden_e7(_threads: usize) -> Json {
+    e7_candc_dataflow(42, 20, 4, 7).to_json()
+}
+fn golden_e8(threads: usize) -> Json {
+    rows_json(&e8_exfil_ablation_t(42, 6, 4, threads), E8Row::to_json)
+}
+fn golden_e9(_threads: usize) -> Json {
+    e9_shamoon_wipe(815, 10, 49, 5).to_json()
+}
+fn golden_e10(_threads: usize) -> Json {
+    rows_json(&e10_trend_matrix(5), trend_profile_to_json)
+}
+fn golden_e11(threads: usize) -> Json {
+    rows_json(&e11_stealth_tradeoff_t(5, 20, grids::E11_ACTION_RATES, threads), E11Row::to_json)
+}
+fn golden_e12(threads: usize) -> Json {
+    rows_json(&e12_suicide_forensics_t(5, 8, threads), E12Row::to_json)
+}
+fn golden_e13(threads: usize) -> Json {
+    rows_json(&e13_takedown_resilience_t(11, 10, 7, grids::E13_SINKHOLE_FRACTIONS, threads), E13Row::to_json)
+}
+
+/// The full regression registry: every experiment E1–E13 at the scale its
+/// EXPERIMENTS.md section documents, in index order.
+pub fn golden_specs() -> Vec<GoldenSpec> {
+    vec![
+        GoldenSpec { name: "e1_stuxnet_end_to_end", runner: golden_e1 },
+        GoldenSpec { name: "e2_zero_day_ablation", runner: golden_e2 },
+        GoldenSpec { name: "e3_plc_targeting", runner: golden_e3 },
+        GoldenSpec { name: "e4_wpad_mitm", runner: golden_e4 },
+        GoldenSpec { name: "e5_cert_forgery", runner: golden_e5 },
+        GoldenSpec { name: "e6_candc_resilience", runner: golden_e6 },
+        GoldenSpec { name: "e7_candc_dataflow", runner: golden_e7 },
+        GoldenSpec { name: "e8_exfil_ablation", runner: golden_e8 },
+        GoldenSpec { name: "e9_shamoon_wipe", runner: golden_e9 },
+        GoldenSpec { name: "e10_trend_matrix", runner: golden_e10 },
+        GoldenSpec { name: "e11_stealth_tradeoff", runner: golden_e11 },
+        GoldenSpec { name: "e12_suicide_forensics", runner: golden_e12 },
+        GoldenSpec { name: "e13_takedown_resilience", runner: golden_e13 },
+    ]
 }

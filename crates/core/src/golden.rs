@@ -1,0 +1,96 @@
+//! Golden-snapshot storage: check live experiment output against the
+//! checked-in canonical JSON under `tests/golden/`, or re-record it.
+//!
+//! The regression test calls [`check`] for every experiment. On drift it
+//! fails with a per-field report from [`crate::report::diff`]; setting
+//! `MALSIM_BLESS=1` rewrites the snapshot instead (review the `git diff`
+//! before committing — a bless that moves headline numbers is a finding,
+//! not a formality).
+
+use std::fs;
+use std::path::PathBuf;
+
+use crate::report::{self, Json};
+
+/// The snapshot directory, `tests/golden/` at the workspace root.
+pub fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+/// The snapshot file for an experiment name.
+pub fn golden_path(name: &str) -> PathBuf {
+    golden_dir().join(format!("{name}.json"))
+}
+
+/// True when `MALSIM_BLESS` is set to anything but `0` — snapshots are
+/// re-recorded instead of checked.
+pub fn bless_requested() -> bool {
+    std::env::var_os("MALSIM_BLESS").is_some_and(|v| v != "0")
+}
+
+/// Checks `live` against the checked-in golden for `name`, or (under
+/// `MALSIM_BLESS=1`) rewrites it.
+///
+/// Returns a readable failure report on drift, a missing snapshot, or an
+/// unparseable snapshot; `Ok` means canonically identical (or blessed).
+pub fn check(name: &str, live: &Json) -> Result<(), String> {
+    let path = golden_path(name);
+    let live_text = live.to_canonical_string();
+    if bless_requested() {
+        fs::create_dir_all(golden_dir()).map_err(|e| format!("{name}: creating golden dir: {e}"))?;
+        fs::write(&path, &live_text).map_err(|e| format!("{name}: writing {}: {e}", path.display()))?;
+        return Ok(());
+    }
+    let golden_text = fs::read_to_string(&path).map_err(|_| {
+        format!(
+            "{name}: no golden snapshot at {} — record one with `MALSIM_BLESS=1 cargo test --test golden_regression`",
+            path.display()
+        )
+    })?;
+    if golden_text == live_text {
+        return Ok(());
+    }
+    // Texts differ; parse the golden for a field-level account. A snapshot
+    // that no longer parses is itself a failure.
+    let golden = report::parse(&golden_text)
+        .map_err(|e| format!("{name}: golden snapshot {} is not valid JSON: {e}", path.display()))?;
+    let drift = report::diff(&golden, live);
+    if drift.is_empty() {
+        // Same value, different bytes: the snapshot predates the canonical
+        // form (or was hand-edited). Still a failure — goldens are byte-canonical.
+        return Err(format!(
+            "{name}: snapshot {} is semantically equal but not in canonical form; re-record with MALSIM_BLESS=1",
+            path.display()
+        ));
+    }
+    let mut msg = format!("{name}: {} headline field(s) drifted from {}:\n", drift.len(), path.display());
+    for line in &drift {
+        msg.push_str("  ");
+        msg.push_str(line);
+        msg.push('\n');
+    }
+    msg.push_str(
+        "  (if the change is intended, re-record with `MALSIM_BLESS=1 cargo test --test golden_regression`)",
+    );
+    Err(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_dir_is_inside_the_workspace_tests_tree() {
+        let p = golden_path("e1");
+        assert!(p.ends_with("tests/golden/e1.json"), "{}", p.display());
+    }
+
+    #[test]
+    fn bless_flag_parses() {
+        // Env-var driven; pin the `"0"` opt-out comparison used above.
+        let one: &std::ffi::OsStr = "1".as_ref();
+        let zero: &std::ffi::OsStr = "0".as_ref();
+        assert!(one != "0");
+        assert!(zero == "0");
+    }
+}

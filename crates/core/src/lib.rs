@@ -46,14 +46,20 @@
 pub mod activity;
 pub mod armory;
 pub mod experiments;
+pub mod golden;
+pub mod report;
 pub mod scenario;
+pub mod sweep;
 
 /// Commonly used items across the workspace.
 pub mod prelude {
     pub use crate::activity;
     pub use crate::armory::Pki;
     pub use crate::experiments;
+    pub use crate::golden;
+    pub use crate::report::{self, Json};
     pub use crate::scenario::ScenarioBuilder;
+    pub use crate::sweep;
     pub use malsim_analysis::prelude::*;
     pub use malsim_kernel::prelude::*;
     pub use malsim_malware::prelude::*;

@@ -1,0 +1,491 @@
+//! Canonical JSON for experiment headline rows.
+//!
+//! Golden snapshots need a serialization that is byte-stable across runs,
+//! platforms, and thread counts. The workspace's vendored `serde` is a
+//! no-op marker stub (the container builds offline), so this module carries
+//! its own tiny JSON value, a canonical pretty-printer, a strict parser for
+//! the checked-in goldens, and a per-field differ that renders a readable
+//! drift report.
+//!
+//! Canonical form: two-space indent, object keys in insertion order (struct
+//! field order — deterministic), floats in Rust's shortest round-trip form
+//! with a forced `.0` on integral values so floats never collapse into
+//! integers, and a trailing newline. NaN and infinities are rejected:
+//! headline numbers are always finite.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A finite float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved and significant for canonical
+    /// output (it follows struct field order, which is deterministic).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj<const N: usize>(pairs: [(&str, Json); N]) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Renders the canonical form (see module docs).
+    pub fn to_canonical_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::F64(x) => out.push_str(&canonical_f64(*x)),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    fn render_leaf(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, 0);
+        s
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::U64(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::U64(v.into())
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::U64(v as u64)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::F64(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_owned())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Json {
+        v.map_or(Json::Null, Into::into)
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Canonical float text: Rust's shortest round-trip `Display`, with `.0`
+/// appended to integral values so the token stays float-typed.
+///
+/// # Panics
+///
+/// Panics on NaN or infinity — headline numbers must be finite.
+fn canonical_f64(x: f64) -> String {
+    assert!(x.is_finite(), "golden reports must contain only finite numbers, got {x}");
+    let s = format!("{x}");
+    if s.contains(['.', 'e', 'E']) {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document (the subset the canonical writer emits, plus
+/// arbitrary whitespace). Returns a readable error on malformed input.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("expected '{lit}' at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.eat_lit("null", Json::Null),
+            Some(b't') => self.eat_lit("true", Json::Bool(true)),
+            Some(b'f') => self.eat_lit("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {:?} at byte {}", other.map(|b| b as char), self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            let hex =
+                                self.bytes.get(self.pos + 1..self.pos + 5).ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            s.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so slicing
+                    // at char boundaries is safe via chars()).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().expect("peek saw a byte");
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        if text.contains(['.', 'e', 'E']) {
+            text.parse::<f64>().map(Json::F64).map_err(|e| format!("bad number '{text}': {e}"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>().map(Json::I64).map_err(|e| format!("bad number '{text}': {e}"))
+        } else {
+            text.parse::<u64>().map(Json::U64).map_err(|e| format!("bad number '{text}': {e}"))
+        }
+    }
+}
+
+/// Structural diff: one line per drifted field, as
+/// `at <path>: expected <golden>, got <live>`.
+///
+/// Arrays report length changes and recurse element-wise; objects report
+/// missing and unexpected keys by name. An empty result means the values are
+/// canonically identical.
+pub fn diff(expected: &Json, actual: &Json) -> Vec<String> {
+    let mut out = Vec::new();
+    diff_at(expected, actual, "$", &mut out);
+    out
+}
+
+fn diff_at(expected: &Json, actual: &Json, path: &str, out: &mut Vec<String>) {
+    match (expected, actual) {
+        (Json::Obj(e), Json::Obj(a)) => {
+            for (k, ev) in e {
+                match a.iter().find(|(ak, _)| ak == k) {
+                    Some((_, av)) => diff_at(ev, av, &format!("{path}.{k}"), out),
+                    None => out.push(format!("at {path}.{k}: expected {}, got <missing>", ev.render_leaf())),
+                }
+            }
+            for (k, av) in a {
+                if !e.iter().any(|(ek, _)| ek == k) {
+                    out.push(format!("at {path}.{k}: expected <absent>, got {}", av.render_leaf()));
+                }
+            }
+        }
+        (Json::Arr(e), Json::Arr(a)) => {
+            if e.len() != a.len() {
+                out.push(format!("at {path}: expected {} rows, got {}", e.len(), a.len()));
+            }
+            for (i, (ev, av)) in e.iter().zip(a.iter()).enumerate() {
+                diff_at(ev, av, &format!("{path}[{i}]"), out);
+            }
+        }
+        (e, a) => {
+            if e != a {
+                out.push(format!("at {path}: expected {}, got {}", e.render_leaf(), a.render_leaf()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Json {
+        Json::obj([
+            ("name", "e2".into()),
+            (
+                "rows",
+                Json::Arr(vec![
+                    Json::obj([("patch_rate", 0.25.into()), ("infected", Json::U64(39))]),
+                    Json::obj([("patch_rate", 1.0.into()), ("infected", Json::U64(0))]),
+                ]),
+            ),
+            ("ok", true.into()),
+            ("note", Json::Null),
+        ])
+    }
+
+    #[test]
+    fn canonical_text_round_trips_through_the_parser() {
+        let v = sample();
+        let text = v.to_canonical_string();
+        let back = parse(&text).expect("canonical text parses");
+        assert_eq!(back, v);
+        assert_eq!(back.to_canonical_string(), text, "serialize∘parse is the identity");
+    }
+
+    #[test]
+    fn floats_stay_floats_and_ints_stay_ints() {
+        assert_eq!(Json::F64(1.0).to_canonical_string(), "1.0\n");
+        assert_eq!(Json::F64(267.6).to_canonical_string(), "267.6\n");
+        assert_eq!(Json::U64(1).to_canonical_string(), "1\n");
+        assert_eq!(Json::I64(-3).to_canonical_string(), "-3\n");
+        assert_eq!(parse("1.0").unwrap(), Json::F64(1.0));
+        assert_eq!(parse("1").unwrap(), Json::U64(1));
+        assert_eq!(parse("-3").unwrap(), Json::I64(-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_floats_are_rejected() {
+        let _ = Json::F64(f64::NAN).to_canonical_string();
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = Json::Str("a\"b\\c\nd\te\u{1}f — ünïcode".into());
+        assert_eq!(parse(&v.to_canonical_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn diff_reports_each_drifted_field_with_its_path() {
+        let golden = sample();
+        let mut live = sample();
+        // Perturb one leaf deep in the rows and drop a key.
+        if let Json::Obj(pairs) = &mut live {
+            if let Json::Arr(rows) = &mut pairs[1].1 {
+                if let Json::Obj(row) = &mut rows[1] {
+                    row[1].1 = Json::U64(7);
+                }
+            }
+            pairs.retain(|(k, _)| k != "ok");
+        }
+        let report = diff(&golden, &live);
+        assert_eq!(report.len(), 2, "{report:?}");
+        assert!(report.iter().any(|l| l == "at $.rows[1].infected: expected 0, got 7"), "{report:?}");
+        assert!(report.iter().any(|l| l.contains("$.ok") && l.contains("<missing>")), "{report:?}");
+        assert!(diff(&golden, &golden).is_empty());
+    }
+
+    #[test]
+    fn diff_reports_row_count_changes() {
+        let a = Json::Arr(vec![Json::U64(1), Json::U64(2)]);
+        let b = Json::Arr(vec![Json::U64(1)]);
+        let report = diff(&a, &b);
+        assert_eq!(report, vec!["at $: expected 2 rows, got 1".to_owned()]);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("nul").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse(r#"{"a" 1}"#).is_err());
+    }
+}

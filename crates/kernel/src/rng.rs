@@ -52,6 +52,38 @@ impl SimRng {
         SimRng::seed_from(seed)
     }
 
+    /// Derives the seed of an independent stream identified by a stable
+    /// `(label, point, base_seed)` key.
+    ///
+    /// This is the sweep-runner contract: every point of a parameter sweep
+    /// seeds its own simulation from this function, so a point's randomness
+    /// depends only on the key — never on which thread ran it or how many
+    /// points ran before it — and parallel sweeps are byte-identical to
+    /// serial ones. The label bytes and the point index are folded through
+    /// FNV-1a, then mixed with the base seed through a splitmix64 finalizer
+    /// so that nearby keys land far apart.
+    pub fn derive_stream_seed(base: u64, label: &str, point: u64) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        for b in point.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        let mut z = h ^ base.rotate_left(29);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Creates the rng for a sweep-point stream (see
+    /// [`SimRng::derive_stream_seed`]).
+    pub fn for_stream(base: u64, label: &str, point: u64) -> SimRng {
+        SimRng::seed_from(SimRng::derive_stream_seed(base, label, point))
+    }
+
     /// Returns true with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
         if p <= 0.0 {
@@ -150,6 +182,30 @@ mod tests {
         let a: Vec<u64> = (0..4).map(|_| f1.bits()).collect();
         let b: Vec<u64> = (0..4).map(|_| g.bits()).collect();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn stream_seeds_are_stable_across_releases() {
+        // Golden snapshots key every sweep point off this derivation; a
+        // silent change to the mixing would shift every recorded number, so
+        // the exact values are pinned here.
+        assert_eq!(SimRng::derive_stream_seed(42, "e2", 0), 0x0796_8f48_375d_2f4b);
+        assert_eq!(SimRng::derive_stream_seed(42, "e2", 3), 0x63dc_0a9b_b4ca_4028);
+        assert_eq!(SimRng::derive_stream_seed(815, "e13", 5), 0x9260_95e7_0cdc_eb81);
+    }
+
+    #[test]
+    fn stream_seeds_separate_every_key_component() {
+        let base = SimRng::derive_stream_seed(7, "exp", 0);
+        assert_ne!(base, SimRng::derive_stream_seed(8, "exp", 0), "base seed matters");
+        assert_ne!(base, SimRng::derive_stream_seed(7, "exq", 0), "label matters");
+        assert_ne!(base, SimRng::derive_stream_seed(7, "exp", 1), "point matters");
+        // And the rng built from the key replays the same stream.
+        let mut a = SimRng::for_stream(7, "exp", 0);
+        let mut b = SimRng::for_stream(7, "exp", 0);
+        for _ in 0..16 {
+            assert_eq!(a.bits(), b.bits());
+        }
     }
 
     #[test]

@@ -127,3 +127,115 @@ proptest! {
         prop_assert_eq!(back, t);
     }
 }
+
+// Checked/saturating time arithmetic: the `checked_*` operations and the
+// saturating operators must tell one consistent story at every edge —
+// overflow, underflow, zero durations — with `TimeError` naming which edge
+// was hit.
+proptest! {
+    #[test]
+    fn checked_add_agrees_with_saturating_add(base in any::<u64>(), delta in any::<u64>()) {
+        let t = SimTime::from_millis(base);
+        let d = SimDuration::from_millis(delta);
+        match t.checked_add(d) {
+            Ok(sum) => {
+                prop_assert_eq!(sum, t.saturating_add(d));
+                prop_assert_eq!(sum, t + d);
+                // Round-trip: what was added can be subtracted back.
+                prop_assert_eq!(sum.checked_since(t), Ok(d));
+            }
+            Err(e) => {
+                prop_assert_eq!(e, TimeError::Overflow);
+                prop_assert!(base.checked_add(delta).is_none(), "checked_add erred in-range");
+                prop_assert_eq!(t.saturating_add(d), SimTime::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn checked_since_agrees_with_saturating_since(a in any::<u64>(), b in any::<u64>()) {
+        let (ta, tb) = (SimTime::from_millis(a), SimTime::from_millis(b));
+        match ta.checked_since(tb) {
+            Ok(d) => {
+                prop_assert!(a >= b);
+                prop_assert_eq!(d, ta.saturating_since(tb));
+                // Round-trip: the difference re-added restores the later time.
+                prop_assert_eq!(tb.checked_add(d), Ok(ta));
+            }
+            Err(e) => {
+                prop_assert_eq!(e, TimeError::Underflow);
+                prop_assert!(a < b, "underflow reported for a >= b");
+                prop_assert_eq!(ta.saturating_since(tb), SimDuration::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn duration_checked_ops_agree_with_saturating(x in any::<u64>(), y in any::<u64>()) {
+        let (dx, dy) = (SimDuration::from_millis(x), SimDuration::from_millis(y));
+        match dx.checked_add(dy) {
+            Ok(sum) => {
+                prop_assert_eq!(sum, dx + dy);
+                prop_assert_eq!(sum.checked_sub(dy), Ok(dx));
+            }
+            Err(e) => {
+                prop_assert_eq!(e, TimeError::Overflow);
+                prop_assert_eq!(dx + dy, SimDuration::MAX);
+            }
+        }
+        match dx.checked_sub(dy) {
+            Ok(diff) => {
+                prop_assert_eq!(diff, dx - dy);
+                prop_assert_eq!(diff.checked_add(dy), Ok(dx));
+            }
+            Err(e) => {
+                prop_assert_eq!(e, TimeError::Underflow);
+                prop_assert_eq!(dx - dy, SimDuration::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn duration_checked_mul_matches_wide_multiplication(x in any::<u64>(), k in any::<u64>()) {
+        let d = SimDuration::from_millis(x);
+        let wide = u128::from(x) * u128::from(k);
+        match d.checked_mul(k) {
+            Ok(prod) => {
+                prop_assert_eq!(u128::from(prod.as_millis()), wide);
+                prop_assert_eq!(prod, d.saturating_mul(k));
+            }
+            Err(e) => {
+                prop_assert_eq!(e, TimeError::Overflow);
+                prop_assert!(wide > u128::from(u64::MAX));
+                prop_assert_eq!(d.saturating_mul(k), SimDuration::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_duration_is_the_identity_everywhere(base in any::<u64>()) {
+        let t = SimTime::from_millis(base);
+        let d = SimDuration::from_millis(base);
+        prop_assert_eq!(t.checked_add(SimDuration::ZERO), Ok(t));
+        prop_assert_eq!(t + SimDuration::ZERO, t);
+        prop_assert_eq!(t.checked_since(t), Ok(SimDuration::ZERO));
+        prop_assert_eq!(d.checked_add(SimDuration::ZERO), Ok(d));
+        prop_assert_eq!(d.checked_sub(SimDuration::ZERO), Ok(d));
+        prop_assert_eq!(d.checked_mul(0), Ok(SimDuration::ZERO));
+        prop_assert!(SimDuration::ZERO.is_zero());
+        prop_assert_eq!(d.is_zero(), base == 0);
+    }
+
+    #[test]
+    fn time_error_round_trips_through_display(which in any::<bool>()) {
+        // Both variants render distinct, stable messages and compare equal
+        // through a clone round-trip.
+        let e = if which { TimeError::Overflow } else { TimeError::Underflow };
+        let msg = e.to_string();
+        prop_assert_eq!(msg.contains("overflow"), which);
+        prop_assert_eq!(msg.contains("underflow"), !which);
+        #[allow(clippy::clone_on_copy)]
+        let back = e.clone();
+        prop_assert_eq!(back, e);
+    }
+}

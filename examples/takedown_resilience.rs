@@ -5,20 +5,28 @@
 //! (DNS records plus permanent fault-plane windows) and reports direct vs
 //! USB-ferried exfiltration volume per week.
 //!
-//! Usage: `cargo run --release --example takedown_resilience [seed] [clients] [days]`
+//! Usage: `cargo run --release --example takedown_resilience [seed] [clients] [days] [threads]`
+//!
+//! The sweep runs its fractions through the parallel runner; `threads`
+//! (default: `MALSIM_THREADS`, else the machine's core count) is a pure
+//! throughput knob — output is byte-identical at any value.
 
-use malsim::experiments::e13_takedown_resilience;
+use malsim::experiments::{e13_takedown_resilience_t, grids};
+use malsim::sweep;
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(11);
     let clients: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
     let days: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(7);
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or_else(sweep::threads_from_env);
 
-    println!("E13 — takedown resilience (seed {seed}, {clients} clients, {days} days)");
+    println!(
+        "E13 — takedown resilience (seed {seed}, {clients} clients, {days} days, {threads} worker thread(s))"
+    );
     println!();
     println!("sinkholed  servers  domains  reachable  direct MB/wk  ferried MB/wk  total MB/wk  backlog");
-    for r in e13_takedown_resilience(seed, clients, days, &[0.0, 0.25, 0.5, 0.75, 0.9, 1.0]) {
+    for r in e13_takedown_resilience_t(seed, clients, days, grids::E13_SINKHOLE_FRACTIONS, threads) {
         println!(
             "{:>9.2}  {:>7}  {:>7}  {:>9.2}  {:>12.1}  {:>13.1}  {:>11.1}  {:>7}",
             r.sinkhole_fraction,

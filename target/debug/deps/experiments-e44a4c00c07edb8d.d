@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-e44a4c00c07edb8d.d: crates/bench/benches/experiments.rs
+
+/root/repo/target/debug/deps/experiments-e44a4c00c07edb8d: crates/bench/benches/experiments.rs
+
+crates/bench/benches/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_regression-283743ba9afba0a4.d: crates/core/../../tests/golden_regression.rs
+
+/root/repo/target/debug/deps/golden_regression-283743ba9afba0a4: crates/core/../../tests/golden_regression.rs
+
+crates/core/../../tests/golden_regression.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden_regression-4e39f5823ae1d25b.d: crates/core/../../tests/golden_regression.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_regression-4e39f5823ae1d25b.rmeta: crates/core/../../tests/golden_regression.rs Cargo.toml
+
+crates/core/../../tests/golden_regression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

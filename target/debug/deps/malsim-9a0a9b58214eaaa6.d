@@ -1,13 +1,17 @@
-/root/repo/target/debug/deps/malsim-9a0a9b58214eaaa6.d: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/armory.rs crates/core/src/experiments.rs crates/core/src/scenario.rs Cargo.toml
+/root/repo/target/debug/deps/malsim-9a0a9b58214eaaa6.d: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/armory.rs crates/core/src/experiments.rs crates/core/src/golden.rs crates/core/src/report.rs crates/core/src/scenario.rs crates/core/src/sweep.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmalsim-9a0a9b58214eaaa6.rmeta: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/armory.rs crates/core/src/experiments.rs crates/core/src/scenario.rs Cargo.toml
+/root/repo/target/debug/deps/libmalsim-9a0a9b58214eaaa6.rmeta: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/armory.rs crates/core/src/experiments.rs crates/core/src/golden.rs crates/core/src/report.rs crates/core/src/scenario.rs crates/core/src/sweep.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/activity.rs:
 crates/core/src/armory.rs:
 crates/core/src/experiments.rs:
+crates/core/src/golden.rs:
+crates/core/src/report.rs:
 crates/core/src/scenario.rs:
+crates/core/src/sweep.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

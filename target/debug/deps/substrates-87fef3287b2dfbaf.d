@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrates-87fef3287b2dfbaf.d: crates/bench/benches/substrates.rs
+
+/root/repo/target/debug/deps/substrates-87fef3287b2dfbaf: crates/bench/benches/substrates.rs
+
+crates/bench/benches/substrates.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_parallel-cf5d1a806c7265af.d: crates/core/../../tests/sweep_parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_parallel-cf5d1a806c7265af.rmeta: crates/core/../../tests/sweep_parallel.rs Cargo.toml
+
+crates/core/../../tests/sweep_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_parallel-da2f47a76d8663ba.d: crates/core/../../tests/sweep_parallel.rs
+
+/root/repo/target/debug/deps/sweep_parallel-da2f47a76d8663ba: crates/core/../../tests/sweep_parallel.rs
+
+crates/core/../../tests/sweep_parallel.rs:

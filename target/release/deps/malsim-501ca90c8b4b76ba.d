@@ -1,11 +1,16 @@
-/root/repo/target/release/deps/malsim-501ca90c8b4b76ba.d: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/armory.rs crates/core/src/experiments.rs crates/core/src/scenario.rs
+/root/repo/target/release/deps/malsim-501ca90c8b4b76ba.d: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/armory.rs crates/core/src/experiments.rs crates/core/src/golden.rs crates/core/src/report.rs crates/core/src/scenario.rs crates/core/src/sweep.rs
 
-/root/repo/target/release/deps/libmalsim-501ca90c8b4b76ba.rlib: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/armory.rs crates/core/src/experiments.rs crates/core/src/scenario.rs
+/root/repo/target/release/deps/libmalsim-501ca90c8b4b76ba.rlib: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/armory.rs crates/core/src/experiments.rs crates/core/src/golden.rs crates/core/src/report.rs crates/core/src/scenario.rs crates/core/src/sweep.rs
 
-/root/repo/target/release/deps/libmalsim-501ca90c8b4b76ba.rmeta: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/armory.rs crates/core/src/experiments.rs crates/core/src/scenario.rs
+/root/repo/target/release/deps/libmalsim-501ca90c8b4b76ba.rmeta: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/armory.rs crates/core/src/experiments.rs crates/core/src/golden.rs crates/core/src/report.rs crates/core/src/scenario.rs crates/core/src/sweep.rs
 
 crates/core/src/lib.rs:
 crates/core/src/activity.rs:
 crates/core/src/armory.rs:
 crates/core/src/experiments.rs:
+crates/core/src/golden.rs:
+crates/core/src/report.rs:
 crates/core/src/scenario.rs:
+crates/core/src/sweep.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

@@ -140,6 +140,31 @@ fn inactive_fault_windows_are_invisible() {
     assert_eq!(calm.1, latent.1, "latent windows leave the metrics untouched");
 }
 
+/// All four fault schedules evaluated as one sweep: each point builds its
+/// own world, installs its schedule, and renders trace + metrics.
+fn faulted_schedule_sweep(threads: usize) -> Vec<(String, String)> {
+    let schedules = [Schedule::Empty, Schedule::BeyondHorizon, Schedule::Stormy, Schedule::StormyEarly];
+    malsim::sweep::run("faulted-determinism", 321, &schedules, threads, |ctx, &schedule| {
+        faulted_run(ctx.base_seed, schedule)
+    })
+}
+
+#[test]
+fn fault_schedules_under_the_parallel_runner_are_byte_identical() {
+    // An active FaultPlane must not break the sweep runner's contract:
+    // traces and metrics of every scheduled point match the serial run at
+    // any worker count.
+    let serial = faulted_schedule_sweep(1);
+    for threads in [2, 8] {
+        assert_eq!(serial, faulted_schedule_sweep(threads), "diverged at {threads} threads");
+    }
+    // And the sweep preserves point order: the calm and latent points (0, 1)
+    // are identical runs, the stormy ones (2, 3) differ from both.
+    assert_eq!(serial[0], serial[1]);
+    assert_ne!(serial[0].0, serial[2].0);
+    assert_ne!(serial[2].0, serial[3].0);
+}
+
 #[test]
 fn experiment_functions_are_deterministic() {
     let a = experiments::e1_stuxnet_end_to_end(77, 15);
