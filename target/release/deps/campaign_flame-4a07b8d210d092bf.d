@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/campaign_flame-4a07b8d210d092bf.d: crates/core/../../tests/campaign_flame.rs
+
+/root/repo/target/release/deps/campaign_flame-4a07b8d210d092bf: crates/core/../../tests/campaign_flame.rs
+
+crates/core/../../tests/campaign_flame.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/campaign_shamoon-4d3fc4bdf4a7867b.d: crates/core/../../tests/campaign_shamoon.rs
+
+/root/repo/target/release/deps/campaign_shamoon-4d3fc4bdf4a7867b: crates/core/../../tests/campaign_shamoon.rs
+
+crates/core/../../tests/campaign_shamoon.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/campaign_stuxnet-30cb4dc4a3d7bc67.d: crates/core/../../tests/campaign_stuxnet.rs
+
+/root/repo/target/release/deps/campaign_stuxnet-30cb4dc4a3d7bc67: crates/core/../../tests/campaign_stuxnet.rs
+
+crates/core/../../tests/campaign_stuxnet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-56d6c89acb18e9ae.d: crates/core/../../tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-56d6c89acb18e9ae: crates/core/../../tests/determinism.rs
+
+crates/core/../../tests/determinism.rs:

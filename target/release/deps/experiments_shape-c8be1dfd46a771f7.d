@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments_shape-c8be1dfd46a771f7.d: crates/core/../../tests/experiments_shape.rs
+
+/root/repo/target/release/deps/experiments_shape-c8be1dfd46a771f7: crates/core/../../tests/experiments_shape.rs
+
+crates/core/../../tests/experiments_shape.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/golden_regression-57d246139b00e671.d: crates/core/../../tests/golden_regression.rs
+
+/root/repo/target/release/deps/golden_regression-57d246139b00e671: crates/core/../../tests/golden_regression.rs
+
+crates/core/../../tests/golden_regression.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/malsim-18f61f36687f1355.d: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/armory.rs crates/core/src/experiments.rs crates/core/src/golden.rs crates/core/src/report.rs crates/core/src/scenario.rs crates/core/src/sweep.rs
+
+/root/repo/target/release/deps/malsim-18f61f36687f1355: crates/core/src/lib.rs crates/core/src/activity.rs crates/core/src/armory.rs crates/core/src/experiments.rs crates/core/src/golden.rs crates/core/src/report.rs crates/core/src/scenario.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/activity.rs:
+crates/core/src/armory.rs:
+crates/core/src/experiments.rs:
+crates/core/src/golden.rs:
+crates/core/src/report.rs:
+crates/core/src/scenario.rs:
+crates/core/src/sweep.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

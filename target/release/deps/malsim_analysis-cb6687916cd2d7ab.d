@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/malsim_analysis-cb6687916cd2d7ab.d: crates/analysis/src/lib.rs crates/analysis/src/table.rs crates/analysis/src/timeline.rs crates/analysis/src/trends.rs
+
+/root/repo/target/release/deps/malsim_analysis-cb6687916cd2d7ab: crates/analysis/src/lib.rs crates/analysis/src/table.rs crates/analysis/src/timeline.rs crates/analysis/src/trends.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/table.rs:
+crates/analysis/src/timeline.rs:
+crates/analysis/src/trends.rs:

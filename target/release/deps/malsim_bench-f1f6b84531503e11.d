@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/malsim_bench-f1f6b84531503e11.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/malsim_bench-f1f6b84531503e11: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/malsim_certs-d0025aa25c08c7cc.d: crates/certs/src/lib.rs crates/certs/src/authority.rs crates/certs/src/cert.rs crates/certs/src/error.rs crates/certs/src/forgery.rs crates/certs/src/hash.rs crates/certs/src/key.rs crates/certs/src/store.rs
+
+/root/repo/target/release/deps/malsim_certs-d0025aa25c08c7cc: crates/certs/src/lib.rs crates/certs/src/authority.rs crates/certs/src/cert.rs crates/certs/src/error.rs crates/certs/src/forgery.rs crates/certs/src/hash.rs crates/certs/src/key.rs crates/certs/src/store.rs
+
+crates/certs/src/lib.rs:
+crates/certs/src/authority.rs:
+crates/certs/src/cert.rs:
+crates/certs/src/error.rs:
+crates/certs/src/forgery.rs:
+crates/certs/src/hash.rs:
+crates/certs/src/key.rs:
+crates/certs/src/store.rs:

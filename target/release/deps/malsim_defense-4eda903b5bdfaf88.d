@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/malsim_defense-4eda903b5bdfaf88.d: crates/defense/src/lib.rs crates/defense/src/av.rs crates/defense/src/forensics.rs crates/defense/src/ids.rs crates/defense/src/sinkhole.rs
+
+/root/repo/target/release/deps/malsim_defense-4eda903b5bdfaf88: crates/defense/src/lib.rs crates/defense/src/av.rs crates/defense/src/forensics.rs crates/defense/src/ids.rs crates/defense/src/sinkhole.rs
+
+crates/defense/src/lib.rs:
+crates/defense/src/av.rs:
+crates/defense/src/forensics.rs:
+crates/defense/src/ids.rs:
+crates/defense/src/sinkhole.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/malsim_kernel-d32e0eaaf299ee99.d: crates/kernel/src/lib.rs crates/kernel/src/fault.rs crates/kernel/src/ids.rs crates/kernel/src/metrics.rs crates/kernel/src/rng.rs crates/kernel/src/sched.rs crates/kernel/src/time.rs crates/kernel/src/trace.rs
+
+/root/repo/target/release/deps/malsim_kernel-d32e0eaaf299ee99: crates/kernel/src/lib.rs crates/kernel/src/fault.rs crates/kernel/src/ids.rs crates/kernel/src/metrics.rs crates/kernel/src/rng.rs crates/kernel/src/sched.rs crates/kernel/src/time.rs crates/kernel/src/trace.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/fault.rs:
+crates/kernel/src/ids.rs:
+crates/kernel/src/metrics.rs:
+crates/kernel/src/rng.rs:
+crates/kernel/src/sched.rs:
+crates/kernel/src/time.rs:
+crates/kernel/src/trace.rs:

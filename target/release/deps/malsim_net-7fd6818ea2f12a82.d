@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/malsim_net-7fd6818ea2f12a82.d: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/bluetooth.rs crates/net/src/dns.rs crates/net/src/http.rs crates/net/src/lateral.rs crates/net/src/retry.rs crates/net/src/topology.rs crates/net/src/winupdate.rs
+
+/root/repo/target/release/deps/malsim_net-7fd6818ea2f12a82: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/bluetooth.rs crates/net/src/dns.rs crates/net/src/http.rs crates/net/src/lateral.rs crates/net/src/retry.rs crates/net/src/topology.rs crates/net/src/winupdate.rs
+
+crates/net/src/lib.rs:
+crates/net/src/addr.rs:
+crates/net/src/bluetooth.rs:
+crates/net/src/dns.rs:
+crates/net/src/http.rs:
+crates/net/src/lateral.rs:
+crates/net/src/retry.rs:
+crates/net/src/topology.rs:
+crates/net/src/winupdate.rs:

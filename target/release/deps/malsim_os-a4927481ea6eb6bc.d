@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/malsim_os-a4927481ea6eb6bc.d: crates/os/src/lib.rs crates/os/src/disk.rs crates/os/src/error.rs crates/os/src/fs.rs crates/os/src/host.rs crates/os/src/patches.rs crates/os/src/path.rs crates/os/src/registry.rs crates/os/src/services.rs crates/os/src/usb.rs
+
+/root/repo/target/release/deps/malsim_os-a4927481ea6eb6bc: crates/os/src/lib.rs crates/os/src/disk.rs crates/os/src/error.rs crates/os/src/fs.rs crates/os/src/host.rs crates/os/src/patches.rs crates/os/src/path.rs crates/os/src/registry.rs crates/os/src/services.rs crates/os/src/usb.rs
+
+crates/os/src/lib.rs:
+crates/os/src/disk.rs:
+crates/os/src/error.rs:
+crates/os/src/fs.rs:
+crates/os/src/host.rs:
+crates/os/src/patches.rs:
+crates/os/src/path.rs:
+crates/os/src/registry.rs:
+crates/os/src/services.rs:
+crates/os/src/usb.rs:

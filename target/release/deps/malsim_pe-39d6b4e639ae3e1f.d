@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/malsim_pe-39d6b4e639ae3e1f.d: crates/pe/src/lib.rs crates/pe/src/builder.rs crates/pe/src/error.rs crates/pe/src/image.rs crates/pe/src/xor.rs
+
+/root/repo/target/release/deps/malsim_pe-39d6b4e639ae3e1f: crates/pe/src/lib.rs crates/pe/src/builder.rs crates/pe/src/error.rs crates/pe/src/image.rs crates/pe/src/xor.rs
+
+crates/pe/src/lib.rs:
+crates/pe/src/builder.rs:
+crates/pe/src/error.rs:
+crates/pe/src/image.rs:
+crates/pe/src/xor.rs:

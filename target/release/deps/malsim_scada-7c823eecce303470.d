@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/malsim_scada-7c823eecce303470.d: crates/scada/src/lib.rs crates/scada/src/cascade.rs crates/scada/src/centrifuge.rs crates/scada/src/drive.rs crates/scada/src/hmi.rs crates/scada/src/plc.rs crates/scada/src/step7.rs
+
+/root/repo/target/release/deps/malsim_scada-7c823eecce303470: crates/scada/src/lib.rs crates/scada/src/cascade.rs crates/scada/src/centrifuge.rs crates/scada/src/drive.rs crates/scada/src/hmi.rs crates/scada/src/plc.rs crates/scada/src/step7.rs
+
+crates/scada/src/lib.rs:
+crates/scada/src/cascade.rs:
+crates/scada/src/centrifuge.rs:
+crates/scada/src/drive.rs:
+crates/scada/src/hmi.rs:
+crates/scada/src/plc.rs:
+crates/scada/src/step7.rs:

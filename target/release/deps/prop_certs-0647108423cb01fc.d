@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_certs-0647108423cb01fc.d: crates/certs/tests/prop_certs.rs
+
+/root/repo/target/release/deps/prop_certs-0647108423cb01fc: crates/certs/tests/prop_certs.rs
+
+crates/certs/tests/prop_certs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_defense-35b26539333386c8.d: crates/defense/tests/prop_defense.rs
+
+/root/repo/target/release/deps/prop_defense-35b26539333386c8: crates/defense/tests/prop_defense.rs
+
+crates/defense/tests/prop_defense.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_fs-804f97774491f520.d: crates/os/tests/prop_fs.rs
+
+/root/repo/target/release/deps/prop_fs-804f97774491f520: crates/os/tests/prop_fs.rs
+
+crates/os/tests/prop_fs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_kernel-a6244bfa477a7309.d: crates/kernel/tests/prop_kernel.rs
+
+/root/repo/target/release/deps/prop_kernel-a6244bfa477a7309: crates/kernel/tests/prop_kernel.rs
+
+crates/kernel/tests/prop_kernel.rs:

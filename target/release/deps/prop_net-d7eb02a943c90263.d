@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_net-d7eb02a943c90263.d: crates/net/tests/prop_net.rs
+
+/root/repo/target/release/deps/prop_net-d7eb02a943c90263: crates/net/tests/prop_net.rs
+
+crates/net/tests/prop_net.rs:

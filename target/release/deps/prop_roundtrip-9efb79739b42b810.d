@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_roundtrip-9efb79739b42b810.d: crates/pe/tests/prop_roundtrip.rs
+
+/root/repo/target/release/deps/prop_roundtrip-9efb79739b42b810: crates/pe/tests/prop_roundtrip.rs
+
+crates/pe/tests/prop_roundtrip.rs:

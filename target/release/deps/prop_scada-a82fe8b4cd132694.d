@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_scada-a82fe8b4cd132694.d: crates/scada/tests/prop_scada.rs
+
+/root/repo/target/release/deps/prop_scada-a82fe8b4cd132694: crates/scada/tests/prop_scada.rs
+
+crates/scada/tests/prop_scada.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_script-a467441881dbffd7.d: crates/script/tests/prop_script.rs
+
+/root/repo/target/release/deps/prop_script-a467441881dbffd7: crates/script/tests/prop_script.rs
+
+crates/script/tests/prop_script.rs:

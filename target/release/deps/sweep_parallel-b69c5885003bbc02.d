@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_parallel-b69c5885003bbc02.d: crates/core/../../tests/sweep_parallel.rs
+
+/root/repo/target/release/deps/sweep_parallel-b69c5885003bbc02: crates/core/../../tests/sweep_parallel.rs
+
+crates/core/../../tests/sweep_parallel.rs:

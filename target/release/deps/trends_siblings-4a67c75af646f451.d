@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trends_siblings-4a67c75af646f451.d: crates/analysis/tests/trends_siblings.rs
+
+/root/repo/target/release/deps/trends_siblings-4a67c75af646f451: crates/analysis/tests/trends_siblings.rs
+
+crates/analysis/tests/trends_siblings.rs:
