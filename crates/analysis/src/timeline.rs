@@ -5,6 +5,7 @@
 //! spread milestones, first defensive signal, destruction window, and
 //! suicide events — and compute latency statistics between them.
 
+use malsim_kernel::span::SpanLog;
 use malsim_kernel::time::{SimDuration, SimTime};
 use malsim_kernel::trace::{TraceCategory, TraceLog};
 
@@ -50,6 +51,32 @@ impl Timeline {
         Timeline { milestones }
     }
 
+    /// Builds a timeline from a span log: the same milestone labels as
+    /// [`Timeline::from_trace`], reconstructed from the first span of each
+    /// category instead of the first trace event. Works on runs whose trace
+    /// retention was capped or disabled but whose spans were kept.
+    pub fn from_spans(spans: &SpanLog) -> Timeline {
+        let mut milestones = Vec::new();
+        let mut push_first = |cat: TraceCategory, label: &str| {
+            if let Some(s) = spans.of(cat).min_by_key(|s| (s.start, s.id)) {
+                milestones.push(Milestone {
+                    time: s.start,
+                    label: label.to_owned(),
+                    detail: format!("{} @ {}", s.name, s.actor),
+                });
+            }
+        };
+        push_first(TraceCategory::Infection, "first-infection");
+        push_first(TraceCategory::CommandControl, "first-c2-contact");
+        push_first(TraceCategory::Exfiltration, "first-exfiltration");
+        push_first(TraceCategory::Scada, "first-ics-activity");
+        push_first(TraceCategory::Destruction, "first-destruction");
+        push_first(TraceCategory::Defense, "first-defensive-signal");
+        push_first(TraceCategory::Suicide, "suicide");
+        milestones.sort_by_key(|m| m.time);
+        Timeline { milestones }
+    }
+
     /// Finds a milestone by label.
     pub fn get(&self, label: &str) -> Option<&Milestone> {
         self.milestones.iter().find(|m| m.label == label)
@@ -80,6 +107,26 @@ impl Timeline {
         }
         out
     }
+}
+
+/// Renders the causal chain of every Exfiltration and Destruction span back
+/// to its root — the incident-response "how did this happen" view. Each line
+/// walks leaf → root via parent links:
+///
+/// ```text
+/// overspeed-strike @ plant:natanz-a26  <=  plc-implant @ host:eng-station  <=  infection @ host:eng-station
+/// ```
+pub fn causal_chains(spans: &SpanLog) -> String {
+    let mut out = String::new();
+    for cat in [TraceCategory::Exfiltration, TraceCategory::Destruction] {
+        for leaf in spans.of(cat) {
+            let chain = spans.chain(leaf.id);
+            let line: Vec<String> = chain.iter().map(|s| format!("{} @ {}", s.name, s.actor)).collect();
+            out.push_str(&line.join("  <=  "));
+            out.push('\n');
+        }
+    }
+    out
 }
 
 /// Infection-curve statistics computed from a counter series.
@@ -165,5 +212,36 @@ mod tests {
         let s = tl.render();
         assert!(s.contains("first-infection"));
         assert!(s.contains("suicide"));
+    }
+
+    fn sample_spans() -> SpanLog {
+        let mut spans = SpanLog::new();
+        let root = spans.open(t(1_000), TraceCategory::Infection, "host:a", "infection", None);
+        let c2 = spans.open(t(3_000), TraceCategory::CommandControl, "host:a", "beacon", Some(root));
+        let exfil = spans.open(t(4_000), TraceCategory::Exfiltration, "host:a", "exfil-upload", Some(c2));
+        spans.close(exfil, t(4_000));
+        spans.close(c2, t(5_000));
+        spans.close(root, t(9_000));
+        spans
+    }
+
+    #[test]
+    fn span_timeline_matches_trace_milestones() {
+        let tl = Timeline::from_spans(&sample_spans());
+        let labels: Vec<&str> = tl.milestones.iter().map(|m| m.label.as_str()).collect();
+        assert_eq!(labels, vec!["first-infection", "first-c2-contact", "first-exfiltration"]);
+        assert_eq!(tl.get("first-infection").unwrap().time, t(1_000));
+        assert_eq!(tl.get("first-exfiltration").unwrap().detail, "exfil-upload @ host:a");
+        assert_eq!(
+            tl.latency("first-infection", "first-exfiltration"),
+            Some(SimDuration::from_millis(3_000))
+        );
+    }
+
+    #[test]
+    fn causal_chains_walk_back_to_the_root() {
+        let rendered = causal_chains(&sample_spans());
+        assert_eq!(rendered.trim(), "exfil-upload @ host:a  <=  beacon @ host:a  <=  infection @ host:a");
+        assert_eq!(causal_chains(&SpanLog::new()), "");
     }
 }

@@ -12,6 +12,7 @@
 //! documented EXPERIMENTS.md scale, serialized to canonical JSON and checked
 //! against `tests/golden/` by `tests/golden_regression.rs`.
 
+use malsim_kernel::sched::ProfileSummary;
 use malsim_kernel::time::{SimDuration, SimTime};
 use malsim_malware::flame;
 use malsim_malware::flame::candc::StolenData;
@@ -61,10 +62,36 @@ pub struct E1Result {
     pub days_to_first_destruction: Option<f64>,
 }
 
+/// E1 with the post-run world and scheduler retained, so callers can export
+/// the trace/span logs, reconstruct causal chains, or read the profiling
+/// summary. [`e1_stuxnet_end_to_end`] is the headline-only view of this.
+#[derive(Debug)]
+pub struct E1Run {
+    /// The headline result row.
+    pub result: E1Result,
+    /// The simulated world at the end of the run.
+    pub world: World,
+    /// The scheduler, carrying `trace`, `spans`, `metrics`, and (when
+    /// requested) the still-open profiler — call
+    /// [`finish_profile`](malsim_kernel::sched::Sim::finish_profile) to
+    /// collect it.
+    pub sim: WorldSim,
+}
+
 /// Runs E1. `seed` controls all randomness; `days` bounds the run.
 pub fn e1_stuxnet_end_to_end(seed: u64, days: u64) -> E1Result {
+    e1_stuxnet_end_to_end_run(seed, days, false).result
+}
+
+/// Runs E1 and keeps the world and scheduler. `profile` turns on the
+/// scheduler's dispatch profiler (host-clock timings never affect sim
+/// behavior, so the headline row is identical either way).
+pub fn e1_stuxnet_end_to_end_run(seed: u64, days: u64, profile: bool) -> E1Run {
     let builder = ScenarioBuilder::new(seed);
     let (mut world, mut sim, plant, office, station) = builder.natanz_site(8, 12);
+    if profile {
+        sim.enable_profiling();
+    }
     let pki = Pki::install(&mut world);
     pki.arm_stuxnet(&mut world);
     pki.register_stuxnet_c2(&mut world);
@@ -87,7 +114,7 @@ pub fn e1_stuxnet_end_to_end(seed: u64, days: u64) -> E1Result {
         .trace
         .first_of(malsim_kernel::trace::TraceCategory::Destruction)
         .map(|e| (e.time - start).as_hours_f64() / 24.0);
-    E1Result {
+    let result = E1Result {
         infected_hosts: world.campaigns.stuxnet.infections.len(),
         plc_implanted: world.campaigns.stuxnet.plant_attacks.contains_key(&plant),
         destroyed: plant_ref.cascade.destroyed_count(),
@@ -95,7 +122,8 @@ pub fn e1_stuxnet_end_to_end(seed: u64, days: u64) -> E1Result {
         safety_tripped: plant_ref.safety.is_tripped(),
         operator_anomalies: plant_ref.operator.anomalies_seen(),
         days_to_first_destruction: first_destruction,
-    }
+    };
+    E1Run { result, world, sim }
 }
 
 /// E2 (§II-A): zero-day ablation — infection fraction vs patch rate.
@@ -756,9 +784,43 @@ pub fn e13_takedown_resilience_t(
     fractions: &[f64],
     threads: usize,
 ) -> Vec<E13Row> {
-    use malsim_defense::sinkhole::SinkholeCampaign;
+    sweep::run("e13", seed, fractions, threads, |ctx, &frac| e13_point(ctx, frac, clients, days, false).0)
+}
+
+/// E13 with the scheduler profiler enabled on every point. Returns the rows
+/// (identical to [`e13_takedown_resilience_t`] — profiling never changes sim
+/// behavior) plus one [`ProfileSummary`] per grid point, in point order.
+/// Roll them up with [`sweep::profile_rollup`].
+pub fn e13_takedown_resilience_profiled_t(
+    seed: u64,
+    clients: usize,
+    days: u64,
+    fractions: &[f64],
+    threads: usize,
+) -> (Vec<E13Row>, Vec<ProfileSummary>) {
     sweep::run("e13", seed, fractions, threads, |ctx, &frac| {
+        let (row, profile) = e13_point(ctx, frac, clients, days, true);
+        (row, profile.expect("profiling was enabled"))
+    })
+    .into_iter()
+    .unzip()
+}
+
+/// One E13 sweep point. Factored out so the plain and profiled sweeps run
+/// the exact same simulation.
+fn e13_point(
+    ctx: &sweep::SweepCtx,
+    frac: f64,
+    clients: usize,
+    days: u64,
+    profile: bool,
+) -> (E13Row, Option<ProfileSummary>) {
+    use malsim_defense::sinkhole::SinkholeCampaign;
+    {
         let (mut world, mut sim) = ScenarioBuilder::new(ctx.base_seed).without_trace().office_lan(clients);
+        if profile {
+            sim.enable_profiling();
+        }
         let pki = Pki::install(&mut world);
         pki.arm_flame(&mut world, &mut sim, 22, 80);
         for i in 0..clients {
@@ -824,7 +886,7 @@ pub fn e13_takedown_resilience_t(
             .filter(|c| platform.reach_server_faulted(&world.dns, &sim.faults, sim.now(), &c.domains).is_ok())
             .count();
         let per_week = 7.0 / days.max(1) as f64;
-        E13Row {
+        let row = E13Row {
             sinkhole_fraction: frac,
             servers_seized: op.seized_servers.len(),
             domains_seized: op.seized_domains.len(),
@@ -833,8 +895,9 @@ pub fn e13_takedown_resilience_t(
             ferried_bytes_week: ferried as f64 * per_week,
             total_bytes_week: total_entry as f64 * per_week,
             stick_backlog: world.usb_drives[usb].hidden_records().len(),
-        }
-    })
+        };
+        (row, sim.finish_profile())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1054,9 +1117,17 @@ fn golden_e12(threads: usize) -> Json {
 fn golden_e13(threads: usize) -> Json {
     rows_json(&e13_takedown_resilience_t(11, 10, 7, grids::E13_SINKHOLE_FRACTIONS, threads), E13Row::to_json)
 }
+fn golden_perfetto(_threads: usize) -> Json {
+    // A small E1 run exported as a Chrome trace: pins the export schema and
+    // the span plane's byte-determinism (worker count can't matter — each
+    // sim is single-threaded — but CI checks this at two counts anyway).
+    let run = e1_stuxnet_end_to_end_run(7, 4, false);
+    crate::export::chrome_trace(&run.sim.trace, &run.sim.spans)
+}
 
 /// The full regression registry: every experiment E1–E13 at the scale its
-/// EXPERIMENTS.md section documents, in index order.
+/// EXPERIMENTS.md section documents, in index order, plus the Perfetto
+/// export-schema snapshot.
 pub fn golden_specs() -> Vec<GoldenSpec> {
     vec![
         GoldenSpec { name: "e1_stuxnet_end_to_end", runner: golden_e1 },
@@ -1072,5 +1143,6 @@ pub fn golden_specs() -> Vec<GoldenSpec> {
         GoldenSpec { name: "e11_stealth_tradeoff", runner: golden_e11 },
         GoldenSpec { name: "e12_suicide_forensics", runner: golden_e12 },
         GoldenSpec { name: "e13_takedown_resilience", runner: golden_e13 },
+        GoldenSpec { name: "perfetto_e1_seed7", runner: golden_perfetto },
     ]
 }

@@ -1,0 +1,334 @@
+//! Trace exporters: Chrome trace-event JSON (Perfetto) and streaming JSONL.
+//!
+//! Both exporters are pure functions of the run's [`TraceLog`] and
+//! [`SpanLog`]: the output is fully determined by the simulation, so two runs
+//! with the same seed produce byte-identical files at any thread count.
+//!
+//! The Chrome format (loadable at `ui.perfetto.dev` or `chrome://tracing`)
+//! maps sim entities onto the trace model:
+//!
+//! * one **process** (`pid` 1) holds the whole run;
+//! * each **actor** (host, plant, attack-center…) becomes a thread, with a
+//!   `thread_name` metadata record and a stable `tid` assigned from the
+//!   sorted actor list;
+//! * each closed **span** becomes a complete slice (`ph: "X"`) whose `ts`
+//!   and `dur` are sim time in microseconds; open spans export with their
+//!   start time and zero duration;
+//! * each **trace event** becomes a thread-scoped instant (`ph: "i"`).
+//!
+//! Causality (span ids and parent links) travels in the `args` object of
+//! every record, so the chain survives the round trip through Perfetto.
+
+use malsim_kernel::span::{Span, SpanLog};
+use malsim_kernel::time::SimTime;
+use malsim_kernel::trace::{TraceEvent, TraceLog};
+
+use crate::report::Json;
+
+/// Builds the Chrome trace-event document for one run.
+///
+/// Timestamps are microseconds of **sim time** relative to the earliest
+/// span start or event in the run, so traces from different scenario start
+/// dates line up at zero.
+pub fn chrome_trace(trace: &TraceLog, spans: &SpanLog) -> Json {
+    let t0 = earliest(trace, spans);
+    let actors = actor_table(trace, spans);
+    let mut events = Vec::new();
+    // Metadata first: name the process and each actor thread.
+    events.push(Json::obj([
+        ("name", "process_name".into()),
+        ("ph", "M".into()),
+        ("pid", Json::U64(1)),
+        ("tid", Json::U64(0)),
+        ("args", Json::obj([("name", "malsim".into())])),
+    ]));
+    for (i, actor) in actors.iter().enumerate() {
+        events.push(Json::obj([
+            ("name", "thread_name".into()),
+            ("ph", "M".into()),
+            ("pid", Json::U64(1)),
+            ("tid", Json::U64(i as u64 + 1)),
+            ("args", Json::obj([("name", actor.as_str().into())])),
+        ]));
+    }
+    for span in spans.spans() {
+        events.push(span_slice(span, t0, &actors));
+    }
+    for event in trace.events() {
+        events.push(instant(event, t0, &actors));
+    }
+    Json::obj([("traceEvents", Json::Arr(events)), ("displayTimeUnit", "ms".into())])
+}
+
+/// Renders the run as a JSONL feed: one compact record per line, spans
+/// first (in id order), then events (in emission order). Each record carries
+/// a `kind` discriminator so stream consumers can dispatch without
+/// lookahead.
+pub fn jsonl(trace: &TraceLog, spans: &SpanLog) -> String {
+    let mut out = String::new();
+    for span in spans.spans() {
+        let record = Json::obj([
+            ("kind", "span".into()),
+            ("id", Json::U64(span.id.as_u64())),
+            ("parent", span.parent.map(|p| p.as_u64()).into()),
+            ("category", span.category.name().into()),
+            ("actor", span.actor.as_str().into()),
+            ("name", span.name.as_str().into()),
+            ("start_ms", Json::U64(span.start.as_millis())),
+            ("end_ms", span.end.map(SimTime::as_millis).into()),
+            ("attrs", attrs_obj(&span.attrs)),
+        ]);
+        out.push_str(&record.to_compact_string());
+        out.push('\n');
+    }
+    for event in trace.events() {
+        let record = Json::obj([
+            ("kind", "event".into()),
+            ("time_ms", Json::U64(event.time.as_millis())),
+            ("category", event.category.name().into()),
+            ("actor", event.actor.as_str().into()),
+            ("message", event.message.as_str().into()),
+            ("span", event.span.map(|s| s.as_u64()).into()),
+        ]);
+        out.push_str(&record.to_compact_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Validates the shape of a Chrome trace document produced by
+/// [`chrome_trace`] (or hand-edited): top-level `traceEvents` array, every
+/// record carrying `name`/`ph`/`pid`/`tid`, phase-specific fields present
+/// (`ts` + `dur` on slices, `ts` + `s` on instants), and every `parent` id
+/// in `args` referring to a span slice that exists in the document.
+///
+/// Used by the `trace_lint` example (and CI) to catch schema drift.
+pub fn validate_chrome_trace(doc: &Json) -> Result<(), String> {
+    let Json::Obj(top) = doc else { return Err("top level must be an object".into()) };
+    let Some((_, Json::Arr(events))) = top.iter().find(|(k, _)| k == "traceEvents") else {
+        return Err("missing traceEvents array".into());
+    };
+    let mut span_ids = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let Json::Obj(fields) = ev else { return Err(format!("traceEvents[{i}] is not an object")) };
+        let field = |k: &str| fields.iter().find(|(fk, _)| fk == k).map(|(_, v)| v);
+        let ph = match field("ph") {
+            Some(Json::Str(s)) => s.as_str(),
+            _ => return Err(format!("traceEvents[{i}]: missing string ph")),
+        };
+        for required in ["name", "pid", "tid"] {
+            if field(required).is_none() {
+                return Err(format!("traceEvents[{i}]: missing {required}"));
+            }
+        }
+        match ph {
+            "M" => {}
+            "X" => {
+                for required in ["ts", "dur", "cat"] {
+                    if field(required).is_none() {
+                        return Err(format!("traceEvents[{i}]: slice missing {required}"));
+                    }
+                }
+                if let Some(Json::Obj(args)) = field("args") {
+                    if let Some((_, Json::U64(id))) = args.iter().find(|(k, _)| k == "span") {
+                        span_ids.push(*id);
+                    }
+                }
+            }
+            "i" => {
+                if field("ts").is_none() || field("s").is_none() {
+                    return Err(format!("traceEvents[{i}]: instant missing ts or s"));
+                }
+            }
+            other => return Err(format!("traceEvents[{i}]: unknown phase {other:?}")),
+        }
+    }
+    // Parent links must resolve inside the document.
+    for (i, ev) in events.iter().enumerate() {
+        let Json::Obj(fields) = ev else { continue };
+        let Some((_, Json::Obj(args))) = fields.iter().find(|(k, _)| k == "args") else { continue };
+        if let Some((_, Json::U64(parent))) = args.iter().find(|(k, _)| k == "parent") {
+            if !span_ids.contains(parent) {
+                return Err(format!("traceEvents[{i}]: parent span {parent} not in document"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Earliest timestamp across spans and events (the trace's zero point).
+fn earliest(trace: &TraceLog, spans: &SpanLog) -> SimTime {
+    let span_min = spans.spans().iter().map(|s| s.start).min();
+    let event_min = trace.events().iter().map(|e| e.time).min();
+    match (span_min, event_min) {
+        (Some(a), Some(b)) => a.min(b),
+        (Some(a), None) => a,
+        (None, Some(b)) => b,
+        (None, None) => SimTime::EPOCH,
+    }
+}
+
+/// Sorted, deduplicated actor names. Index + 1 is the actor's `tid` (tid 0
+/// is reserved for process metadata).
+fn actor_table(trace: &TraceLog, spans: &SpanLog) -> Vec<String> {
+    let mut actors: Vec<String> = spans
+        .spans()
+        .iter()
+        .map(|s| s.actor.clone())
+        .chain(trace.events().iter().map(|e| e.actor.clone()))
+        .collect();
+    actors.sort();
+    actors.dedup();
+    actors
+}
+
+fn tid_of(actor: &str, actors: &[String]) -> u64 {
+    actors.binary_search_by(|a| a.as_str().cmp(actor)).map(|i| i as u64 + 1).unwrap_or(0)
+}
+
+/// Sim-time microseconds since the trace zero point.
+fn micros_since(t: SimTime, t0: SimTime) -> u64 {
+    t.as_millis().saturating_sub(t0.as_millis()) * 1_000
+}
+
+fn span_slice(span: &Span, t0: SimTime, actors: &[String]) -> Json {
+    let ts = micros_since(span.start, t0);
+    let dur = span.end.map_or(0, |end| micros_since(end, t0).saturating_sub(ts));
+    let mut args = vec![
+        ("span".to_owned(), Json::U64(span.id.as_u64())),
+        ("parent".to_owned(), span.parent.map(|p| p.as_u64()).into()),
+    ];
+    for (k, v) in &span.attrs {
+        args.push((k.clone(), v.as_str().into()));
+    }
+    Json::obj([
+        ("name", span.name.as_str().into()),
+        ("cat", span.category.name().into()),
+        ("ph", "X".into()),
+        ("ts", Json::U64(ts)),
+        ("dur", Json::U64(dur)),
+        ("pid", Json::U64(1)),
+        ("tid", Json::U64(tid_of(&span.actor, actors))),
+        ("args", Json::Obj(args)),
+    ])
+}
+
+fn instant(event: &TraceEvent, t0: SimTime, actors: &[String]) -> Json {
+    Json::obj([
+        ("name", event.message.as_str().into()),
+        ("cat", event.category.name().into()),
+        ("ph", "i".into()),
+        ("ts", Json::U64(micros_since(event.time, t0))),
+        ("s", "t".into()),
+        ("pid", Json::U64(1)),
+        ("tid", Json::U64(tid_of(&event.actor, actors))),
+        ("args", Json::obj([("span", event.span.map(|s| s.as_u64()).into())])),
+    ])
+}
+
+fn attrs_obj(attrs: &[(String, String)]) -> Json {
+    Json::Obj(attrs.iter().map(|(k, v)| (k.clone(), v.as_str().into())).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report;
+    use malsim_kernel::trace::TraceCategory;
+
+    fn sample_run() -> (TraceLog, SpanLog) {
+        let mut trace = TraceLog::new();
+        let mut spans = SpanLog::new();
+        let t = |mins: u64| SimTime::EPOCH + malsim_kernel::time::SimDuration::from_mins(mins);
+        let root = spans.open(t(0), TraceCategory::Infection, "host:a", "infection", None);
+        spans.set_attr(root, "vector", "usb");
+        trace.record_in(t(0), TraceCategory::Infection, "host:a", "infected", Some(root));
+        let child = spans.open(t(5), TraceCategory::CommandControl, "host:a", "beacon", Some(root));
+        trace.record_in(t(6), TraceCategory::CommandControl, "host:a", "beacon ok", Some(child));
+        spans.close(child, t(7));
+        spans.close(root, t(10));
+        (trace, spans)
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_stable() {
+        let (trace, spans) = sample_run();
+        let doc = chrome_trace(&trace, &spans);
+        validate_chrome_trace(&doc).expect("well-formed");
+        // Canonical text round-trips and is stable across calls.
+        let text = doc.to_canonical_string();
+        assert_eq!(report::parse(&text).unwrap(), doc);
+        assert_eq!(chrome_trace(&trace, &spans).to_canonical_string(), text);
+    }
+
+    #[test]
+    fn slices_carry_parent_links_and_sim_durations() {
+        let (trace, spans) = sample_run();
+        let doc = chrome_trace(&trace, &spans);
+        let Json::Obj(top) = &doc else { panic!() };
+        let Json::Arr(events) = &top[0].1 else { panic!() };
+        let slices: Vec<&Json> = events
+            .iter()
+            .filter(|e| matches!(e, Json::Obj(f) if f.iter().any(|(k, v)| k == "ph" && *v == Json::Str("X".into()))))
+            .collect();
+        assert_eq!(slices.len(), 2);
+        // The beacon slice: starts at +5 min, lasts 2 min, parented on span 1.
+        let Json::Obj(beacon) = slices[1] else { panic!() };
+        let get = |k: &str| beacon.iter().find(|(fk, _)| fk == k).map(|(_, v)| v.clone());
+        assert_eq!(get("ts"), Some(Json::U64(5 * 60_000 * 1_000)));
+        assert_eq!(get("dur"), Some(Json::U64(2 * 60_000 * 1_000)));
+        let Some(Json::Obj(args)) = get("args") else { panic!() };
+        assert!(args.contains(&("parent".to_owned(), Json::U64(1))));
+    }
+
+    #[test]
+    fn jsonl_records_parse_line_by_line() {
+        let (trace, spans) = sample_run();
+        let feed = jsonl(&trace, &spans);
+        let lines: Vec<&str> = feed.lines().collect();
+        assert_eq!(lines.len(), 2 + 2, "two spans + two events");
+        for line in &lines {
+            report::parse(line).expect("each line is a standalone document");
+        }
+        assert!(lines[0].starts_with(r#"{"kind":"span","id":1,"parent":null"#));
+        assert!(lines[2].contains(r#""kind":"event""#));
+    }
+
+    #[test]
+    fn validator_rejects_dangling_parents_and_bad_phases() {
+        let dangling = Json::obj([(
+            "traceEvents",
+            Json::Arr(vec![Json::obj([
+                ("name", "x".into()),
+                ("cat", "c2".into()),
+                ("ph", "X".into()),
+                ("ts", Json::U64(0)),
+                ("dur", Json::U64(1)),
+                ("pid", Json::U64(1)),
+                ("tid", Json::U64(1)),
+                ("args", Json::obj([("span", Json::U64(2)), ("parent", Json::U64(99))])),
+            ])]),
+        )]);
+        let err = validate_chrome_trace(&dangling).unwrap_err();
+        assert!(err.contains("parent span 99"), "{err}");
+
+        let bad_phase = Json::obj([(
+            "traceEvents",
+            Json::Arr(vec![Json::obj([
+                ("name", "x".into()),
+                ("ph", "Q".into()),
+                ("pid", Json::U64(1)),
+                ("tid", Json::U64(1)),
+            ])]),
+        )]);
+        assert!(validate_chrome_trace(&bad_phase).unwrap_err().contains("unknown phase"));
+        assert!(validate_chrome_trace(&Json::Null).is_err());
+    }
+
+    #[test]
+    fn empty_run_exports_cleanly() {
+        let doc = chrome_trace(&TraceLog::new(), &SpanLog::new());
+        validate_chrome_trace(&doc).expect("metadata-only document is valid");
+        assert_eq!(jsonl(&TraceLog::new(), &SpanLog::new()), "");
+    }
+}

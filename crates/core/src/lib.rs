@@ -46,6 +46,7 @@
 pub mod activity;
 pub mod armory;
 pub mod experiments;
+pub mod export;
 pub mod golden;
 pub mod report;
 pub mod scenario;
@@ -56,6 +57,7 @@ pub mod prelude {
     pub use crate::activity;
     pub use crate::armory::Pki;
     pub use crate::experiments;
+    pub use crate::export;
     pub use crate::golden;
     pub use crate::report::{self, Json};
     pub use crate::scenario::ScenarioBuilder;

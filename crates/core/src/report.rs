@@ -51,6 +51,45 @@ impl Json {
         out
     }
 
+    /// Renders a single-line compact form (no whitespace between tokens)
+    /// with the same number and escape rules as the canonical writer. Used
+    /// for JSONL streams where each record must occupy exactly one line.
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null | Json::Bool(_) | Json::U64(_) | Json::I64(_) | Json::F64(_) | Json::Str(_) => {
+                self.write(out, 0);
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -438,6 +477,17 @@ mod tests {
         assert_eq!(parse("1.0").unwrap(), Json::F64(1.0));
         assert_eq!(parse("1").unwrap(), Json::U64(1));
         assert_eq!(parse("-3").unwrap(), Json::I64(-3));
+    }
+
+    #[test]
+    fn compact_form_is_one_line_and_parses_back() {
+        let v = sample();
+        let text = v.to_compact_string();
+        assert!(!text.contains('\n'), "compact form must be a single line: {text:?}");
+        assert!(!text.contains(": "), "no space after colons: {text:?}");
+        assert_eq!(parse(&text).unwrap(), v, "compact∘parse is the identity");
+        assert_eq!(Json::Arr(vec![]).to_compact_string(), "[]");
+        assert_eq!(Json::obj([]).to_compact_string(), "{}");
     }
 
     #[test]

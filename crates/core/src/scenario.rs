@@ -1,5 +1,6 @@
 //! Scenario construction: topologies, fleets, and patch policies.
 
+use malsim_kernel::span::SpanLog;
 use malsim_kernel::time::SimTime;
 use malsim_kernel::trace::TraceLog;
 use malsim_malware::world::{World, WorldSim};
@@ -73,6 +74,9 @@ impl ScenarioBuilder {
         let mut sim = WorldSim::new(self.start, self.seed);
         if !self.trace {
             sim.trace = TraceLog::disabled();
+            // Span ids keep advancing while disabled, so disabled-sweep runs
+            // stay id-compatible with traced runs of the same seed.
+            sim.spans = SpanLog::disabled();
         }
         sim
     }
@@ -244,6 +248,7 @@ mod tests {
     fn without_trace_disables_log() {
         let (_, sim) = ScenarioBuilder::new(1).without_trace().office_lan(1);
         assert!(!sim.trace.is_enabled());
+        assert!(!sim.spans.is_enabled());
     }
 
     #[test]

@@ -25,9 +25,12 @@
 //! fault prefixes, and differ only in the treatment — the paired design the
 //! shape tests rely on.
 
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use malsim_kernel::rng::SimRng;
+use malsim_kernel::sched::ProfileSummary;
 
 /// The identity of one sweep point: which experiment, which point index, and
 /// the sweep's base seed.
@@ -120,9 +123,95 @@ where
     slots.into_iter().map(|r| r.expect("every sweep point is computed exactly once")).collect()
 }
 
+/// Per-category roll-up of one metric across a grid of profiling summaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollupRow {
+    /// Dispatch category (a [`TraceCategory`](malsim_kernel::trace::TraceCategory)
+    /// name or `"(untraced)"`).
+    pub category: String,
+    /// `(min, median, max)` events dispatched per point.
+    pub events: (u64, u64, u64),
+    /// `(min, median, max)` host milliseconds per point.
+    pub host_ms: (f64, f64, f64),
+}
+
+/// Min/median/max roll-up of per-point [`ProfileSummary`]s across a sweep
+/// grid. A point that never dispatched a category contributes zero for it,
+/// so the rows compare like-for-like across the whole grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileRollup {
+    /// One row per category seen anywhere in the grid, sorted by name.
+    pub rows: Vec<RollupRow>,
+    /// Number of grid points rolled up.
+    pub points: usize,
+}
+
+/// Builds the [`ProfileRollup`] for a sweep's per-point profiling summaries
+/// (as returned by the `_profiled_t` experiment variants).
+pub fn profile_rollup(summaries: &[ProfileSummary]) -> ProfileRollup {
+    let mut per_cat: BTreeMap<&str, (Vec<u64>, Vec<f64>)> = BTreeMap::new();
+    for summary in summaries {
+        for row in &summary.rows {
+            per_cat.entry(&row.category).or_default();
+        }
+    }
+    for summary in summaries {
+        for (cat, (events, host_ms)) in per_cat.iter_mut() {
+            let row = summary.rows.iter().find(|r| r.category == *cat);
+            events.push(row.map_or(0, |r| r.events));
+            host_ms.push(row.map_or(0.0, |r| r.host_ms));
+        }
+    }
+    let rows = per_cat
+        .into_iter()
+        .map(|(category, (mut events, mut host_ms))| {
+            events.sort_unstable();
+            host_ms.sort_by(f64::total_cmp);
+            RollupRow {
+                category: category.to_owned(),
+                events: (events[0], nearest_rank(&events), events[events.len() - 1]),
+                host_ms: (host_ms[0], nearest_rank(&host_ms), host_ms[host_ms.len() - 1]),
+            }
+        })
+        .collect();
+    ProfileRollup { rows, points: summaries.len() }
+}
+
+/// Nearest-rank median of a sorted non-empty slice (same convention as
+/// [`Histogram::quantile`](malsim_kernel::metrics::Histogram::quantile)).
+fn nearest_rank<T: Copy>(sorted: &[T]) -> T {
+    let rank = (0.5 * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+impl ProfileRollup {
+    /// Renders the roll-up as an aligned table, one category per row.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "scheduler profile across {} sweep points (min / median / max):", self.points);
+        let width = self.rows.iter().map(|r| r.category.len()).max().unwrap_or(8).max(8);
+        let _ = writeln!(out, "{:width$}  {:>27}  {:>30}", "category", "events", "host ms");
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:width$}  {:>7} / {:>7} / {:>7}  {:>8.2} / {:>8.2} / {:>8.2}",
+                row.category,
+                row.events.0,
+                row.events.1,
+                row.events.2,
+                row.host_ms.0,
+                row.host_ms.1,
+                row.host_ms.2,
+            );
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use malsim_kernel::sched::ProfileRow;
 
     #[test]
     fn results_come_back_in_point_order() {
@@ -163,6 +252,45 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(run("empty", 1, &empty, 8, |_, &p| p).is_empty());
         assert_eq!(run("one", 1, &[7u32], 8, |_, &p| p), vec![7]);
+    }
+
+    fn summary(cats: &[(&str, u64, f64)]) -> ProfileSummary {
+        let rows: Vec<ProfileRow> = cats
+            .iter()
+            .map(|&(category, events, host_ms)| ProfileRow { category: category.to_owned(), events, host_ms })
+            .collect();
+        let total_events = rows.iter().map(|r| r.events).sum();
+        let total_host_ms = rows.iter().map(|r| r.host_ms).sum();
+        ProfileSummary {
+            rows,
+            total_events,
+            total_host_ms,
+            queue_p50: 0.0,
+            queue_p95: 0.0,
+            queue_p99: 0.0,
+            queue_max: 0.0,
+        }
+    }
+
+    #[test]
+    fn rollup_takes_min_median_max_per_category() {
+        let grid = [
+            summary(&[("net", 10, 1.0), ("c2", 5, 0.5)]),
+            summary(&[("net", 30, 3.0)]),
+            summary(&[("net", 20, 2.0), ("c2", 7, 0.7)]),
+        ];
+        let rollup = profile_rollup(&grid);
+        assert_eq!(rollup.points, 3);
+        assert_eq!(rollup.rows.len(), 2);
+        // Categories come back sorted; missing categories count as zero.
+        assert_eq!(rollup.rows[0].category, "c2");
+        assert_eq!(rollup.rows[0].events, (0, 5, 7));
+        assert_eq!(rollup.rows[1].category, "net");
+        assert_eq!(rollup.rows[1].events, (10, 20, 30));
+        assert_eq!(rollup.rows[1].host_ms, (1.0, 2.0, 3.0));
+        let table = rollup.render();
+        assert!(table.contains("3 sweep points"), "{table}");
+        assert!(table.contains("net"), "{table}");
     }
 
     #[test]

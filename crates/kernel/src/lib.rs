@@ -14,9 +14,14 @@
 //! - [`fault::FaultPlane`] — a deterministic fault-injection schedule (link
 //!   outages, packet loss, DNS outages, takedowns, host crashes) with its own
 //!   forked random stream, so an empty schedule never perturbs a run.
-//! - [`trace::TraceLog`] — the structured forensic record of a run.
+//! - [`trace::TraceLog`] — the structured forensic record of a run, with
+//!   optional per-category retention caps ([`trace::TraceConfig`]).
+//! - [`span::SpanLog`] — causal spans linking consequences (exfil, wiping)
+//!   back to their root compromise via parent chains.
 //! - [`metrics::Metrics`] — counters, histograms, and time series that
 //!   experiments read back out.
+//! - [`sched::ProfileSummary`] — opt-in scheduler profiling (per-category
+//!   dispatch counts, host-clock time, queue depth), zero-cost when off.
 //! - [`crate::define_id!`] / [`ids::Arena`] — typed handles for entity tables.
 //!
 //! # Examples
@@ -48,6 +53,7 @@ pub mod ids;
 pub mod metrics;
 pub mod rng;
 pub mod sched;
+pub mod span;
 pub mod time;
 pub mod trace;
 
@@ -56,7 +62,8 @@ pub mod prelude {
     pub use crate::fault::{FaultKind, FaultPlane, FaultWindow};
     pub use crate::metrics::Metrics;
     pub use crate::rng::SimRng;
-    pub use crate::sched::{EventHandle, Sim};
+    pub use crate::sched::{EventHandle, ProfileRow, ProfileSummary, Sim};
+    pub use crate::span::{Span, SpanId, SpanLog};
     pub use crate::time::{SimDuration, SimTime, TimeError};
-    pub use crate::trace::{TraceCategory, TraceEvent, TraceLog};
+    pub use crate::trace::{TraceCategory, TraceConfig, TraceEvent, TraceLog};
 }

@@ -42,6 +42,7 @@ pub struct Histogram {
     min: f64,
     max: f64,
     values: Vec<f64>,
+    sorted_cache: Option<Vec<f64>>,
 }
 
 /// An ordered `(time, value)` sequence.
@@ -170,6 +171,7 @@ impl Histogram {
         self.count += 1;
         self.sum += value;
         self.values.push(value);
+        self.sorted_cache = None;
     }
 
     /// Number of observations.
@@ -205,13 +207,41 @@ impl Histogram {
     }
 
     /// Nearest-rank percentile, `p` in `[0, 100]` (0.0 when empty).
+    ///
+    /// Sorts a fresh copy on every call; prefer [`Histogram::quantile`] when
+    /// the histogram is mutable and queried repeatedly.
     pub fn percentile(&self, p: f64) -> f64 {
         if self.values.is_empty() {
             return 0.0;
         }
-        let mut sorted = self.values.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
-        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        match &self.sorted_cache {
+            Some(sorted) => Self::rank_of(sorted, p / 100.0),
+            None => {
+                let mut sorted = self.values.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
+                Self::rank_of(&sorted, p / 100.0)
+            }
+        }
+    }
+
+    /// Nearest-rank quantile, `q` in `[0, 1]` (0.0 when empty).
+    ///
+    /// The sorted order is computed on first call and cached until the next
+    /// [`Histogram::observe`], so p50/p95/p99 sequences sort once.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let sorted = self.sorted_cache.get_or_insert_with(|| {
+            let mut sorted = self.values.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
+            sorted
+        });
+        Self::rank_of(sorted, q)
+    }
+
+    fn rank_of(sorted: &[f64], q: f64) -> f64 {
+        let rank = (q * (sorted.len() as f64 - 1.0)).round() as usize;
         sorted[rank.min(sorted.len() - 1)]
     }
 }
@@ -298,6 +328,32 @@ mod tests {
         let h = Histogram::default();
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.percentile(99.0), 0.0);
+        assert_eq!(Histogram::default().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantile_agrees_with_percentile() {
+        let mut h = Histogram::default();
+        for v in [9.0, 7.0, 5.0, 3.0, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0] {
+            h.observe(v);
+        }
+        for p in [0.0, 25.0, 50.0, 95.0, 99.0, 100.0] {
+            let via_percentile = h.percentile(p);
+            assert_eq!(h.quantile(p / 100.0), via_percentile, "p={p}");
+        }
+        assert_eq!(h.quantile(0.5), 6.0, "nearest rank rounds 4.5 up");
+        assert_eq!(h.quantile(1.0), 10.0);
+    }
+
+    #[test]
+    fn quantile_cache_invalidates_on_observe() {
+        let mut h = Histogram::default();
+        h.observe(1.0);
+        h.observe(3.0);
+        assert_eq!(h.quantile(1.0), 3.0);
+        h.observe(2.0);
+        assert_eq!(h.quantile(0.5), 2.0, "new observation re-sorts");
+        assert_eq!(h.quantile(1.0), 3.0);
     }
 
     #[test]

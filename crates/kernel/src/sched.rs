@@ -11,12 +11,13 @@
 //! same instant therefore fire in the order they were scheduled.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeMap, BinaryHeap, HashSet};
 use std::fmt;
 
 use crate::fault::FaultPlane;
-use crate::metrics::Metrics;
+use crate::metrics::{Histogram, Metrics};
 use crate::rng::SimRng;
+use crate::span::{SpanId, SpanLog};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceCategory, TraceLog};
 
@@ -72,10 +73,15 @@ pub struct Sim<W> {
     queue: BinaryHeap<Scheduled<W>>,
     cancelled: HashSet<u64>,
     executed: u64,
+    profiler: Option<Profiler>,
+    dispatch_cat: Option<TraceCategory>,
     /// Deterministic random source for the run.
     pub rng: SimRng,
     /// Structured event trace.
     pub trace: TraceLog,
+    /// Causal span store; ids are allocated in dispatch order, so they are
+    /// deterministic for a given seed regardless of sweep thread count.
+    pub spans: SpanLog,
     /// Metric registry.
     pub metrics: Metrics,
     /// Deterministic fault-injection schedule (empty by default).
@@ -105,8 +111,11 @@ impl<W> Sim<W> {
             queue: BinaryHeap::new(),
             cancelled: HashSet::new(),
             executed: 0,
+            profiler: None,
+            dispatch_cat: None,
             rng: SimRng::seed_from(seed),
             trace: TraceLog::new(),
+            spans: SpanLog::new(),
             metrics: Metrics::new(),
             faults: FaultPlane::new(SimRng::seed_from(seed).fork("fault-plane")),
         }
@@ -200,8 +209,26 @@ impl<W> Sim<W> {
             }
             self.now = ev.time;
             self.executed += 1;
-            (ev.action)(world, self);
+            if self.profiler.is_some() {
+                self.dispatch_profiled(world, ev.action);
+            } else {
+                (ev.action)(world, self);
+            }
             return true;
+        }
+    }
+
+    /// Dispatch with the probe armed: time the action on the host clock and
+    /// attribute it to the first trace category it touches.
+    fn dispatch_profiled(&mut self, world: &mut W, action: Action<W>) {
+        let depth = self.queue.len();
+        self.dispatch_cat = None;
+        let started = std::time::Instant::now();
+        action(world, self);
+        let nanos = started.elapsed().as_nanos() as u64;
+        let category = self.dispatch_cat.take().map(TraceCategory::name);
+        if let Some(p) = self.profiler.as_mut() {
+            p.note(category, nanos, depth);
         }
     }
 
@@ -246,8 +273,193 @@ impl<W> Sim<W> {
 
     /// Records a trace event stamped with the current time.
     pub fn record(&mut self, category: TraceCategory, actor: impl Into<String>, message: impl Into<String>) {
+        self.note_dispatch(category);
         let now = self.now;
         self.trace.record(now, category, actor, message);
+    }
+
+    /// Records a trace event attached to a causal span.
+    pub fn record_in(
+        &mut self,
+        span: SpanId,
+        category: TraceCategory,
+        actor: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        self.note_dispatch(category);
+        let now = self.now;
+        self.trace.record_in(now, category, actor, message, Some(span));
+    }
+
+    /// Opens a root causal span starting now.
+    pub fn open_span(
+        &mut self,
+        category: TraceCategory,
+        actor: impl Into<String>,
+        name: impl Into<String>,
+    ) -> SpanId {
+        self.note_dispatch(category);
+        let now = self.now;
+        self.spans.open(now, category, actor, name, None)
+    }
+
+    /// Opens a causal span starting now, downstream of `parent`.
+    pub fn open_child_span(
+        &mut self,
+        parent: SpanId,
+        category: TraceCategory,
+        actor: impl Into<String>,
+        name: impl Into<String>,
+    ) -> SpanId {
+        self.note_dispatch(category);
+        let now = self.now;
+        self.spans.open(now, category, actor, name, Some(parent))
+    }
+
+    /// Closes a span at the current time.
+    pub fn close_span(&mut self, span: SpanId) {
+        let now = self.now;
+        self.spans.close(span, now);
+    }
+
+    /// Attaches a key-value attribute to a span.
+    pub fn span_attr(&mut self, span: SpanId, key: impl Into<String>, value: impl Into<String>) {
+        self.spans.set_attr(span, key, value);
+    }
+
+    fn note_dispatch(&mut self, category: TraceCategory) {
+        if self.profiler.is_some() && self.dispatch_cat.is_none() {
+            self.dispatch_cat = Some(category);
+        }
+    }
+
+    /// Arms the scheduler profiling probe. Until [`Sim::finish_profile`] is
+    /// called, every dispatched event is timed on the host clock, counted per
+    /// trace category, and the pre-dispatch queue depth is sampled.
+    ///
+    /// The probe is entirely off by default: the unprofiled dispatch path
+    /// performs no timing, no map lookups, and no extra branches beyond one
+    /// `Option` check.
+    pub fn enable_profiling(&mut self) {
+        self.profiler = Some(Profiler::default());
+    }
+
+    /// Whether the profiling probe is armed.
+    pub fn is_profiling(&self) -> bool {
+        self.profiler.is_some()
+    }
+
+    /// Disarms the probe and returns the summary, also writing dispatch
+    /// counters (`sched.dispatch.<category>`) and queue-depth gauges
+    /// (`sched.queue_depth.p50/p95/p99`) into [`Sim::metrics`].
+    ///
+    /// Host-clock timings are wall-time measurements and therefore *not*
+    /// deterministic; they live only in the summary and the metric gauges,
+    /// never in the trace, spans, or exports.
+    pub fn finish_profile(&mut self) -> Option<ProfileSummary> {
+        let profiler = self.profiler.take()?;
+        let mut rows = Vec::new();
+        let mut total_events = 0u64;
+        let mut total_nanos = 0u64;
+        for (category, stat) in &profiler.per_cat {
+            self.metrics.incr_by(&format!("sched.dispatch.{category}"), stat.count);
+            rows.push(ProfileRow {
+                category: category.to_string(),
+                events: stat.count,
+                host_ms: stat.nanos as f64 / 1e6,
+            });
+            total_events += stat.count;
+            total_nanos += stat.nanos;
+        }
+        let mut queue_depth = profiler.queue_depth;
+        let summary = ProfileSummary {
+            rows,
+            total_events,
+            total_host_ms: total_nanos as f64 / 1e6,
+            queue_p50: queue_depth.quantile(0.50),
+            queue_p95: queue_depth.quantile(0.95),
+            queue_p99: queue_depth.quantile(0.99),
+            queue_max: queue_depth.max(),
+        };
+        self.metrics.set_gauge("sched.queue_depth.p50", summary.queue_p50);
+        self.metrics.set_gauge("sched.queue_depth.p95", summary.queue_p95);
+        self.metrics.set_gauge("sched.queue_depth.p99", summary.queue_p99);
+        self.metrics.set_gauge("sched.queue_depth.max", summary.queue_max);
+        Some(summary)
+    }
+}
+
+/// The armed scheduler probe: per-category dispatch tallies plus a queue-depth
+/// histogram, accumulated by [`Sim::step`].
+#[derive(Debug, Clone, Default)]
+struct Profiler {
+    per_cat: BTreeMap<&'static str, CatStat>,
+    queue_depth: Histogram,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct CatStat {
+    count: u64,
+    nanos: u64,
+}
+
+impl Profiler {
+    fn note(&mut self, category: Option<&'static str>, nanos: u64, depth: usize) {
+        let stat = self.per_cat.entry(category.unwrap_or("(untraced)")).or_default();
+        stat.count += 1;
+        stat.nanos += nanos;
+        self.queue_depth.observe(depth as f64);
+    }
+}
+
+/// One row of a [`ProfileSummary`]: all dispatches attributed to a category.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileRow {
+    /// Trace-category name, or `"(untraced)"` for events that recorded nothing.
+    pub category: String,
+    /// Number of dispatched events.
+    pub events: u64,
+    /// Total host wall-clock time spent inside those events, in milliseconds.
+    pub host_ms: f64,
+}
+
+/// Scheduler profile of one run, produced by [`Sim::finish_profile`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileSummary {
+    /// Per-category rows, sorted by category name.
+    pub rows: Vec<ProfileRow>,
+    /// Total dispatched events.
+    pub total_events: u64,
+    /// Total host wall-clock milliseconds across all dispatches.
+    pub total_host_ms: f64,
+    /// Median pre-dispatch queue depth.
+    pub queue_p50: f64,
+    /// 95th-percentile pre-dispatch queue depth.
+    pub queue_p95: f64,
+    /// 99th-percentile pre-dispatch queue depth.
+    pub queue_p99: f64,
+    /// Largest observed queue depth.
+    pub queue_max: f64,
+}
+
+impl ProfileSummary {
+    /// Renders the profile as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("category      events   host ms   avg µs\n");
+        for row in &self.rows {
+            let avg_us = if row.events == 0 { 0.0 } else { row.host_ms * 1e3 / row.events as f64 };
+            out.push_str(&format!(
+                "{:<12}  {:>6}  {:>8.2}  {:>7.2}\n",
+                row.category, row.events, row.host_ms, avg_us
+            ));
+        }
+        out.push_str(&format!("{:<12}  {:>6}  {:>8.2}\n", "total", self.total_events, self.total_host_ms));
+        out.push_str(&format!(
+            "queue depth: p50 {:.0}, p95 {:.0}, p99 {:.0}, max {:.0}\n",
+            self.queue_p50, self.queue_p95, self.queue_p99, self.queue_max
+        ));
+        out
     }
 }
 
@@ -395,6 +607,94 @@ mod tests {
         s.run(&mut w);
         let e = s.trace.first_of(TraceCategory::Scenario).unwrap();
         assert_eq!(e.time, SimTime::EPOCH + SimDuration::from_secs(7));
+    }
+
+    #[test]
+    fn spans_use_sim_clock_and_link() {
+        let mut s = sim();
+        let mut w = Vec::new();
+        s.schedule_in(SimDuration::from_secs(3), |_w, sim| {
+            let root = sim.open_span(TraceCategory::Infection, "host:a", "infection");
+            sim.record_in(root, TraceCategory::Infection, "host:a", "compromised");
+            let child = sim.open_child_span(root, TraceCategory::CommandControl, "host:a", "beacon");
+            sim.close_span(child);
+            sim.span_attr(root, "vector", "usb");
+        });
+        s.run(&mut w);
+        let spans = s.spans.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].start, SimTime::EPOCH + SimDuration::from_secs(3));
+        assert_eq!(spans[1].parent, Some(spans[0].id));
+        assert_eq!(spans[1].end, Some(spans[1].start), "closed at the same instant");
+        assert_eq!(spans[0].attr("vector"), Some("usb"));
+        let e = s.trace.first_of(TraceCategory::Infection).unwrap();
+        assert_eq!(e.span, Some(spans[0].id));
+    }
+
+    #[test]
+    fn profiler_counts_by_category() {
+        let mut s = sim();
+        let mut w = Vec::new();
+        s.enable_profiling();
+        assert!(s.is_profiling());
+        s.schedule_in(SimDuration::from_secs(1), |_w, sim| {
+            sim.record(TraceCategory::Net, "host:a", "dns lookup");
+            sim.record(TraceCategory::Os, "host:a", "file drop"); // attribution goes to the first
+        });
+        s.schedule_in(SimDuration::from_secs(2), |_w, sim| {
+            sim.record(TraceCategory::Net, "host:b", "http get");
+        });
+        s.schedule_in(SimDuration::from_secs(3), |_w, _sim| {}); // untraced
+        s.run(&mut w);
+        let summary = s.finish_profile().expect("probe was armed");
+        assert!(!s.is_profiling(), "finish disarms");
+        assert_eq!(s.finish_profile(), None, "second finish yields nothing");
+        assert_eq!(summary.total_events, 3);
+        let events: Vec<(&str, u64)> = summary.rows.iter().map(|r| (r.category.as_str(), r.events)).collect();
+        assert_eq!(events, vec![("(untraced)", 1), ("net", 2)]);
+        assert_eq!(s.metrics.counter("sched.dispatch.net"), 2);
+        assert_eq!(s.metrics.counter("sched.dispatch.(untraced)"), 1);
+        assert!(s.metrics.gauge("sched.queue_depth.p50").is_some());
+        let table = summary.render();
+        assert!(table.contains("net"));
+        assert!(table.contains("queue depth"));
+    }
+
+    #[test]
+    fn unprofiled_run_records_no_probe_metrics() {
+        let mut s = sim();
+        let mut w = Vec::new();
+        s.schedule_in(SimDuration::from_secs(1), |_w, sim| {
+            sim.record(TraceCategory::Net, "host:a", "dns lookup");
+        });
+        s.run(&mut w);
+        assert_eq!(s.finish_profile(), None);
+        assert_eq!(s.metrics.counter("sched.dispatch.net"), 0);
+        assert_eq!(s.metrics.gauge("sched.queue_depth.p50"), None);
+    }
+
+    #[test]
+    fn profiling_does_not_perturb_simulation_state() {
+        fn run(profile: bool) -> (Vec<u32>, u64) {
+            let mut s: Sim<World> = Sim::new(SimTime::EPOCH, 7);
+            if profile {
+                s.enable_profiling();
+            }
+            let mut w = Vec::new();
+            for _ in 0..20 {
+                let d = SimDuration::from_millis(s.rng.range(1..1000u64));
+                s.schedule_in(d, |w: &mut World, sim| {
+                    let v = sim.rng.range(0..100u32);
+                    sim.record(TraceCategory::Scenario, "t", "tick");
+                    let span = sim.open_span(TraceCategory::Scenario, "t", "tick");
+                    sim.close_span(span);
+                    w.push(v);
+                });
+            }
+            s.run(&mut w);
+            (w, s.spans.spans().last().unwrap().id.as_u64())
+        }
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -1,0 +1,346 @@
+//! Causal spans: the "why" behind the trace.
+//!
+//! A [`TraceLog`](crate::trace::TraceLog) records *what* happened; spans
+//! record *why*. Every span carries an optional parent link, so a finished
+//! run holds a forest whose roots are initial causes (a seeded USB stick, a
+//! phishing email) and whose leaves are consequences (an exfiltrated
+//! document, a destroyed centrifuge). Walking the parent chain of an
+//! `Exfiltration` span answers the DFIR question the flat log cannot: which
+//! beacon carried it, and which compromise that beacon belongs to.
+//!
+//! Span ids are allocated from a per-simulation counter in creation order.
+//! A simulation run is single-threaded by construction, and parallel sweeps
+//! key every point's randomness on the point identity, so span ids — like
+//! the trace itself — are byte-identical at every worker-thread count.
+//!
+//! # Examples
+//!
+//! ```
+//! use malsim_kernel::span::SpanLog;
+//! use malsim_kernel::time::SimTime;
+//! use malsim_kernel::trace::TraceCategory;
+//!
+//! let mut log = SpanLog::new();
+//! let root = log.open(SimTime::EPOCH, TraceCategory::Infection, "host:a", "usb-lnk", None);
+//! let beacon = log.open(SimTime::EPOCH, TraceCategory::CommandControl, "host:a", "beacon", Some(root));
+//! let exfil =
+//!     log.open(SimTime::EPOCH, TraceCategory::Exfiltration, "host:a", "upload", Some(beacon));
+//! assert_eq!(log.root_of(exfil), Some(root));
+//! assert!(log.has_ancestor_category(exfil, TraceCategory::Infection));
+//! ```
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+use crate::trace::TraceCategory;
+
+/// Identifier of one span, unique within a simulation run.
+///
+/// Ids start at 1 and increase in allocation order; `SpanId` ordering is
+/// therefore creation ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// The raw id value (1-based).
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "span#{}", self.0)
+    }
+}
+
+/// One causal span: a named interval of simulated time with a category, an
+/// acting entity, an optional parent, and key-value attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    /// This span's id.
+    pub id: SpanId,
+    /// The span this one is causally downstream of, if any.
+    pub parent: Option<SpanId>,
+    /// Filtering category (shared vocabulary with the trace).
+    pub category: TraceCategory,
+    /// The acting entity, e.g. `"host:eng-station"` or `"plant:natanz-a26"`.
+    pub actor: String,
+    /// Short machine-friendly name, e.g. `"infection"` or `"beacon"`.
+    pub name: String,
+    /// When the span opened.
+    pub start: SimTime,
+    /// When the span closed; `None` while still open.
+    pub end: Option<SimTime>,
+    /// Key-value attributes, in insertion order.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl Span {
+    /// Attribute value by key, if set.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// The span store of one simulation run.
+///
+/// Spans are kept in id (= creation) order. Id allocation happens even when
+/// the log is disabled, so code that stashes span ids in campaign state
+/// behaves identically whether or not spans are retained — only the storage
+/// is skipped.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpanLog {
+    spans: Vec<Span>,
+    next_id: u64,
+    enabled: bool,
+}
+
+impl Default for SpanLog {
+    fn default() -> Self {
+        SpanLog::new()
+    }
+}
+
+impl SpanLog {
+    /// Creates an empty, enabled log.
+    pub fn new() -> Self {
+        SpanLog { spans: Vec::new(), next_id: 1, enabled: true }
+    }
+
+    /// Creates a log that allocates ids but retains nothing (for large
+    /// benchmark sweeps).
+    pub fn disabled() -> Self {
+        SpanLog { spans: Vec::new(), next_id: 1, enabled: false }
+    }
+
+    /// Whether spans are being retained.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Opens a span at `time`. Returns its id; the id is allocated (and
+    /// deterministic) even when the log is disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is an id this log never allocated.
+    pub fn open(
+        &mut self,
+        time: SimTime,
+        category: TraceCategory,
+        actor: impl Into<String>,
+        name: impl Into<String>,
+        parent: Option<SpanId>,
+    ) -> SpanId {
+        if let Some(p) = parent {
+            assert!(p.0 < self.next_id, "parent {p} was never allocated");
+        }
+        let id = SpanId(self.next_id);
+        self.next_id += 1;
+        if self.enabled {
+            self.spans.push(Span {
+                id,
+                parent,
+                category,
+                actor: actor.into(),
+                name: name.into(),
+                start: time,
+                end: None,
+                attrs: Vec::new(),
+            });
+        }
+        id
+    }
+
+    /// Closes a span at `time`. Closing an unknown or already-closed span is
+    /// a no-op (the id may belong to a disabled period).
+    pub fn close(&mut self, id: SpanId, time: SimTime) {
+        if let Some(i) = self.index_of(id) {
+            let span = &mut self.spans[i];
+            if span.end.is_none() {
+                span.end = Some(time.max(span.start));
+            }
+        }
+    }
+
+    /// Appends a key-value attribute to a span (no-op for unknown ids).
+    pub fn set_attr(&mut self, id: SpanId, key: impl Into<String>, value: impl Into<String>) {
+        if let Some(i) = self.index_of(id) {
+            self.spans[i].attrs.push((key.into(), value.into()));
+        }
+    }
+
+    fn index_of(&self, id: SpanId) -> Option<usize> {
+        self.spans.binary_search_by_key(&id, |s| s.id).ok()
+    }
+
+    /// Span by id, if retained.
+    pub fn get(&self, id: SpanId) -> Option<&Span> {
+        self.index_of(id).map(|i| &self.spans[i])
+    }
+
+    /// All spans in id (= creation) order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Spans of one category.
+    pub fn of(&self, category: TraceCategory) -> impl Iterator<Item = &Span> {
+        self.spans.iter().filter(move |s| s.category == category)
+    }
+
+    /// Direct children of a span.
+    pub fn children_of(&self, id: SpanId) -> impl Iterator<Item = &Span> {
+        self.spans.iter().filter(move |s| s.parent == Some(id))
+    }
+
+    /// The chain from `id` up to its root, leaf first. Empty for unknown ids.
+    pub fn chain(&self, id: SpanId) -> Vec<&Span> {
+        let mut out = Vec::new();
+        let mut cur = self.get(id);
+        // Parent ids are strictly smaller than child ids (allocation order),
+        // so the walk is bounded and cycle-free by construction; the budget
+        // guards against a corrupted store anyway.
+        let mut budget = self.spans.len() + 1;
+        while let Some(span) = cur {
+            out.push(span);
+            if budget == 0 {
+                break;
+            }
+            budget -= 1;
+            cur = span.parent.and_then(|p| self.get(p));
+        }
+        out
+    }
+
+    /// The root ancestor of a span (itself, if parentless).
+    pub fn root_of(&self, id: SpanId) -> Option<SpanId> {
+        self.chain(id).last().map(|s| s.id)
+    }
+
+    /// Whether the span or any of its ancestors has the given category.
+    pub fn has_ancestor_category(&self, id: SpanId, category: TraceCategory) -> bool {
+        self.chain(id).iter().any(|s| s.category == category)
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Renders the span forest as an indented tree, roots in id order.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        for root in self.spans.iter().filter(|s| s.parent.is_none()) {
+            self.render_subtree(root, 0, &mut out);
+        }
+        out
+    }
+
+    fn render_subtree(&self, span: &Span, depth: usize, out: &mut String) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&format!(
+            "[{}] {} {} {} ({})\n",
+            span.start, span.id, span.category, span.name, span.actor
+        ));
+        for child in self.children_of(span.id) {
+            self.render_subtree(child, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn ids_are_monotonic_from_one() {
+        let mut log = SpanLog::new();
+        let a = log.open(t(0), TraceCategory::Infection, "h", "a", None);
+        let b = log.open(t(1), TraceCategory::Net, "h", "b", None);
+        assert_eq!(a.as_u64(), 1);
+        assert_eq!(b.as_u64(), 2);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn parent_child_chain_and_root() {
+        let mut log = SpanLog::new();
+        let root = log.open(t(0), TraceCategory::Infection, "host:a", "infection", None);
+        let c2 = log.open(t(5), TraceCategory::CommandControl, "host:a", "beacon", Some(root));
+        let ex = log.open(t(6), TraceCategory::Exfiltration, "host:a", "upload", Some(c2));
+        let chain: Vec<u64> = log.chain(ex).iter().map(|s| s.id.as_u64()).collect();
+        assert_eq!(chain, vec![3, 2, 1], "leaf first, root last");
+        assert_eq!(log.root_of(ex), Some(root));
+        assert!(log.has_ancestor_category(ex, TraceCategory::Infection));
+        assert!(!log.has_ancestor_category(ex, TraceCategory::Destruction));
+        assert_eq!(log.children_of(root).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "never allocated")]
+    fn unknown_parent_panics() {
+        let mut log = SpanLog::new();
+        log.open(t(0), TraceCategory::Os, "h", "x", Some(SpanId(9)));
+    }
+
+    #[test]
+    fn close_sets_end_once_and_never_before_start() {
+        let mut log = SpanLog::new();
+        let s = log.open(t(10), TraceCategory::Os, "h", "x", None);
+        log.close(s, t(5));
+        assert_eq!(log.get(s).unwrap().end, Some(t(10)), "end clamps to start");
+        log.close(s, t(99));
+        assert_eq!(log.get(s).unwrap().end, Some(t(10)), "second close is a no-op");
+    }
+
+    #[test]
+    fn attrs_append_in_order() {
+        let mut log = SpanLog::new();
+        let s = log.open(t(0), TraceCategory::Scada, "plant:p", "implant", None);
+        log.set_attr(s, "blocks", "2");
+        log.set_attr(s, "bus", "profibus");
+        let span = log.get(s).unwrap();
+        assert_eq!(span.attr("blocks"), Some("2"));
+        assert_eq!(span.attr("bus"), Some("profibus"));
+        assert_eq!(span.attr("absent"), None);
+    }
+
+    #[test]
+    fn disabled_log_still_allocates_deterministic_ids() {
+        let mut log = SpanLog::disabled();
+        let a = log.open(t(0), TraceCategory::Infection, "h", "a", None);
+        let b = log.open(t(0), TraceCategory::Infection, "h", "b", Some(a));
+        assert_eq!(a.as_u64(), 1);
+        assert_eq!(b.as_u64(), 2);
+        assert!(log.is_empty());
+        assert_eq!(log.get(a), None);
+        // Close/attr on unretained spans are harmless.
+        log.close(b, t(1));
+        log.set_attr(b, "k", "v");
+    }
+
+    #[test]
+    fn render_tree_indents_children() {
+        let mut log = SpanLog::new();
+        let root = log.open(t(0), TraceCategory::Infection, "host:a", "infection", None);
+        log.open(t(1), TraceCategory::CommandControl, "host:a", "beacon", Some(root));
+        let s = log.render_tree();
+        assert!(s.contains("infection"));
+        assert!(s.contains("  [") && s.contains("beacon"), "child line is indented: {s}");
+    }
+}

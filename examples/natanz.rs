@@ -4,14 +4,39 @@
 //! operator and safety system seeing nothing.
 //!
 //! Run with: `cargo run --example natanz`
+//!
+//! Options:
+//! * `--trace-out <path>` — write the run as a Chrome trace-event JSON file
+//!   (load it at `ui.perfetto.dev`); byte-identical across runs and thread
+//!   counts for the same seed.
+//! * `--jsonl-out <path>` — write the span/event stream as JSONL.
+//! * `--profile` — print the scheduler's dispatch-profiling summary.
 
 use malsim::prelude::*;
 
 fn main() {
+    let mut trace_out: Option<String> = None;
+    let mut jsonl_out: Option<String> = None;
+    let mut profile = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace-out" => trace_out = Some(args.next().expect("--trace-out takes a path")),
+            "--jsonl-out" => jsonl_out = Some(args.next().expect("--jsonl-out takes a path")),
+            "--profile" => profile = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: natanz [--trace-out <path>] [--jsonl-out <path>] [--profile]");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let seed = 2010;
     let days = 30;
     println!("running the end-to-end Stuxnet chain (seed {seed}, {days} simulated days)...\n");
-    let r = experiments::e1_stuxnet_end_to_end(seed, days);
+    let run = experiments::e1_stuxnet_end_to_end_run(seed, days, profile);
+    let experiments::E1Run { result: r, world: _, mut sim } = run;
 
     let mut table = Table::new(vec!["quantity".into(), "value".into()]);
     table.row(vec!["infected hosts (office + station)".into(), r.infected_hosts.to_string()]);
@@ -30,6 +55,31 @@ fn main() {
     println!("- the 1410/2/1064 Hz cycling destroyed the cascade;");
     println!("- record/replay telemetry kept the operator view and the digital");
     println!("  safety system reading normal values throughout.");
+
+    // The causal view: every destruction span walked back to its root
+    // infection via parent links.
+    let chains = causal_chains(&sim.spans);
+    if !chains.is_empty() {
+        println!("\ncausal chains (leaf <= ... <= root infection):");
+        print!("{chains}");
+    }
+
+    if let Some(path) = &trace_out {
+        let doc = export::chrome_trace(&sim.trace, &sim.spans);
+        export::validate_chrome_trace(&doc).expect("exporter emits schema-valid documents");
+        std::fs::write(path, doc.to_canonical_string()).expect("write --trace-out file");
+        println!("\nwrote Perfetto-loadable trace to {path}");
+    }
+    if let Some(path) = &jsonl_out {
+        std::fs::write(path, export::jsonl(&sim.trace, &sim.spans)).expect("write --jsonl-out file");
+        println!("wrote JSONL feed to {path}");
+    }
+    if profile {
+        if let Some(summary) = sim.finish_profile() {
+            println!("\nscheduler profile:");
+            print!("{}", summary.render());
+        }
+    }
 
     // The targeting control: the same infection against a wrong-vendor plant.
     println!("\ntargeting discipline (E3):");

@@ -5,17 +5,21 @@
 //! (DNS records plus permanent fault-plane windows) and reports direct vs
 //! USB-ferried exfiltration volume per week.
 //!
-//! Usage: `cargo run --release --example takedown_resilience [seed] [clients] [days] [threads]`
+//! Usage: `cargo run --release --example takedown_resilience [seed] [clients] [days] [threads] [--profile]`
 //!
 //! The sweep runs its fractions through the parallel runner; `threads`
 //! (default: `MALSIM_THREADS`, else the machine's core count) is a pure
-//! throughput knob — output is byte-identical at any value.
+//! throughput knob — output is byte-identical at any value. `--profile`
+//! additionally prints the scheduler's min/median/max dispatch roll-up
+//! across the grid (host-clock timings; they never change the rows).
 
-use malsim::experiments::{e13_takedown_resilience_t, grids};
+use malsim::experiments::{e13_takedown_resilience_profiled_t, e13_takedown_resilience_t, grids};
 use malsim::sweep;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let profile = raw.iter().any(|a| a == "--profile");
+    let mut args = raw.iter().filter(|a| *a != "--profile");
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(11);
     let clients: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
     let days: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(7);
@@ -25,8 +29,15 @@ fn main() {
         "E13 — takedown resilience (seed {seed}, {clients} clients, {days} days, {threads} worker thread(s))"
     );
     println!();
+    let (rows, profiles) = if profile {
+        let (rows, profiles) =
+            e13_takedown_resilience_profiled_t(seed, clients, days, grids::E13_SINKHOLE_FRACTIONS, threads);
+        (rows, Some(profiles))
+    } else {
+        (e13_takedown_resilience_t(seed, clients, days, grids::E13_SINKHOLE_FRACTIONS, threads), None)
+    };
     println!("sinkholed  servers  domains  reachable  direct MB/wk  ferried MB/wk  total MB/wk  backlog");
-    for r in e13_takedown_resilience_t(seed, clients, days, grids::E13_SINKHOLE_FRACTIONS, threads) {
+    for r in rows {
         println!(
             "{:>9.2}  {:>7}  {:>7}  {:>9.2}  {:>12.1}  {:>13.1}  {:>11.1}  {:>7}",
             r.sinkhole_fraction,
@@ -42,4 +53,9 @@ fn main() {
     println!();
     println!("Direct volume degrades as servers fall; the hidden-USB ferry recovers");
     println!("blocked clients' documents at every fraction below 1.0 (backlog 0).");
+
+    if let Some(profiles) = profiles {
+        println!();
+        print!("{}", sweep::profile_rollup(&profiles).render());
+    }
 }

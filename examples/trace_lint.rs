@@ -1,0 +1,55 @@
+//! Schema lint for exported Chrome traces: re-parses a `--trace-out` file
+//! through the strict canonical-JSON parser and validates the trace-event
+//! shape, exiting non-zero on any drift.
+//!
+//! CI runs this against a freshly exported trace so the exporter and the
+//! parser can never silently diverge:
+//!
+//! ```text
+//! cargo run --example natanz -- --trace-out /tmp/t.json
+//! cargo run --example trace_lint -- /tmp/t.json
+//! ```
+
+use malsim::export;
+use malsim::report;
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: trace_lint <trace.json>");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_lint: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let doc = match report::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("trace_lint: {path} is not canonical JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = export::validate_chrome_trace(&doc) {
+        eprintln!("trace_lint: {path} violates the trace-event schema: {e}");
+        std::process::exit(1);
+    }
+    // Round-trip stability: the canonical writer must reproduce the file.
+    if doc.to_canonical_string() != text {
+        eprintln!("trace_lint: {path} is not in canonical form (serialize∘parse drifted)");
+        std::process::exit(1);
+    }
+    let events = match &doc {
+        report::Json::Obj(top) => top.iter().find(|(k, _)| k == "traceEvents").map_or(0, |(_, v)| {
+            if let report::Json::Arr(a) = v {
+                a.len()
+            } else {
+                0
+            }
+        }),
+        _ => 0,
+    };
+    println!("trace_lint: {path} ok ({events} trace events)");
+}
