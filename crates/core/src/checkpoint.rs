@@ -1,0 +1,660 @@
+//! Sweep checkpointing: append-only per-point records and exact resume.
+//!
+//! A supervised sweep appends one line to a checkpoint file (`sweep.ckpt`)
+//! after each point finishes — compact canonical JSON (the
+//! [`report`](crate::report) writer, so `serialize ∘ parse` is the identity)
+//! carrying the point's status, its result row, an FNV-1a hash of that row,
+//! and any invariant violations. A later `--resume` run replays the file,
+//! verifies each record's hash, keeps the completed and truncated points,
+//! and re-runs only the missing or poisoned ones.
+//!
+//! **Resume contract:** for a fixed `(experiment, base_seed, grid,
+//! supervisor)` with only deterministic limits in force, the final
+//! [`SweepOutcomes::report`] is byte-identical whether the sweep ran
+//! uninterrupted or was killed and resumed any number of times, at any
+//! `MALSIM_THREADS` setting. This holds because each point is a pure
+//! function of its [`SweepCtx`] and the report is assembled in point order
+//! from (checkpointed ∪ re-run) results, never from file order.
+//!
+//! Loading is lenient where an interrupted writer can leave damage (a torn
+//! final line, a corrupted record) — those lines are counted in
+//! [`Manifest::skipped_lines`] and the affected points simply re-run — and
+//! strict where silence would be wrong: records from a different experiment
+//! or base seed fail loudly with [`CheckpointError::WrongSweep`].
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::report::{self, Json};
+use crate::sweep::{self, PointOutcome, PointRun, SweepCtx, SweepSupervisor};
+
+/// FNV-1a 64-bit hash (the checkpoint record integrity check).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Errors from checkpoint persistence and resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The checkpoint file could not be created, read, or appended to.
+    Io {
+        /// The checkpoint path involved.
+        path: PathBuf,
+        /// The underlying I/O error, rendered.
+        detail: String,
+    },
+    /// The checkpoint belongs to a different sweep — resuming would splice
+    /// unrelated results into the report.
+    WrongSweep {
+        /// The checkpoint path involved.
+        path: PathBuf,
+        /// The `(experiment, base_seed)` this run expected.
+        expected: String,
+        /// The identity found in the file.
+        found: String,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io { path, detail } => {
+                write!(f, "checkpoint i/o error on {}: {detail}", path.display())
+            }
+            CheckpointError::WrongSweep { path, expected, found } => {
+                write!(
+                    f,
+                    "checkpoint {} belongs to a different sweep: expected {expected}, found {found}",
+                    path.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Terminal status of one checkpointed point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointStatus {
+    /// The point ran to completion.
+    Completed,
+    /// The watchdog cut the point short; the row is partial but consistent.
+    Truncated,
+    /// Every attempt panicked; there is no row. Poisoned points re-run on
+    /// resume.
+    Poisoned,
+}
+
+impl PointStatus {
+    /// Stable lower-case label used in records and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PointStatus::Completed => "completed",
+            PointStatus::Truncated => "truncated",
+            PointStatus::Poisoned => "poisoned",
+        }
+    }
+
+    fn from_label(label: &str) -> Option<PointStatus> {
+        match label {
+            "completed" => Some(PointStatus::Completed),
+            "truncated" => Some(PointStatus::Truncated),
+            "poisoned" => Some(PointStatus::Poisoned),
+            _ => None,
+        }
+    }
+}
+
+/// One point's durable record: everything needed to reconstruct its slot in
+/// the final report without re-running it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointRecord {
+    /// Zero-based grid index.
+    pub point: usize,
+    /// Terminal status.
+    pub status: PointStatus,
+    /// Watchdog truncation label (see
+    /// [`Truncation::label`](crate::sweep::Truncation::label)), if truncated.
+    pub truncation: Option<String>,
+    /// The point's result row; `None` for poisoned points.
+    pub row: Option<Json>,
+    /// Rendered panic payload, for poisoned points.
+    pub panic_msg: Option<String>,
+    /// `Debug` rendering of the point's parameters, for poisoned points.
+    pub params: Option<String>,
+    /// Rendered invariant violations observed during the point.
+    pub violations: Vec<String>,
+}
+
+impl CheckpointRecord {
+    fn to_json(&self, experiment: &str, base_seed: u64) -> Json {
+        let (row, hash) = match &self.row {
+            Some(row) => (row.clone(), format!("{:016x}", fnv1a64(row.to_compact_string().as_bytes()))),
+            None => (Json::Null, String::new()),
+        };
+        Json::obj([
+            ("experiment", experiment.into()),
+            ("base_seed", Json::U64(base_seed)),
+            ("point", Json::U64(self.point as u64)),
+            ("status", self.status.label().into()),
+            ("truncation", self.truncation.clone().into()),
+            ("hash", hash.into()),
+            ("row", row),
+            ("panic_msg", self.panic_msg.clone().into()),
+            ("params", self.params.clone().into()),
+            ("violations", Json::Arr(self.violations.iter().map(|v| v.as_str().into()).collect())),
+        ])
+    }
+
+    /// Parses one checkpoint line. `Ok(None)` means the line is damaged or
+    /// stale (skip and re-run the point); `Err` means it belongs to another
+    /// sweep entirely.
+    fn from_line(
+        line: &str,
+        path: &Path,
+        experiment: &str,
+        base_seed: u64,
+    ) -> Result<Option<CheckpointRecord>, CheckpointError> {
+        let Ok(v) = report::parse(line) else { return Ok(None) };
+        let (Some(exp), Some(seed)) =
+            (v.get("experiment").and_then(Json::as_str), v.get("base_seed").and_then(Json::as_u64))
+        else {
+            return Ok(None);
+        };
+        if exp != experiment || seed != base_seed {
+            return Err(CheckpointError::WrongSweep {
+                path: path.to_owned(),
+                expected: format!("({experiment}, seed {base_seed})"),
+                found: format!("({exp}, seed {seed})"),
+            });
+        }
+        let (Some(point), Some(status), Some(hash)) = (
+            v.get("point").and_then(Json::as_u64),
+            v.get("status").and_then(Json::as_str).and_then(PointStatus::from_label),
+            v.get("hash").and_then(Json::as_str),
+        ) else {
+            return Ok(None);
+        };
+        let row = match v.get("row") {
+            Some(Json::Null) | None => None,
+            Some(row) => Some(row.clone()),
+        };
+        // Integrity gate: a record whose row does not hash to its recorded
+        // digest (torn write, manual edit) is treated as absent.
+        let hash_ok = match &row {
+            Some(row) => hash == format!("{:016x}", fnv1a64(row.to_compact_string().as_bytes())),
+            None => hash.is_empty(),
+        };
+        if !hash_ok {
+            return Ok(None);
+        }
+        let strings = |key: &str| -> Vec<String> {
+            match v.get(key) {
+                Some(Json::Arr(items)) => items.iter().filter_map(Json::as_str).map(str::to_owned).collect(),
+                _ => Vec::new(),
+            }
+        };
+        Ok(Some(CheckpointRecord {
+            point: point as usize,
+            status,
+            truncation: v.get("truncation").and_then(Json::as_str).map(str::to_owned),
+            row,
+            panic_msg: v.get("panic_msg").and_then(Json::as_str).map(str::to_owned),
+            params: v.get("params").and_then(Json::as_str).map(str::to_owned),
+            violations: strings("violations"),
+        }))
+    }
+}
+
+/// The usable content of a checkpoint file after a lenient replay.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Manifest {
+    /// Last valid record per point index.
+    pub records: BTreeMap<usize, CheckpointRecord>,
+    /// Lines that were torn, corrupt, or failed their hash check.
+    pub skipped_lines: usize,
+}
+
+impl Manifest {
+    /// Replays `path`. A missing file is an empty manifest (fresh start);
+    /// damaged lines are skipped and counted; a record from a different
+    /// `(experiment, base_seed)` is a hard [`CheckpointError::WrongSweep`].
+    pub fn load(path: &Path, experiment: &str, base_seed: u64) -> Result<Manifest, CheckpointError> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Manifest::default()),
+            Err(e) => return Err(CheckpointError::Io { path: path.to_owned(), detail: e.to_string() }),
+        };
+        let mut manifest = Manifest::default();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match CheckpointRecord::from_line(line, path, experiment, base_seed)? {
+                Some(rec) => {
+                    manifest.records.insert(rec.point, rec);
+                }
+                None => manifest.skipped_lines += 1,
+            }
+        }
+        Ok(manifest)
+    }
+}
+
+/// Append-only checkpoint writer, safe to share across sweep workers.
+///
+/// The file lock is held only while serialising one already-computed record
+/// — never across user code — so a panicking point cannot poison it.
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    path: PathBuf,
+    file: Mutex<std::fs::File>,
+}
+
+impl CheckpointWriter {
+    /// Creates (or truncates) the checkpoint file for a fresh sweep.
+    pub fn create(path: &Path) -> Result<CheckpointWriter, CheckpointError> {
+        let file = std::fs::File::create(path)
+            .map_err(|e| CheckpointError::Io { path: path.to_owned(), detail: e.to_string() })?;
+        Ok(CheckpointWriter { path: path.to_owned(), file: Mutex::new(file) })
+    }
+
+    /// Opens the checkpoint file for appending (creating it if missing), for
+    /// a resumed sweep.
+    pub fn append(path: &Path) -> Result<CheckpointWriter, CheckpointError> {
+        let file = std::fs::File::options()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| CheckpointError::Io { path: path.to_owned(), detail: e.to_string() })?;
+        Ok(CheckpointWriter { path: path.to_owned(), file: Mutex::new(file) })
+    }
+
+    /// Appends one record as a single compact-JSON line and flushes, so a
+    /// `SIGKILL` can tear at most the line in flight.
+    pub fn record(
+        &self,
+        experiment: &str,
+        base_seed: u64,
+        rec: &CheckpointRecord,
+    ) -> Result<(), CheckpointError> {
+        let line = rec.to_json(experiment, base_seed).to_compact_string();
+        let io = |e: std::io::Error| CheckpointError::Io { path: self.path.clone(), detail: e.to_string() };
+        let mut file = self.file.lock().expect("checkpoint lock never held across user code");
+        writeln!(file, "{line}").map_err(io)?;
+        file.flush().map_err(io)
+    }
+}
+
+/// One point's slot in the final sweep report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointReport {
+    /// The durable fields (shared with the checkpoint record).
+    pub record: CheckpointRecord,
+    /// Whether this slot was restored from the checkpoint rather than run
+    /// in this invocation. Not part of the report payload.
+    pub resumed: bool,
+}
+
+/// Everything a checkpointed sweep produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcomes {
+    /// Stable experiment label.
+    pub experiment: &'static str,
+    /// The sweep's base seed.
+    pub base_seed: u64,
+    /// Per-point results in point order.
+    pub points: Vec<PointReport>,
+    /// How many points were restored from the checkpoint.
+    pub resumed_points: usize,
+    /// Damaged checkpoint lines that were skipped during load.
+    pub skipped_lines: usize,
+}
+
+impl SweepOutcomes {
+    fn count(&self, status: PointStatus) -> usize {
+        self.points.iter().filter(|p| p.record.status == status).count()
+    }
+
+    /// The sweep report. Contains only deterministic, run-history-free data
+    /// (no attempt counts, no resumed-from markers), so an interrupted-and-
+    /// resumed sweep renders byte-identically to an uninterrupted one.
+    pub fn report(&self) -> Json {
+        let rows = self
+            .points
+            .iter()
+            .map(|p| {
+                let r = &p.record;
+                Json::obj([
+                    ("point", Json::U64(r.point as u64)),
+                    ("status", r.status.label().into()),
+                    ("truncation", r.truncation.clone().into()),
+                    ("row", r.row.clone().unwrap_or(Json::Null)),
+                    ("panic_msg", r.panic_msg.clone().into()),
+                    ("params", r.params.clone().into()),
+                    ("violations", Json::Arr(r.violations.iter().map(|v| v.as_str().into()).collect())),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("experiment", self.experiment.into()),
+            ("base_seed", Json::U64(self.base_seed)),
+            ("points", Json::U64(self.points.len() as u64)),
+            ("completed", Json::U64(self.count(PointStatus::Completed) as u64)),
+            ("truncated", Json::U64(self.count(PointStatus::Truncated) as u64)),
+            ("poisoned", Json::U64(self.count(PointStatus::Poisoned) as u64)),
+            ("rows", Json::Arr(rows)),
+        ])
+    }
+}
+
+/// Configuration for [`run_checkpointed`].
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointConfig<'a> {
+    /// Stable experiment label; part of every record's identity.
+    pub experiment: &'static str,
+    /// The sweep's base seed; part of every record's identity.
+    pub base_seed: u64,
+    /// Worker-thread cap (see [`sweep::run`]).
+    pub threads: usize,
+    /// Per-point supervision policy.
+    pub supervisor: SweepSupervisor,
+    /// The checkpoint file.
+    pub path: &'a Path,
+    /// Resume from `path` instead of truncating it.
+    pub resume: bool,
+}
+
+fn outcome_record(point: usize, outcome: PointOutcome<Json>) -> CheckpointRecord {
+    match outcome {
+        PointOutcome::Completed { run, .. } => {
+            let PointRun { result, truncation, violations } = run;
+            CheckpointRecord {
+                point,
+                status: if truncation.is_some() { PointStatus::Truncated } else { PointStatus::Completed },
+                truncation: truncation.map(|t| t.label().to_owned()),
+                row: Some(result),
+                panic_msg: None,
+                params: None,
+                violations: violations.iter().map(|v| v.to_string()).collect(),
+            }
+        }
+        PointOutcome::Poisoned { panic_msg, params, .. } => CheckpointRecord {
+            point,
+            status: PointStatus::Poisoned,
+            truncation: None,
+            row: None,
+            panic_msg: Some(panic_msg),
+            params: Some(params),
+            violations: Vec::new(),
+        },
+    }
+}
+
+/// Runs a supervised sweep with per-point checkpointing (and, with
+/// `cfg.resume`, exact resume — see the module docs for the contract).
+///
+/// `run_point` receives the **original** grid index in its [`SweepCtx`] even
+/// on a resumed run that only re-runs a subset, so per-point seeds never
+/// shift. It returns the point's report row as [`Json`] inside a
+/// [`PointRun`]; panics are quarantined per the supervisor's retry budget.
+pub fn run_checkpointed<P, F>(
+    cfg: &CheckpointConfig<'_>,
+    points: &[P],
+    run_point: F,
+) -> Result<SweepOutcomes, CheckpointError>
+where
+    P: Sync + std::fmt::Debug,
+    F: Fn(&SweepCtx, &P) -> PointRun<Json> + Sync,
+{
+    let manifest = if cfg.resume {
+        Manifest::load(cfg.path, cfg.experiment, cfg.base_seed)?
+    } else {
+        Manifest::default()
+    };
+    let mut slots: BTreeMap<usize, PointReport> = BTreeMap::new();
+    for (&idx, rec) in &manifest.records {
+        // Poisoned points re-run; records beyond the grid (a shrunk sweep)
+        // are ignored.
+        if idx < points.len() && rec.status != PointStatus::Poisoned {
+            slots.insert(idx, PointReport { record: rec.clone(), resumed: true });
+        }
+    }
+    let resumed_points = slots.len();
+
+    let todo: Vec<(usize, &P)> = points.iter().enumerate().filter(|(i, _)| !slots.contains_key(i)).collect();
+    let writer =
+        if cfg.resume { CheckpointWriter::append(cfg.path)? } else { CheckpointWriter::create(cfg.path)? };
+    let supervisor = cfg.supervisor;
+    let fresh = sweep::run(cfg.experiment, cfg.base_seed, &todo, cfg.threads, |_, &(orig, p)| {
+        let ctx = SweepCtx { experiment: cfg.experiment, point: orig, base_seed: cfg.base_seed };
+        let record = outcome_record(orig, sweep::supervised_point(&ctx, &supervisor, p, &run_point));
+        let written = writer.record(cfg.experiment, cfg.base_seed, &record);
+        (record, written)
+    });
+    for (record, written) in fresh {
+        written?;
+        slots.insert(record.point, PointReport { record, resumed: false });
+    }
+
+    Ok(SweepOutcomes {
+        experiment: cfg.experiment,
+        base_seed: cfg.base_seed,
+        points: slots.into_values().collect(),
+        resumed_points,
+        skipped_lines: manifest.skipped_lines,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("malsim-ckpt-{tag}-{}.ckpt", std::process::id()))
+    }
+
+    fn row(point: usize) -> Json {
+        Json::obj([("point", Json::U64(point as u64)), ("value", Json::U64(point as u64 * 10))])
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn records_round_trip_through_the_file() {
+        let path = temp_path("roundtrip");
+        let writer = CheckpointWriter::create(&path).unwrap();
+        let recs = [
+            CheckpointRecord {
+                point: 0,
+                status: PointStatus::Completed,
+                truncation: None,
+                row: Some(row(0)),
+                panic_msg: None,
+                params: None,
+                violations: vec![],
+            },
+            CheckpointRecord {
+                point: 1,
+                status: PointStatus::Truncated,
+                truncation: Some("event_budget".into()),
+                row: Some(row(1)),
+                panic_msg: None,
+                params: None,
+                violations: vec!["invariant 'x' violated".into()],
+            },
+            CheckpointRecord {
+                point: 2,
+                status: PointStatus::Poisoned,
+                truncation: None,
+                row: None,
+                panic_msg: Some("boom".into()),
+                params: Some("2".into()),
+                violations: vec![],
+            },
+        ];
+        for rec in &recs {
+            writer.record("test", 7, rec).unwrap();
+        }
+        let manifest = Manifest::load(&path, "test", 7).unwrap();
+        assert_eq!(manifest.skipped_lines, 0);
+        assert_eq!(manifest.records.len(), 3);
+        for rec in &recs {
+            assert_eq!(manifest.records[&rec.point], *rec);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn damaged_lines_are_skipped_and_last_record_wins() {
+        let path = temp_path("damaged");
+        let writer = CheckpointWriter::create(&path).unwrap();
+        let mut rec = CheckpointRecord {
+            point: 0,
+            status: PointStatus::Completed,
+            truncation: None,
+            row: Some(row(0)),
+            panic_msg: None,
+            params: None,
+            violations: vec![],
+        };
+        writer.record("test", 7, &rec).unwrap();
+        rec.row = Some(row(5));
+        writer.record("test", 7, &rec).unwrap();
+        // A torn final line and a hash-tampered record.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        let tampered = text.replace("\"value\":50", "\"value\":51");
+        assert_ne!(tampered, text, "tamper target must exist");
+        text.push_str("{\"experiment\":\"test\",\"base_se");
+        std::fs::write(&path, &text).unwrap();
+
+        let manifest = Manifest::load(&path, "test", 7).unwrap();
+        assert_eq!(manifest.skipped_lines, 1, "the torn line");
+        assert_eq!(manifest.records[&0].row, Some(row(5)), "last valid record wins");
+
+        std::fs::write(&path, &tampered).unwrap();
+        let manifest = Manifest::load(&path, "test", 7).unwrap();
+        assert_eq!(manifest.skipped_lines, 1, "hash mismatch drops the record");
+        assert_eq!(manifest.records[&0].row, Some(row(0)), "first record survives");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_sweep_is_a_hard_error() {
+        let path = temp_path("wrong");
+        let writer = CheckpointWriter::create(&path).unwrap();
+        let rec = CheckpointRecord {
+            point: 0,
+            status: PointStatus::Completed,
+            truncation: None,
+            row: Some(row(0)),
+            panic_msg: None,
+            params: None,
+            violations: vec![],
+        };
+        writer.record("test", 7, &rec).unwrap();
+        let err = Manifest::load(&path, "test", 8).unwrap_err();
+        assert!(matches!(err, CheckpointError::WrongSweep { .. }), "{err}");
+        assert!(err.to_string().contains("different sweep"), "{err}");
+        let err = Manifest::load(&path, "other", 7).unwrap_err();
+        assert!(matches!(err, CheckpointError::WrongSweep { .. }), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_manifest() {
+        let manifest = Manifest::load(Path::new("/nonexistent/never/sweep.ckpt"), "test", 7).unwrap();
+        assert_eq!(manifest, Manifest::default());
+    }
+
+    #[test]
+    fn checkpointed_sweep_resumes_exactly() {
+        let points: Vec<u64> = (0..6).collect();
+        let eval = |ctx: &SweepCtx, &p: &u64| {
+            PointRun::complete(Json::obj([("param", Json::U64(p)), ("seed", Json::U64(ctx.derived_seed()))]))
+        };
+        let full_path = temp_path("resume-full");
+        let cfg = CheckpointConfig {
+            experiment: "resume",
+            base_seed: 11,
+            threads: 2,
+            supervisor: SweepSupervisor::default(),
+            path: &full_path,
+            resume: false,
+        };
+        let full = run_checkpointed(&cfg, &points, eval).unwrap();
+        let full_report = full.report().to_canonical_string();
+
+        // Keep only the first 3 checkpoint lines, as if killed mid-grid.
+        let partial_path = temp_path("resume-partial");
+        let full_text = std::fs::read_to_string(&full_path).unwrap();
+        let lines: Vec<&str> = full_text.lines().take(3).collect();
+        std::fs::write(&partial_path, format!("{}\n", lines.join("\n"))).unwrap();
+
+        for threads in [1, 2, 8] {
+            let seed_path = temp_path(&format!("resume-t{threads}"));
+            std::fs::copy(&partial_path, &seed_path).unwrap();
+            let resumed = run_checkpointed(
+                &CheckpointConfig { path: &seed_path, resume: true, threads, ..cfg },
+                &points,
+                eval,
+            )
+            .unwrap();
+            assert_eq!(resumed.resumed_points, 3);
+            assert_eq!(
+                resumed.report().to_canonical_string(),
+                full_report,
+                "resume must be byte-identical at threads={threads}"
+            );
+            std::fs::remove_file(&seed_path).unwrap();
+        }
+        std::fs::remove_file(&full_path).unwrap();
+        std::fs::remove_file(&partial_path).unwrap();
+    }
+
+    #[test]
+    fn poisoned_points_rerun_on_resume() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let points: Vec<u64> = (0..3).collect();
+        let path = temp_path("poison-rerun");
+        let fail = AtomicBool::new(true);
+        let eval = |_: &SweepCtx, &p: &u64| {
+            if p == 1 && fail.load(Ordering::SeqCst) {
+                panic!("transient environment failure");
+            }
+            PointRun::complete(Json::U64(p))
+        };
+        let cfg = CheckpointConfig {
+            experiment: "poison",
+            base_seed: 3,
+            threads: 1,
+            supervisor: SweepSupervisor::default(),
+            path: &path,
+            resume: false,
+        };
+        let first = run_checkpointed(&cfg, &points, eval).unwrap();
+        assert_eq!(first.points[1].record.status, PointStatus::Poisoned);
+        assert_eq!(first.points[1].record.panic_msg.as_deref(), Some("transient environment failure"));
+        assert_eq!(first.points[1].record.params.as_deref(), Some("1"));
+
+        fail.store(false, Ordering::SeqCst);
+        let second = run_checkpointed(&CheckpointConfig { resume: true, ..cfg }, &points, eval).unwrap();
+        assert_eq!(second.resumed_points, 2, "completed points are kept");
+        assert_eq!(second.points[1].record.status, PointStatus::Completed, "poisoned point re-ran");
+        assert!(!second.points[1].resumed);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -12,7 +12,8 @@
 //! documented EXPERIMENTS.md scale, serialized to canonical JSON and checked
 //! against `tests/golden/` by `tests/golden_regression.rs`.
 
-use malsim_kernel::sched::ProfileSummary;
+use malsim_kernel::invariant::InvariantViolation;
+use malsim_kernel::sched::{ProfileSummary, Watchdog};
 use malsim_kernel::time::{SimDuration, SimTime};
 use malsim_malware::flame;
 use malsim_malware::flame::candc::StolenData;
@@ -24,9 +25,11 @@ use malsim_os::patches::Bulletin;
 
 use crate::activity;
 use crate::armory::Pki;
+use crate::checkpoint;
 use crate::report::Json;
 use crate::scenario::ScenarioBuilder;
 use crate::sweep;
+use crate::sweep::Truncation;
 
 /// The default parameter grids, shared by the golden registry, the benches,
 /// and the example binaries so they all regenerate the same tables.
@@ -87,10 +90,27 @@ pub fn e1_stuxnet_end_to_end(seed: u64, days: u64) -> E1Result {
 /// scheduler's dispatch profiler (host-clock timings never affect sim
 /// behavior, so the headline row is identical either way).
 pub fn e1_stuxnet_end_to_end_run(seed: u64, days: u64, profile: bool) -> E1Run {
+    e1_stuxnet_end_to_end_checked(seed, days, profile, false).0
+}
+
+/// [`e1_stuxnet_end_to_end_run`] with an optional non-strict runtime
+/// invariant sweep (see [`crate::invariants::install`]): the returned vector
+/// holds every violation observed during the run — empty on a healthy model.
+/// Checking never perturbs the simulation, so the headline row is identical
+/// either way.
+pub fn e1_stuxnet_end_to_end_checked(
+    seed: u64,
+    days: u64,
+    profile: bool,
+    check: bool,
+) -> (E1Run, Vec<InvariantViolation>) {
     let builder = ScenarioBuilder::new(seed);
     let (mut world, mut sim, plant, office, station) = builder.natanz_site(8, 12);
     if profile {
         sim.enable_profiling();
+    }
+    if check {
+        crate::invariants::install(&mut sim, false);
     }
     let pki = Pki::install(&mut world);
     pki.arm_stuxnet(&mut world);
@@ -123,7 +143,8 @@ pub fn e1_stuxnet_end_to_end_run(seed: u64, days: u64, profile: bool) -> E1Run {
         operator_anomalies: plant_ref.operator.anomalies_seen(),
         days_to_first_destruction: first_destruction,
     };
-    E1Run { result, world, sim }
+    let violations = sim.take_violations();
+    (E1Run { result, world, sim }, violations)
 }
 
 /// E2 (§II-A): zero-day ablation — infection fraction vs patch rate.
@@ -806,8 +827,62 @@ pub fn e13_takedown_resilience_profiled_t(
     .unzip()
 }
 
-/// One E13 sweep point. Factored out so the plain and profiled sweeps run
-/// the exact same simulation.
+/// E13 under full supervision: panic isolation with bounded retries, the
+/// per-point watchdog, per-point checkpointing to `opts.ckpt_path`, and
+/// (optionally) the runtime invariant checker — all per
+/// `opts.supervisor`. With `opts.resume`, completed points are restored from
+/// the checkpoint and only missing or poisoned points re-run; the resulting
+/// [`report`](checkpoint::SweepOutcomes::report) is byte-identical to an
+/// uninterrupted run at any thread count (deterministic limits only).
+pub fn e13_takedown_resilience_supervised(
+    seed: u64,
+    clients: usize,
+    days: u64,
+    fractions: &[f64],
+    opts: &SupervisedSweepOpts<'_>,
+) -> Result<checkpoint::SweepOutcomes, checkpoint::CheckpointError> {
+    let cfg = checkpoint::CheckpointConfig {
+        experiment: "e13",
+        base_seed: seed,
+        threads: opts.threads,
+        supervisor: opts.supervisor,
+        path: opts.ckpt_path,
+        resume: opts.resume,
+    };
+    checkpoint::run_checkpointed(&cfg, fractions, |ctx, &frac| {
+        let point_opts = E13PointOptions {
+            profile: false,
+            watchdog: opts.supervisor.watchdog(),
+            check_invariants: opts.supervisor.check_invariants,
+        };
+        let (row, _, truncation, violations) = e13_point_opt(ctx, frac, clients, days, point_opts);
+        sweep::PointRun { result: row.to_json(), truncation, violations }
+    })
+}
+
+/// How [`e13_takedown_resilience_supervised`] should run its sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisedSweepOpts<'a> {
+    /// Worker-thread cap (see [`sweep::run`]).
+    pub threads: usize,
+    /// Per-point supervision policy (retries, watchdog, invariants).
+    pub supervisor: sweep::SweepSupervisor,
+    /// The checkpoint file appended to after every point.
+    pub ckpt_path: &'a std::path::Path,
+    /// Resume from `ckpt_path` instead of truncating it.
+    pub resume: bool,
+}
+
+/// Supervision knobs threaded into one E13 point.
+#[derive(Debug, Clone, Copy, Default)]
+struct E13PointOptions {
+    profile: bool,
+    watchdog: Watchdog,
+    check_invariants: bool,
+}
+
+/// One E13 sweep point. Factored out so the plain, profiled, and supervised
+/// sweeps run the exact same simulation.
 fn e13_point(
     ctx: &sweep::SweepCtx,
     frac: f64,
@@ -815,11 +890,26 @@ fn e13_point(
     days: u64,
     profile: bool,
 ) -> (E13Row, Option<ProfileSummary>) {
+    let (row, summary, _, _) =
+        e13_point_opt(ctx, frac, clients, days, E13PointOptions { profile, ..Default::default() });
+    (row, summary)
+}
+
+fn e13_point_opt(
+    ctx: &sweep::SweepCtx,
+    frac: f64,
+    clients: usize,
+    days: u64,
+    opts: E13PointOptions,
+) -> (E13Row, Option<ProfileSummary>, Option<Truncation>, Vec<InvariantViolation>) {
     use malsim_defense::sinkhole::SinkholeCampaign;
     {
         let (mut world, mut sim) = ScenarioBuilder::new(ctx.base_seed).without_trace().office_lan(clients);
-        if profile {
+        if opts.profile {
             sim.enable_profiling();
+        }
+        if opts.check_invariants {
+            crate::invariants::install(&mut sim, false);
         }
         let pki = Pki::install(&mut world);
         pki.arm_flame(&mut world, &mut sim, 22, 80);
@@ -872,7 +962,8 @@ fn e13_point(
             activity::schedule_usb_courier(&mut sim, usb, route, SimDuration::from_hours(6));
         }
         activity::schedule_flame_operator(&mut sim, SimDuration::from_mins(30));
-        sim.run_until(&mut world, sim.now() + SimDuration::from_days(days));
+        let watched =
+            sim.run_until_watched(&mut world, sim.now() + SimDuration::from_days(days), opts.watchdog);
 
         let platform = world.campaigns.flame_platform.as_ref().expect("armed");
         let direct = sim.metrics.counter("flame.bytes_uploaded") - direct_baseline;
@@ -896,7 +987,8 @@ fn e13_point(
             total_bytes_week: total_entry as f64 * per_week,
             stick_backlog: world.usb_drives[usb].hidden_records().len(),
         };
-        (row, sim.finish_profile())
+        let violations = sim.take_violations();
+        (row, sim.finish_profile(), Truncation::from_stop(watched.reason), violations)
     }
 }
 

@@ -45,23 +45,31 @@
 
 pub mod activity;
 pub mod armory;
+pub mod checkpoint;
+pub mod error;
 pub mod experiments;
 pub mod export;
 pub mod golden;
+pub mod invariants;
 pub mod report;
 pub mod scenario;
 pub mod sweep;
+
+pub use error::Error;
 
 /// Commonly used items across the workspace.
 pub mod prelude {
     pub use crate::activity;
     pub use crate::armory::Pki;
+    pub use crate::checkpoint::{self, CheckpointConfig, SweepOutcomes};
+    pub use crate::error::Error;
     pub use crate::experiments;
     pub use crate::export;
     pub use crate::golden;
+    pub use crate::invariants;
     pub use crate::report::{self, Json};
     pub use crate::scenario::ScenarioBuilder;
-    pub use crate::sweep;
+    pub use crate::sweep::{self, PointOutcome, PointRun, SweepSupervisor, Truncation};
     pub use malsim_analysis::prelude::*;
     pub use malsim_kernel::prelude::*;
     pub use malsim_malware::prelude::*;

@@ -142,6 +142,31 @@ impl Json {
         self.write(&mut s, 0);
         s
     }
+
+    /// Looks up `key` in an object; `None` for other variants or a missing
+    /// key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
 }
 
 impl From<bool> for Json {
@@ -537,5 +562,71 @@ mod tests {
         assert!(parse("nul").is_err());
         assert!(parse("1 2").is_err());
         assert!(parse(r#"{"a" 1}"#).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinities_are_rejected_like_nan() {
+        let _ = Json::F64(f64::INFINITY).to_compact_string();
+    }
+
+    #[test]
+    fn negative_zero_round_trips_canonically() {
+        let v = Json::F64(-0.0);
+        let text = v.to_canonical_string();
+        assert_eq!(text, "-0.0\n", "sign of zero is preserved");
+        let back = parse(&text).unwrap();
+        assert_eq!(back.to_canonical_string(), text, "serialize∘parse keeps the sign");
+        match back {
+            Json::F64(x) => assert!(x == 0.0 && x.is_sign_negative()),
+            other => panic!("expected F64, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extreme_integers_round_trip_exactly() {
+        for v in [Json::U64(u64::MAX), Json::U64(u64::MAX - 1), Json::I64(i64::MIN), Json::I64(-1)] {
+            let text = v.to_canonical_string();
+            assert_eq!(parse(&text).unwrap(), v, "{text}");
+        }
+        // u64::MAX is not representable as f64; it must stay an integer
+        // token, never degrade through a float path.
+        assert_eq!(Json::U64(u64::MAX).to_canonical_string(), format!("{}\n", u64::MAX));
+    }
+
+    #[test]
+    fn accessors_navigate_objects() {
+        let v = sample();
+        assert_eq!(v.get("name").and_then(Json::as_str), Some("e2"));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::U64(7).get("name"), None, "non-objects have no keys");
+        let rows = v.get("rows").unwrap();
+        match rows {
+            Json::Arr(items) => {
+                assert_eq!(items[0].get("infected").and_then(Json::as_u64), Some(39));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert_eq!(Json::Str("7".into()).as_u64(), None);
+        assert_eq!(Json::U64(7).as_str(), None);
+    }
+
+    #[test]
+    fn checkpoint_style_records_round_trip_compactly() {
+        // The shape the checkpoint writer emits: one compact object per line.
+        let rec = Json::obj([
+            ("experiment", "e13".into()),
+            ("base_seed", Json::U64(42)),
+            ("point", Json::U64(3)),
+            ("status", "completed".into()),
+            ("hash", "deadbeefdeadbeef".into()),
+            ("row", Json::obj([("takedown_fraction", 0.5.into()), ("exfil_mb", 12.25.into())])),
+            ("panic_msg", Json::Null),
+            ("violations", Json::Arr(vec![])),
+        ]);
+        let line = rec.to_compact_string();
+        assert!(!line.contains('\n'));
+        assert_eq!(parse(&line).unwrap(), rec);
+        assert_eq!(parse(&line).unwrap().to_compact_string(), line);
     }
 }

@@ -26,6 +26,7 @@ pub struct ScenarioBuilder {
     trace: bool,
     patch_rate: f64,
     advisory_applied: bool,
+    check_invariants: bool,
 }
 
 impl ScenarioBuilder {
@@ -38,6 +39,7 @@ impl ScenarioBuilder {
             trace: true,
             patch_rate: 0.0,
             advisory_applied: false,
+            check_invariants: false,
         }
     }
 
@@ -70,6 +72,18 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Arms the strict runtime invariant checker on the built simulation
+    /// (see [`crate::invariants::install`]): the first violated law panics
+    /// with a rendered report.
+    ///
+    /// Also armed process-wide by the `MALSIM_CHECK_INVARIANTS` environment
+    /// variable, so existing harnesses (goldens, examples) can be swept
+    /// without code changes.
+    pub fn check_invariants(&mut self) -> &mut Self {
+        self.check_invariants = true;
+        self
+    }
+
     fn sim(&self) -> WorldSim {
         let mut sim = WorldSim::new(self.start, self.seed);
         if !self.trace {
@@ -77,6 +91,9 @@ impl ScenarioBuilder {
             // Span ids keep advancing while disabled, so disabled-sweep runs
             // stay id-compatible with traced runs of the same seed.
             sim.spans = SpanLog::disabled();
+        }
+        if self.check_invariants || crate::invariants::check_from_env() {
+            crate::invariants::install(&mut sim, true);
         }
         sim
     }
@@ -249,6 +266,14 @@ mod tests {
         let (_, sim) = ScenarioBuilder::new(1).without_trace().office_lan(1);
         assert!(!sim.trace.is_enabled());
         assert!(!sim.spans.is_enabled());
+    }
+
+    #[test]
+    fn check_invariants_arms_the_checker() {
+        let (_, sim) = ScenarioBuilder::new(1).check_invariants().office_lan(1);
+        assert!(sim.is_checking_invariants());
+        let (_, sim) = ScenarioBuilder::new(1).office_lan(1);
+        assert!(!sim.is_checking_invariants() || crate::invariants::check_from_env());
     }
 
     #[test]

@@ -29,8 +29,9 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use malsim_kernel::invariant::InvariantViolation;
 use malsim_kernel::rng::SimRng;
-use malsim_kernel::sched::ProfileSummary;
+use malsim_kernel::sched::{ProfileSummary, StopReason, Watchdog};
 
 /// The identity of one sweep point: which experiment, which point index, and
 /// the sweep's base seed.
@@ -123,6 +124,205 @@ where
     slots.into_iter().map(|r| r.expect("every sweep point is computed exactly once")).collect()
 }
 
+/// Supervision policy for a sweep: retry budget for panicking points, the
+/// per-point [`Watchdog`] limits, and whether to arm the runtime invariant
+/// checker inside each point's simulation.
+///
+/// The default supervisor imposes nothing: no retries, no limits, checker
+/// off — [`supervised_point`] then only adds panic isolation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepSupervisor {
+    /// How many times a panicking point is re-attempted before it is
+    /// quarantined as [`PointOutcome::Poisoned`].
+    pub retries: u32,
+    /// Deterministic per-point event budget (see [`Watchdog::max_events`]).
+    pub event_budget: Option<u64>,
+    /// Host-clock per-point deadline in milliseconds; nondeterministic, for
+    /// runaway protection only (see [`Watchdog::deadline_ms`]).
+    pub deadline_ms: Option<u64>,
+    /// Arm the kernel invariant checker (non-strict) inside each point.
+    pub check_invariants: bool,
+    /// Host-clock sleep before each point starts, in milliseconds. Zero in
+    /// normal use; nonzero only to widen the kill window in resume drills.
+    pub stagger_ms: u64,
+}
+
+impl SweepSupervisor {
+    /// The per-point watchdog this policy implies.
+    pub fn watchdog(&self) -> Watchdog {
+        Watchdog { max_events: self.event_budget, deadline_ms: self.deadline_ms }
+    }
+}
+
+/// Why a point's simulation was cut short by the watchdog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truncation {
+    /// The deterministic event budget ran out.
+    EventBudget,
+    /// The host-clock deadline passed (nondeterministic).
+    HostDeadline,
+}
+
+impl Truncation {
+    /// Maps a watched run's stop reason; `Completed` is not a truncation.
+    pub fn from_stop(reason: StopReason) -> Option<Truncation> {
+        match reason {
+            StopReason::Completed => None,
+            StopReason::EventBudget => Some(Truncation::EventBudget),
+            StopReason::HostDeadline => Some(Truncation::HostDeadline),
+        }
+    }
+
+    /// Stable lower-case label (`"event_budget"` / `"host_deadline"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Truncation::EventBudget => "event_budget",
+            Truncation::HostDeadline => "host_deadline",
+        }
+    }
+}
+
+/// What one supervised point produced: the experiment's own result plus the
+/// supervision verdicts (was it truncated, what invariants broke).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointRun<R> {
+    /// The experiment's result row for this point (partial if truncated).
+    pub result: R,
+    /// Set when the watchdog cut the point short.
+    pub truncation: Option<Truncation>,
+    /// Invariant violations observed during the point, if the checker ran.
+    pub violations: Vec<InvariantViolation>,
+}
+
+impl<R> PointRun<R> {
+    /// A run that completed untruncated with no violations.
+    pub fn complete(result: R) -> Self {
+        PointRun { result, truncation: None, violations: Vec::new() }
+    }
+}
+
+/// Terminal outcome of one supervised sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointOutcome<R> {
+    /// The point produced a result (possibly truncated) within the retry
+    /// budget.
+    Completed {
+        /// The run's result and supervision verdicts.
+        run: PointRun<R>,
+        /// Attempts consumed, counting the successful one (1 = first try).
+        attempts: u32,
+    },
+    /// Every attempt panicked; the point is quarantined so the rest of the
+    /// grid can complete.
+    Poisoned {
+        /// Rendered panic payload from the final attempt.
+        panic_msg: String,
+        /// The point's derived stream seed, for standalone reproduction.
+        seed: u64,
+        /// Zero-based grid index of the point.
+        point: usize,
+        /// `Debug` rendering of the point's parameters.
+        params: String,
+        /// Attempts consumed (all panicked).
+        attempts: u32,
+    },
+}
+
+impl<R> PointOutcome<R> {
+    /// The completed run, if the point was not poisoned.
+    pub fn run(&self) -> Option<&PointRun<R>> {
+        match self {
+            PointOutcome::Completed { run, .. } => Some(run),
+            PointOutcome::Poisoned { .. } => None,
+        }
+    }
+}
+
+/// Renders a caught panic payload (the `String`/`&str` cases panics almost
+/// always carry).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs one point under the supervisor: optional stagger sleep, then up to
+/// `1 + retries` attempts with each panic caught and the last one quarantined
+/// as [`PointOutcome::Poisoned`].
+///
+/// # Unwind safety
+///
+/// The `catch_unwind` here uses `AssertUnwindSafe`, which is sound under the
+/// sweep contract: `run_point` must be a pure function of `(ctx, point)` that
+/// rebuilds all simulation state from the ctx's seed. The only state crossing
+/// the unwind boundary is shared *immutable* borrows (`point`, the closure's
+/// captures); a panicking attempt can therefore leave nothing half-mutated
+/// for the retry — or any other point — to observe. Closures that mutate
+/// shared state through interior mutability are outside the contract.
+pub fn supervised_point<P, R, F>(
+    ctx: &SweepCtx,
+    supervisor: &SweepSupervisor,
+    point: &P,
+    run_point: &F,
+) -> PointOutcome<R>
+where
+    P: std::fmt::Debug,
+    F: Fn(&SweepCtx, &P) -> PointRun<R>,
+{
+    if supervisor.stagger_ms > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(supervisor.stagger_ms));
+    }
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_point(ctx, point))) {
+            Ok(run) => return PointOutcome::Completed { run, attempts },
+            Err(payload) => {
+                if attempts > supervisor.retries {
+                    return PointOutcome::Poisoned {
+                        panic_msg: panic_message(payload),
+                        seed: ctx.derived_seed(),
+                        point: ctx.point,
+                        params: format!("{point:?}"),
+                        attempts,
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// [`run`] with per-point supervision: a panicking point is retried up to
+/// `supervisor.retries` times and then quarantined as
+/// [`PointOutcome::Poisoned`] instead of aborting the sweep, so the other
+/// `n - 1` points still complete.
+///
+/// `run_point` is responsible for honouring the supervisor's watchdog and
+/// invariant settings when it builds its simulation (see
+/// [`SweepSupervisor::watchdog`]); the runner cannot reach inside a point.
+/// Determinism: outcomes are byte-identical across thread counts exactly as
+/// with [`run`], as long as only deterministic limits (event budget, not
+/// host deadline) are in force.
+pub fn run_supervised<P, R, F>(
+    experiment: &'static str,
+    base_seed: u64,
+    points: &[P],
+    threads: usize,
+    supervisor: &SweepSupervisor,
+    run_point: F,
+) -> Vec<PointOutcome<R>>
+where
+    P: Sync + std::fmt::Debug,
+    R: Send,
+    F: Fn(&SweepCtx, &P) -> PointRun<R> + Sync,
+{
+    run(experiment, base_seed, points, threads, |ctx, p| supervised_point(ctx, supervisor, p, &run_point))
+}
+
 /// Per-category roll-up of one metric across a grid of profiling summaries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RollupRow {
@@ -144,18 +344,37 @@ pub struct ProfileRollup {
     pub rows: Vec<RollupRow>,
     /// Number of grid points rolled up.
     pub points: usize,
+    /// Points excluded because they produced no profile (poisoned, or
+    /// truncated before [`finish_profile`](malsim_kernel::sched::Sim::finish_profile)).
+    /// They are *counted*, never folded in as zeros, so min/median/max reflect
+    /// only real measurements.
+    pub omitted_points: usize,
 }
 
 /// Builds the [`ProfileRollup`] for a sweep's per-point profiling summaries
 /// (as returned by the `_profiled_t` experiment variants).
 pub fn profile_rollup(summaries: &[ProfileSummary]) -> ProfileRollup {
+    rollup_inner(summaries.iter().collect(), 0)
+}
+
+/// [`profile_rollup`] over a supervised grid where some points may have no
+/// summary: `None` entries (failed, poisoned, or truncated points) are
+/// skipped and tallied in [`ProfileRollup::omitted_points`] rather than
+/// skewing every category's min toward zero.
+pub fn profile_rollup_partial(summaries: &[Option<ProfileSummary>]) -> ProfileRollup {
+    let present: Vec<&ProfileSummary> = summaries.iter().flatten().collect();
+    let omitted = summaries.len() - present.len();
+    rollup_inner(present, omitted)
+}
+
+fn rollup_inner(summaries: Vec<&ProfileSummary>, omitted_points: usize) -> ProfileRollup {
     let mut per_cat: BTreeMap<&str, (Vec<u64>, Vec<f64>)> = BTreeMap::new();
-    for summary in summaries {
+    for summary in &summaries {
         for row in &summary.rows {
             per_cat.entry(&row.category).or_default();
         }
     }
-    for summary in summaries {
+    for summary in &summaries {
         for (cat, (events, host_ms)) in per_cat.iter_mut() {
             let row = summary.rows.iter().find(|r| r.category == *cat);
             events.push(row.map_or(0, |r| r.events));
@@ -174,7 +393,7 @@ pub fn profile_rollup(summaries: &[ProfileSummary]) -> ProfileRollup {
             }
         })
         .collect();
-    ProfileRollup { rows, points: summaries.len() }
+    ProfileRollup { rows, points: summaries.len(), omitted_points }
 }
 
 /// Nearest-rank median of a sorted non-empty slice (same convention as
@@ -189,6 +408,10 @@ impl ProfileRollup {
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "scheduler profile across {} sweep points (min / median / max):", self.points);
+        if self.omitted_points > 0 {
+            let _ =
+                writeln!(out, "({} point(s) without a profile omitted from the stats)", self.omitted_points);
+        }
         let width = self.rows.iter().map(|r| r.category.len()).max().unwrap_or(8).max(8);
         let _ = writeln!(out, "{:width$}  {:>27}  {:>30}", "category", "events", "host ms");
         for row in &self.rows {
@@ -291,6 +514,112 @@ mod tests {
         let table = rollup.render();
         assert!(table.contains("3 sweep points"), "{table}");
         assert!(table.contains("net"), "{table}");
+    }
+
+    #[test]
+    fn rollup_partial_counts_omissions_instead_of_zero_filling() {
+        let grid = [Some(summary(&[("net", 10, 1.0)])), None, Some(summary(&[("net", 30, 3.0)])), None];
+        let rollup = profile_rollup_partial(&grid);
+        assert_eq!(rollup.points, 2);
+        assert_eq!(rollup.omitted_points, 2);
+        // The min is a real measurement, not a zero injected by a dead point
+        // (the median of an even count takes the upper of the two middles).
+        assert_eq!(rollup.rows[0].events, (10, 30, 30));
+        let table = rollup.render();
+        assert!(table.contains("2 point(s) without a profile"), "{table}");
+    }
+
+    #[test]
+    fn rollup_of_nothing_is_empty_not_a_panic() {
+        let rollup = profile_rollup_partial(&[None, None]);
+        assert!(rollup.rows.is_empty());
+        assert_eq!(rollup.points, 0);
+        assert_eq!(rollup.omitted_points, 2);
+    }
+
+    #[test]
+    fn poisoned_point_is_quarantined_while_others_complete() {
+        let points: Vec<u32> = (0..8).collect();
+        let supervisor = SweepSupervisor::default();
+        for threads in [1, 2, 8] {
+            let outcomes = run_supervised("quarantine", 3, &points, threads, &supervisor, |ctx, &p| {
+                if p == 5 {
+                    panic!("injected failure at point {p}");
+                }
+                PointRun::complete((ctx.point, p * 10))
+            });
+            assert_eq!(outcomes.len(), 8);
+            for (i, outcome) in outcomes.iter().enumerate() {
+                if i == 5 {
+                    let PointOutcome::Poisoned { panic_msg, seed, point, params, attempts } = outcome else {
+                        panic!("point 5 must be poisoned, got {outcome:?}");
+                    };
+                    assert_eq!(panic_msg, "injected failure at point 5");
+                    let ctx = SweepCtx { experiment: "quarantine", point: 5, base_seed: 3 };
+                    assert_eq!(*seed, ctx.derived_seed());
+                    assert_eq!(*point, 5);
+                    assert_eq!(params, "5");
+                    assert_eq!(*attempts, 1, "no retries configured");
+                } else {
+                    assert_eq!(outcome.run().map(|r| r.result), Some((i, i as u32 * 10)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retry_budget_rescues_flaky_points() {
+        use std::sync::atomic::AtomicU32;
+        let points: Vec<usize> = (0..4).collect();
+        let tries: Vec<AtomicU32> = (0..4).map(|_| AtomicU32::new(0)).collect();
+        let supervisor = SweepSupervisor { retries: 2, ..SweepSupervisor::default() };
+        let outcomes = run_supervised("flaky", 1, &points, 2, &supervisor, |_, &p| {
+            let attempt = tries[p].fetch_add(1, Ordering::SeqCst) + 1;
+            // Point 2 fails twice, then succeeds — within the retry budget.
+            if p == 2 && attempt < 3 {
+                panic!("flaky");
+            }
+            PointRun::complete(p)
+        });
+        match &outcomes[2] {
+            PointOutcome::Completed { run, attempts } => {
+                assert_eq!(run.result, 2);
+                assert_eq!(*attempts, 3);
+            }
+            other => panic!("expected rescue, got {other:?}"),
+        }
+        for (i, outcome) in outcomes.iter().enumerate() {
+            assert_eq!(outcome.run().map(|r| r.result), Some(i));
+        }
+
+        // With a smaller budget the same point stays poisoned.
+        let tries: Vec<AtomicU32> = (0..4).map(|_| AtomicU32::new(0)).collect();
+        let supervisor = SweepSupervisor { retries: 1, ..SweepSupervisor::default() };
+        let outcomes = run_supervised("flaky", 1, &points, 2, &supervisor, |_, &p| {
+            let attempt = tries[p].fetch_add(1, Ordering::SeqCst) + 1;
+            if p == 2 && attempt < 3 {
+                panic!("flaky");
+            }
+            PointRun::complete(p)
+        });
+        match &outcomes[2] {
+            PointOutcome::Poisoned { attempts, panic_msg, .. } => {
+                assert_eq!(*attempts, 2, "initial try plus one retry");
+                assert_eq!(panic_msg, "flaky");
+            }
+            other => panic!("expected poisoning, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn supervisor_watchdog_reflects_limits() {
+        let s = SweepSupervisor { event_budget: Some(100), deadline_ms: Some(5), ..Default::default() };
+        assert_eq!(s.watchdog(), Watchdog { max_events: Some(100), deadline_ms: Some(5) });
+        assert_eq!(SweepSupervisor::default().watchdog(), Watchdog::UNLIMITED);
+        assert_eq!(Truncation::from_stop(StopReason::Completed), None);
+        assert_eq!(Truncation::from_stop(StopReason::EventBudget), Some(Truncation::EventBudget));
+        assert_eq!(Truncation::EventBudget.label(), "event_budget");
+        assert_eq!(Truncation::HostDeadline.label(), "host_deadline");
     }
 
     #[test]

@@ -75,10 +75,72 @@ impl FaultWindow {
         self.start <= now && now < self.end
     }
 
+    /// Checks the window is well-formed: `start <= end` and, for packet
+    /// loss, a finite probability within `[0, 1]`.
+    ///
+    /// The helper constructors ([`FaultPlane::packet_loss`] etc.) uphold
+    /// these by construction; [`FaultPlane::schedule`] accepts arbitrary
+    /// windows, so the runtime invariant checker validates each scheduled
+    /// window through this.
+    pub fn validate(&self) -> Result<(), FaultConfigError> {
+        if self.start > self.end {
+            return Err(FaultConfigError::InvertedWindow {
+                target: self.target.clone(),
+                start: self.start,
+                end: self.end,
+            });
+        }
+        if let FaultKind::PacketLoss { probability } = self.kind {
+            if !probability.is_finite() || !(0.0..=1.0).contains(&probability) {
+                return Err(FaultConfigError::InvalidProbability {
+                    target: self.target.clone(),
+                    probability,
+                });
+            }
+        }
+        Ok(())
+    }
+
     fn matches(&self, target: &str) -> bool {
         self.target == "*" || self.target == target
     }
 }
+
+/// A malformed [`FaultWindow`], reported by [`FaultWindow::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultConfigError {
+    /// The window ends before it starts.
+    InvertedWindow {
+        /// The window's target.
+        target: String,
+        /// Claimed start.
+        start: SimTime,
+        /// Claimed end, earlier than `start`.
+        end: SimTime,
+    },
+    /// A packet-loss probability outside `[0, 1]` (or non-finite).
+    InvalidProbability {
+        /// The window's target.
+        target: String,
+        /// The offending probability.
+        probability: f64,
+    },
+}
+
+impl fmt::Display for FaultConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultConfigError::InvertedWindow { target, start, end } => {
+                write!(f, "fault window on {target} is inverted: [{start}, {end})")
+            }
+            FaultConfigError::InvalidProbability { target, probability } => {
+                write!(f, "packet-loss probability {probability} on {target} outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultConfigError {}
 
 impl fmt::Display for FaultWindow {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -385,6 +447,38 @@ mod tests {
     #[should_panic(expected = "outside [0, 1]")]
     fn invalid_probability_panics() {
         plane(9).packet_loss("zone:a", 1.5, t(0), t(1));
+    }
+
+    #[test]
+    fn validate_accepts_constructor_built_windows() {
+        let mut p = plane(11);
+        p.link_down("zone:a", t(1), t(2))
+            .packet_loss("zone:b", 0.5, t(0), t(4))
+            .takedown("c2:0", t(3))
+            .host_crash("host:1", t(1), None);
+        for w in p.windows() {
+            assert_eq!(w.validate(), Ok(()), "{w}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_inverted_and_bad_probability() {
+        let inverted =
+            FaultWindow { target: "zone:a".into(), kind: FaultKind::LinkDown, start: t(9), end: t(3) };
+        let err = inverted.validate().unwrap_err();
+        assert!(matches!(err, FaultConfigError::InvertedWindow { .. }));
+        assert!(err.to_string().contains("inverted"), "{err}");
+        for probability in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let bad = FaultWindow {
+                target: "zone:a".into(),
+                kind: FaultKind::PacketLoss { probability },
+                start: t(0),
+                end: t(1),
+            };
+            let err = bad.validate().unwrap_err();
+            assert!(matches!(err, FaultConfigError::InvalidProbability { .. }), "{probability}");
+            let _: &dyn std::error::Error = &err;
+        }
     }
 
     #[test]

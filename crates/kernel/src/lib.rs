@@ -22,6 +22,12 @@
 //!   experiments read back out.
 //! - [`sched::ProfileSummary`] — opt-in scheduler profiling (per-category
 //!   dispatch counts, host-clock time, queue depth), zero-cost when off.
+//! - [`invariant::InvariantChecker`] — opt-in runtime invariant checking
+//!   (time monotonicity, span causality, fault-window well-formedness, plus
+//!   caller-registered world laws), zero-cost when off.
+//! - [`sched::Watchdog`] — per-run limits (deterministic event budget,
+//!   host-clock deadline) with graceful truncation via
+//!   [`sched::Sim::run_until_watched`].
 //! - [`crate::define_id!`] / [`ids::Arena`] — typed handles for entity tables.
 //!
 //! # Examples
@@ -50,6 +56,7 @@
 
 pub mod fault;
 pub mod ids;
+pub mod invariant;
 pub mod metrics;
 pub mod rng;
 pub mod sched;
@@ -59,10 +66,11 @@ pub mod trace;
 
 /// Convenient glob-import of the kernel's commonly used items.
 pub mod prelude {
-    pub use crate::fault::{FaultKind, FaultPlane, FaultWindow};
+    pub use crate::fault::{FaultConfigError, FaultKind, FaultPlane, FaultWindow};
+    pub use crate::invariant::{InvariantChecker, InvariantViolation, LawCx};
     pub use crate::metrics::Metrics;
     pub use crate::rng::SimRng;
-    pub use crate::sched::{EventHandle, ProfileRow, ProfileSummary, Sim};
+    pub use crate::sched::{EventHandle, ProfileRow, ProfileSummary, Sim, StopReason, Watchdog, WatchedRun};
     pub use crate::span::{Span, SpanId, SpanLog};
     pub use crate::time::{SimDuration, SimTime, TimeError};
     pub use crate::trace::{TraceCategory, TraceConfig, TraceEvent, TraceLog};

@@ -15,6 +15,7 @@ use std::collections::{BTreeMap, BinaryHeap, HashSet};
 use std::fmt;
 
 use crate::fault::FaultPlane;
+use crate::invariant::{InvariantChecker, InvariantViolation, LawCx};
 use crate::metrics::{Histogram, Metrics};
 use crate::rng::SimRng;
 use crate::span::{SpanId, SpanLog};
@@ -74,6 +75,7 @@ pub struct Sim<W> {
     cancelled: HashSet<u64>,
     executed: u64,
     profiler: Option<Profiler>,
+    checker: Option<Box<InvariantChecker<W>>>,
     dispatch_cat: Option<TraceCategory>,
     /// Deterministic random source for the run.
     pub rng: SimRng,
@@ -112,6 +114,7 @@ impl<W> Sim<W> {
             cancelled: HashSet::new(),
             executed: 0,
             profiler: None,
+            checker: None,
             dispatch_cat: None,
             rng: SimRng::seed_from(seed),
             trace: TraceLog::new(),
@@ -214,8 +217,20 @@ impl<W> Sim<W> {
             } else {
                 (ev.action)(world, self);
             }
+            if self.checker.is_some() {
+                self.run_invariants(world);
+            }
             return true;
         }
+    }
+
+    /// Post-dispatch invariant sweep: the checker is moved out for the call
+    /// so the laws can borrow the scheduler's spans and faults immutably.
+    fn run_invariants(&mut self, world: &W) {
+        let Some(mut checker) = self.checker.take() else { return };
+        let cx = LawCx { now: self.now, spans: &self.spans, faults: &self.faults };
+        checker.check(world, &cx);
+        self.checker = Some(checker);
     }
 
     /// Dispatch with the probe armed: time the action on the host clock and
@@ -241,6 +256,27 @@ impl<W> Sim<W> {
     ///
     /// Later events remain queued, so the run can be resumed.
     pub fn run_until(&mut self, world: &mut W, until: SimTime) {
+        self.run_until_watched(world, until, Watchdog::UNLIMITED);
+    }
+
+    /// [`Sim::run_until`] under a [`Watchdog`]: stops early once the event
+    /// budget is spent or the host-clock deadline passes, reporting why.
+    ///
+    /// Cancellation is graceful: on truncation the clock stays at the last
+    /// dispatched event and later events remain queued, so the caller can
+    /// still read a (partial but consistent) world, emit a report tagged as
+    /// truncated, or even resume. Only a `Completed` run advances the clock
+    /// to `until`.
+    ///
+    /// The event budget is deterministic — the same `(seed, budget)` always
+    /// truncates at the same event. The host deadline is wall-clock and
+    /// therefore *not* deterministic; use it as a safety net, never in runs
+    /// whose outputs are compared byte-for-byte.
+    pub fn run_until_watched(&mut self, world: &mut W, until: SimTime, watchdog: Watchdog) -> WatchedRun {
+        let budget = watchdog.max_events.unwrap_or(u64::MAX);
+        let deadline =
+            watchdog.deadline_ms.map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
+        let mut executed = 0u64;
         loop {
             let next_time = loop {
                 match self.queue.peek() {
@@ -254,12 +290,27 @@ impl<W> Sim<W> {
             };
             match next_time {
                 Some(t) if t <= until => {
+                    // Limits are checked only once another event is actually
+                    // due, so an exactly-drained queue still reads Completed.
+                    if executed >= budget {
+                        return WatchedRun { reason: StopReason::EventBudget, executed };
+                    }
+                    if let Some(d) = deadline {
+                        // Sampled every 256 dispatches: cheap, and plenty for
+                        // a deadline meant to catch runaway points, not to
+                        // time them.
+                        if executed.is_multiple_of(256) && std::time::Instant::now() >= d {
+                            return WatchedRun { reason: StopReason::HostDeadline, executed };
+                        }
+                    }
                     self.step(world);
+                    executed += 1;
                 }
                 _ => break,
             }
         }
         self.now = self.now.max(until);
+        WatchedRun { reason: StopReason::Completed, executed }
     }
 
     /// Runs at most `max_events` events; returns how many were executed.
@@ -387,6 +438,45 @@ impl<W> Sim<W> {
         self.metrics.set_gauge("sched.queue_depth.max", summary.queue_max);
         Some(summary)
     }
+
+    /// Arms the runtime invariant checker, replacing any previously armed one.
+    ///
+    /// After every dispatched event the checker asserts the kernel laws
+    /// (sim-time monotonicity, span causality, fault-window well-formedness)
+    /// plus any world laws registered via [`Sim::add_invariant`]. In `strict`
+    /// mode the first violation panics with a rendered report; otherwise
+    /// violations accumulate and are drained with [`Sim::take_violations`].
+    ///
+    /// Like profiling, the checker is entirely off by default: the unchecked
+    /// dispatch path performs a single `Option` branch and nothing else.
+    pub fn enable_invariants(&mut self, strict: bool) {
+        self.checker = Some(Box::new(InvariantChecker::new(strict)));
+    }
+
+    /// Registers a world-level law on the armed checker.
+    ///
+    /// The law returns `Err(detail)` to flag a violation; `name` identifies
+    /// it in reports. No-op unless [`Sim::enable_invariants`] was called.
+    pub fn add_invariant<F>(&mut self, name: &'static str, law: F)
+    where
+        F: Fn(&W, &LawCx<'_>) -> Result<(), String> + 'static,
+    {
+        if let Some(checker) = self.checker.as_mut() {
+            checker.add_law(name, law);
+        }
+    }
+
+    /// Drains accumulated invariant violations, leaving the checker armed.
+    ///
+    /// Returns an empty vector when the checker is disarmed or clean.
+    pub fn take_violations(&mut self) -> Vec<InvariantViolation> {
+        self.checker.as_mut().map_or_else(Vec::new, |c| c.take_violations())
+    }
+
+    /// Whether the invariant checker is armed.
+    pub fn is_checking_invariants(&self) -> bool {
+        self.checker.is_some()
+    }
 }
 
 /// The armed scheduler probe: per-category dispatch tallies plus a queue-depth
@@ -460,6 +550,59 @@ impl ProfileSummary {
             self.queue_p50, self.queue_p95, self.queue_p99, self.queue_max
         ));
         out
+    }
+}
+
+/// Run limits enforced by [`Sim::run_until_watched`].
+///
+/// `max_events` is a deterministic sim-side budget: the run stops before
+/// dispatching event `max_events + 1`. `deadline_ms` is a host wall-clock
+/// deadline measured from the start of the call; it is a nondeterministic
+/// safety net for runaway points and must not gate byte-compared outputs.
+/// `None` disables the respective limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Watchdog {
+    /// Maximum number of events to dispatch in this run, if any.
+    pub max_events: Option<u64>,
+    /// Host-clock deadline in milliseconds from the start of the run, if any.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Watchdog {
+    /// No limits: [`Sim::run_until_watched`] behaves exactly like
+    /// [`Sim::run_until`].
+    pub const UNLIMITED: Watchdog = Watchdog { max_events: None, deadline_ms: None };
+
+    /// A watchdog with only a deterministic event budget.
+    pub const fn events(max_events: u64) -> Watchdog {
+        Watchdog { max_events: Some(max_events), deadline_ms: None }
+    }
+}
+
+/// Why a watched run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// All events up to `until` were dispatched; the clock advanced to `until`.
+    Completed,
+    /// The deterministic event budget was exhausted first.
+    EventBudget,
+    /// The host-clock deadline passed first.
+    HostDeadline,
+}
+
+/// Outcome of one [`Sim::run_until_watched`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchedRun {
+    /// Why the run stopped.
+    pub reason: StopReason,
+    /// Events dispatched during this call.
+    pub executed: u64,
+}
+
+impl WatchedRun {
+    /// Whether the run finished without tripping a watchdog limit.
+    pub fn completed(&self) -> bool {
+        self.reason == StopReason::Completed
     }
 }
 
@@ -714,5 +857,112 @@ mod tests {
         }
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn watched_run_stops_on_event_budget() {
+        let mut s = sim();
+        let mut w = Vec::new();
+        for i in 0..10u32 {
+            s.schedule_in(SimDuration::from_secs(i as u64 + 1), move |w: &mut World, _| w.push(i));
+        }
+        let until = SimTime::EPOCH + SimDuration::from_secs(100);
+        let run = s.run_until_watched(&mut w, until, Watchdog::events(4));
+        assert_eq!(run, WatchedRun { reason: StopReason::EventBudget, executed: 4 });
+        assert!(!run.completed());
+        assert_eq!(w, vec![0, 1, 2, 3]);
+        // Truncation leaves the clock at the last dispatched event and keeps
+        // the rest queued, so the run can be resumed to completion.
+        assert_eq!(s.now(), SimTime::EPOCH + SimDuration::from_secs(4));
+        assert_eq!(s.pending(), 6);
+        let resumed = s.run_until_watched(&mut w, until, Watchdog::UNLIMITED);
+        assert_eq!(resumed, WatchedRun { reason: StopReason::Completed, executed: 6 });
+        assert_eq!(w, (0..10).collect::<Vec<_>>());
+        assert_eq!(s.now(), until);
+    }
+
+    #[test]
+    fn unlimited_watchdog_matches_run_until() {
+        fn world(watched: bool) -> (World, SimTime) {
+            let mut s = sim();
+            let mut w = Vec::new();
+            for _ in 0..50 {
+                let d = SimDuration::from_millis(s.rng.range(1..500u64));
+                s.schedule_in(d, |w: &mut World, sim| w.push(sim.rng.range(0..100u32)));
+            }
+            let until = SimTime::EPOCH + SimDuration::from_millis(400);
+            if watched {
+                let run = s.run_until_watched(&mut w, until, Watchdog::UNLIMITED);
+                assert!(run.completed());
+            } else {
+                s.run_until(&mut w, until);
+            }
+            (w, s.now())
+        }
+        assert_eq!(world(true), world(false));
+    }
+
+    #[test]
+    fn host_deadline_in_the_past_stops_immediately() {
+        let mut s = sim();
+        let mut w = Vec::new();
+        s.schedule_in(SimDuration::from_secs(1), |w: &mut World, _| w.push(1));
+        let watchdog = Watchdog { max_events: None, deadline_ms: Some(0) };
+        let run = s.run_until_watched(&mut w, SimTime::EPOCH + SimDuration::from_secs(10), watchdog);
+        assert_eq!(run.reason, StopReason::HostDeadline);
+        assert_eq!(run.executed, 0);
+        assert!(w.is_empty(), "deadline trip dispatches nothing further");
+    }
+
+    #[test]
+    fn invariant_hook_does_not_perturb_simulation() {
+        fn run(check: bool) -> World {
+            let mut s = sim();
+            if check {
+                s.enable_invariants(false);
+            }
+            let mut w = Vec::new();
+            for _ in 0..20 {
+                let d = SimDuration::from_millis(s.rng.range(1..1000u64));
+                s.schedule_in(d, |w: &mut World, sim| w.push(sim.rng.range(0..100u32)));
+            }
+            s.run(&mut w);
+            w
+        }
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn sim_surfaces_world_law_violations() {
+        let mut s = sim();
+        s.enable_invariants(false);
+        assert!(s.is_checking_invariants());
+        s.add_invariant("world-small", |w: &World, _cx| {
+            if w.len() > 2 {
+                Err(format!("{} entries, expected at most 2", w.len()))
+            } else {
+                Ok(())
+            }
+        });
+        let mut w = Vec::new();
+        for i in 0..4u32 {
+            s.schedule_in(SimDuration::from_secs(i as u64 + 1), move |w: &mut World, _| w.push(i));
+        }
+        s.run(&mut w);
+        let violations = s.take_violations();
+        assert_eq!(violations.len(), 2, "third and fourth pushes each breach the law");
+        assert_eq!(violations[0].law, "world-small");
+        assert!(s.take_violations().is_empty(), "draining leaves the checker armed but clean");
+        assert!(s.is_checking_invariants());
+    }
+
+    #[test]
+    fn disarmed_sim_has_no_violations() {
+        let mut s = sim();
+        assert!(!s.is_checking_invariants());
+        let mut w = Vec::new();
+        s.schedule_in(SimDuration::from_secs(1), |w: &mut World, _| w.push(1));
+        s.run(&mut w);
+        assert!(s.take_violations().is_empty());
     }
 }

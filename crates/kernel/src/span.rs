@@ -187,6 +187,13 @@ impl SpanLog {
         &self.spans
     }
 
+    /// Spans from retained-index `index` onward (creation order). Used by
+    /// incremental consumers — e.g. the invariant checker — that examine
+    /// each span exactly once; an out-of-range index yields an empty slice.
+    pub fn spans_from(&self, index: usize) -> &[Span] {
+        &self.spans[index.min(self.spans.len())..]
+    }
+
     /// Spans of one category.
     pub fn of(&self, category: TraceCategory) -> impl Iterator<Item = &Span> {
         self.spans.iter().filter(move |s| s.category == category)
@@ -332,6 +339,18 @@ mod tests {
         // Close/attr on unretained spans are harmless.
         log.close(b, t(1));
         log.set_attr(b, "k", "v");
+    }
+
+    #[test]
+    fn spans_from_slices_incrementally() {
+        let mut log = SpanLog::new();
+        let a = log.open(t(0), TraceCategory::Infection, "h", "a", None);
+        log.open(t(1), TraceCategory::Net, "h", "b", Some(a));
+        assert_eq!(log.spans_from(0).len(), 2);
+        assert_eq!(log.spans_from(1).len(), 1);
+        assert_eq!(log.spans_from(1)[0].name, "b");
+        assert!(log.spans_from(2).is_empty());
+        assert!(log.spans_from(99).is_empty(), "out-of-range index is safe");
     }
 
     #[test]

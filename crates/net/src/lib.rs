@@ -59,7 +59,7 @@ pub mod prelude {
     pub use crate::lateral::{
         autorun_executes, can_copy_to_share, can_exploit_spooler, lnk_render_compromises, LateralBlocked,
     };
-    pub use crate::retry::RetryPolicy;
+    pub use crate::retry::{RetryExhausted, RetryPolicy};
     pub use crate::topology::{Topology, Zone, ZoneId};
     pub use crate::winupdate::{client_accepts_update, UpdatePackage, UpdateRejected};
 }

@@ -70,7 +70,33 @@ impl RetryPolicy {
         let bound_ms = backoff.as_millis() / 100 * u64::from(self.jitter_pct);
         backoff + SimDuration::from_millis(faults.jitter_ms(bound_ms))
     }
+
+    /// The error a client reports once this policy's budget is spent.
+    ///
+    /// `last_error` describes the final failed attempt (e.g. the DNS or HTTP
+    /// error rendered via `Display`).
+    pub fn exhausted(&self, last_error: impl Into<String>) -> RetryExhausted {
+        RetryExhausted { attempts: self.max_retries + 1, last_error: last_error.into() }
+    }
 }
+
+/// Terminal failure after a [`RetryPolicy`]'s budget is spent: the initial
+/// attempt plus every allowed retry failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryExhausted {
+    /// Total attempts made (initial attempt + retries).
+    pub attempts: u32,
+    /// `Display` rendering of the error from the final attempt.
+    pub last_error: String,
+}
+
+impl std::fmt::Display for RetryExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "retries exhausted after {} attempts: {}", self.attempts, self.last_error)
+    }
+}
+
+impl std::error::Error for RetryExhausted {}
 
 #[cfg(test)]
 mod tests {
@@ -92,6 +118,14 @@ mod tests {
         assert_eq!(p.backoff(600), SimDuration::from_hours(1), "huge attempts saturate");
         assert!(p.should_retry(4));
         assert!(!p.should_retry(5));
+    }
+
+    #[test]
+    fn exhausted_counts_the_initial_attempt() {
+        let p = RetryPolicy::flame_default();
+        let err = p.exhausted("dns: all resolvers down");
+        assert_eq!(err.attempts, 6, "5 retries plus the initial attempt");
+        assert_eq!(err.to_string(), "retries exhausted after 6 attempts: dns: all resolvers down");
     }
 
     #[test]

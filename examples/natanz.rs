@@ -11,6 +11,8 @@
 //!   counts for the same seed.
 //! * `--jsonl-out <path>` — write the span/event stream as JSONL.
 //! * `--profile` — print the scheduler's dispatch-profiling summary.
+//! * `--check-invariants` — run the kernel + world invariant checker after
+//!   every dispatched event and report what it saw (exit 1 on violations).
 
 use malsim::prelude::*;
 
@@ -18,15 +20,20 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut jsonl_out: Option<String> = None;
     let mut profile = false;
+    let mut check_invariants = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--trace-out" => trace_out = Some(args.next().expect("--trace-out takes a path")),
             "--jsonl-out" => jsonl_out = Some(args.next().expect("--jsonl-out takes a path")),
             "--profile" => profile = true,
+            "--check-invariants" => check_invariants = true,
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: natanz [--trace-out <path>] [--jsonl-out <path>] [--profile]");
+                eprintln!(
+                    "usage: natanz [--trace-out <path>] [--jsonl-out <path>] [--profile] \
+                     [--check-invariants]"
+                );
                 std::process::exit(2);
             }
         }
@@ -35,7 +42,7 @@ fn main() {
     let seed = 2010;
     let days = 30;
     println!("running the end-to-end Stuxnet chain (seed {seed}, {days} simulated days)...\n");
-    let run = experiments::e1_stuxnet_end_to_end_run(seed, days, profile);
+    let (run, violations) = experiments::e1_stuxnet_end_to_end_checked(seed, days, profile, check_invariants);
     let experiments::E1Run { result: r, world: _, mut sim } = run;
 
     let mut table = Table::new(vec!["quantity".into(), "value".into()]);
@@ -78,6 +85,17 @@ fn main() {
         if let Some(summary) = sim.finish_profile() {
             println!("\nscheduler profile:");
             print!("{}", summary.render());
+        }
+    }
+    if check_invariants {
+        if violations.is_empty() {
+            println!("\ninvariant checker: every dispatched event satisfied all laws.");
+        } else {
+            eprintln!("\ninvariant checker found {} violation(s):", violations.len());
+            for v in &violations {
+                eprintln!("- {v}");
+            }
+            std::process::exit(1);
         }
     }
 

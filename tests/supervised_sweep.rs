@@ -1,0 +1,206 @@
+//! Supervised-sweep integration tests: kill/resume byte-identity on the real
+//! E13 experiment, deterministic watchdog truncation, invariant checking on
+//! real campaign runs, and a deliberately seeded violation surfacing through
+//! the whole checkpoint pipeline.
+
+use std::path::PathBuf;
+
+use malsim::checkpoint::{run_checkpointed, CheckpointConfig, PointStatus};
+use malsim::experiments::{self, SupervisedSweepOpts};
+use malsim::report::Json;
+use malsim::scenario::ScenarioBuilder;
+use malsim::sweep::{PointRun, SweepSupervisor};
+use malsim_kernel::time::SimDuration;
+use malsim_malware::common::InfectionRecord;
+use malsim_malware::world::World;
+use malsim_os::host::HostId;
+
+fn temp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("malsim-it-{tag}-{}.ckpt", std::process::id()))
+}
+
+/// A small E13 grid: full scale is the goldens' job, resume semantics are
+/// this file's.
+const FRACTIONS: &[f64] = &[0.0, 0.5, 1.0];
+
+#[test]
+fn e13_resume_is_byte_identical_across_thread_counts() {
+    let full_path = temp("e13-full");
+    let base = SupervisedSweepOpts {
+        threads: 2,
+        supervisor: SweepSupervisor::default(),
+        ckpt_path: &full_path,
+        resume: false,
+    };
+    let full = experiments::e13_takedown_resilience_supervised(11, 4, 2, FRACTIONS, &base).unwrap();
+    let full_report = full.report().to_canonical_string();
+    assert_eq!(full.points.len(), FRACTIONS.len());
+    assert_eq!(full.resumed_points, 0);
+
+    // Simulate a kill after the first checkpointed point: keep one line.
+    let first_line =
+        std::fs::read_to_string(&full_path).unwrap().lines().next().expect("one record").to_owned();
+    for threads in [1, 2, 8] {
+        let path = temp(&format!("e13-resume-{threads}"));
+        std::fs::write(&path, format!("{first_line}\n")).unwrap();
+        let resumed = experiments::e13_takedown_resilience_supervised(
+            11,
+            4,
+            2,
+            FRACTIONS,
+            &SupervisedSweepOpts { threads, ckpt_path: &path, resume: true, ..base },
+        )
+        .unwrap();
+        assert_eq!(resumed.resumed_points, 1);
+        assert_eq!(
+            resumed.report().to_canonical_string(),
+            full_report,
+            "kill+resume must be byte-identical at threads={threads}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+    std::fs::remove_file(&full_path).unwrap();
+}
+
+#[test]
+fn e13_event_budget_truncates_deterministically() {
+    let supervisor = SweepSupervisor { event_budget: Some(50), ..SweepSupervisor::default() };
+    let reports: Vec<String> = [1, 2]
+        .into_iter()
+        .map(|threads| {
+            let path = temp(&format!("e13-budget-{threads}"));
+            let out = experiments::e13_takedown_resilience_supervised(
+                5,
+                3,
+                2,
+                FRACTIONS,
+                &SupervisedSweepOpts { threads, supervisor, ckpt_path: &path, resume: false },
+            )
+            .unwrap();
+            for p in &out.points {
+                assert_eq!(p.record.status, PointStatus::Truncated);
+                assert_eq!(p.record.truncation.as_deref(), Some("event_budget"));
+                assert!(p.record.row.is_some(), "a truncated point still reports its partial row");
+            }
+            std::fs::remove_file(&path).unwrap();
+            out.report().to_canonical_string()
+        })
+        .collect();
+    assert_eq!(reports[0], reports[1], "the event budget is a deterministic limit");
+}
+
+#[test]
+fn e13_supervised_run_satisfies_all_invariants() {
+    let path = temp("e13-inv");
+    let supervisor = SweepSupervisor { check_invariants: true, ..SweepSupervisor::default() };
+    let out = experiments::e13_takedown_resilience_supervised(
+        7,
+        3,
+        2,
+        FRACTIONS,
+        &SupervisedSweepOpts { threads: 2, supervisor, ckpt_path: &path, resume: false },
+    )
+    .unwrap();
+    for p in &out.points {
+        assert_eq!(p.record.status, PointStatus::Completed);
+        assert!(p.record.violations.is_empty(), "{:?}", p.record.violations);
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn e1_checked_run_is_violation_free() {
+    let (run, violations) = experiments::e1_stuxnet_end_to_end_checked(42, 10, false, true);
+    assert!(violations.is_empty(), "{violations:?}");
+    // The checker never perturbs the run: same headline as the unchecked path.
+    assert_eq!(run.result, experiments::e1_stuxnet_end_to_end(42, 10));
+}
+
+#[test]
+fn seeded_violation_surfaces_through_the_checkpoint_pipeline() {
+    let path = temp("seeded-violation");
+    let cfg = CheckpointConfig {
+        experiment: "negative",
+        base_seed: 1,
+        threads: 1,
+        supervisor: SweepSupervisor::default(),
+        path: &path,
+        resume: false,
+    };
+    let corrupt = |_: &malsim::sweep::SweepCtx, _: &u32| {
+        let (mut world, mut sim) = ScenarioBuilder::new(1).office_lan(2);
+        malsim::invariants::install(&mut sim, false);
+        sim.schedule_in(SimDuration::from_hours(1), |w: &mut World, sim| {
+            // The deliberate corruption: an infection record for a host that
+            // was never spawned.
+            w.campaigns.stuxnet.infections.insert(
+                HostId::new(99),
+                InfectionRecord { infected_at: sim.now(), vector: "usb-lnk".into() },
+            );
+        });
+        sim.run(&mut world);
+        PointRun { result: Json::U64(0), truncation: None, violations: sim.take_violations() }
+    };
+    let out = run_checkpointed(&cfg, &[0u32], corrupt).unwrap();
+    let rec = &out.points[0].record;
+    assert_eq!(rec.status, PointStatus::Completed);
+    assert_eq!(rec.violations.len(), 1, "{:?}", rec.violations);
+    assert!(rec.violations[0].contains("infected-hosts-exist"), "{}", rec.violations[0]);
+    assert!(rec.violations[0].contains("99"), "{}", rec.violations[0]);
+
+    // The violation is durable: a resume keeps the record (with its
+    // violation) instead of re-running the point — if it re-ran, this
+    // panicking closure would leave the point poisoned.
+    let resumed = run_checkpointed(&CheckpointConfig { resume: true, ..cfg }, &[0u32], |_, _: &u32| {
+        panic!("a completed point must not re-run on resume")
+    })
+    .unwrap();
+    assert_eq!(resumed.resumed_points, 1);
+    let rec = &resumed.points[0].record;
+    assert_eq!(rec.status, PointStatus::Completed);
+    assert!(rec.violations[0].contains("infected-hosts-exist"));
+    assert_eq!(resumed.report(), out.report());
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn poisoned_e13_style_point_quarantines_without_aborting() {
+    // The quarantine drill at experiment scale: one grid point panics
+    // mid-simulation, the other points complete with real rows.
+    let path = temp("quarantine");
+    let cfg = CheckpointConfig {
+        experiment: "quarantine",
+        base_seed: 9,
+        threads: 2,
+        supervisor: SweepSupervisor::default(),
+        path: &path,
+        resume: false,
+    };
+    let grid: Vec<f64> = vec![0.0, 0.25, 0.5, 0.75, 1.0];
+    let out = run_checkpointed(&cfg, &grid, |ctx, &frac| {
+        if ctx.point == 2 {
+            panic!("injected mid-grid failure");
+        }
+        let (mut world, mut sim) = ScenarioBuilder::new(ctx.derived_seed()).office_lan(3);
+        sim.schedule_in(SimDuration::from_hours(1), |_: &mut World, _| {});
+        sim.run(&mut world);
+        PointRun::complete(Json::obj([("frac", frac.into()), ("hosts", world.hosts.len().into())]))
+    })
+    .unwrap();
+    assert_eq!(out.points.len(), 5);
+    for (i, p) in out.points.iter().enumerate() {
+        if i == 2 {
+            assert_eq!(p.record.status, PointStatus::Poisoned);
+            assert_eq!(p.record.panic_msg.as_deref(), Some("injected mid-grid failure"));
+            assert_eq!(p.record.params.as_deref(), Some("0.5"));
+            assert_eq!(p.record.row, None);
+        } else {
+            assert_eq!(p.record.status, PointStatus::Completed, "point {i}");
+            assert!(p.record.row.is_some(), "point {i}");
+        }
+    }
+    let report = out.report();
+    assert_eq!(report.get("poisoned").and_then(Json::as_u64), Some(1));
+    assert_eq!(report.get("completed").and_then(Json::as_u64), Some(4));
+    std::fs::remove_file(&path).unwrap();
+}
