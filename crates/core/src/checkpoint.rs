@@ -91,6 +91,10 @@ pub enum PointStatus {
     /// Every attempt panicked; there is no row. Poisoned points re-run on
     /// resume.
     Poisoned,
+    /// The point's scenario script faulted with a typed error; there is no
+    /// row. Unlike poisoned points these are deterministic, so the record
+    /// is *kept* on resume rather than re-run.
+    ScriptFault,
 }
 
 impl PointStatus {
@@ -100,6 +104,7 @@ impl PointStatus {
             PointStatus::Completed => "completed",
             PointStatus::Truncated => "truncated",
             PointStatus::Poisoned => "poisoned",
+            PointStatus::ScriptFault => "script_fault",
         }
     }
 
@@ -108,6 +113,7 @@ impl PointStatus {
             "completed" => Some(PointStatus::Completed),
             "truncated" => Some(PointStatus::Truncated),
             "poisoned" => Some(PointStatus::Poisoned),
+            "script_fault" => Some(PointStatus::ScriptFault),
             _ => None,
         }
     }
@@ -130,6 +136,13 @@ pub struct CheckpointRecord {
     pub panic_msg: Option<String>,
     /// `Debug` rendering of the point's parameters, for poisoned points.
     pub params: Option<String>,
+    /// The scenario script's manifest name, for script-faulted points.
+    pub script_id: Option<String>,
+    /// The typed script fault rendered via `Display`, for script-faulted
+    /// points.
+    pub script_error: Option<String>,
+    /// Fuel the script had consumed when it faulted.
+    pub fuel_used: Option<u64>,
     /// Rendered invariant violations observed during the point.
     pub violations: Vec<String>,
 }
@@ -150,6 +163,9 @@ impl CheckpointRecord {
             ("row", row),
             ("panic_msg", self.panic_msg.clone().into()),
             ("params", self.params.clone().into()),
+            ("script_id", self.script_id.clone().into()),
+            ("script_error", self.script_error.clone().into()),
+            ("fuel_used", self.fuel_used.map_or(Json::Null, Json::U64)),
             ("violations", Json::Arr(self.violations.iter().map(|v| v.as_str().into()).collect())),
         ])
     }
@@ -209,6 +225,9 @@ impl CheckpointRecord {
             row,
             panic_msg: v.get("panic_msg").and_then(Json::as_str).map(str::to_owned),
             params: v.get("params").and_then(Json::as_str).map(str::to_owned),
+            script_id: v.get("script_id").and_then(Json::as_str).map(str::to_owned),
+            script_error: v.get("script_error").and_then(Json::as_str).map(str::to_owned),
+            fuel_used: v.get("fuel_used").and_then(Json::as_u64),
             violations: strings("violations"),
         }))
     }
@@ -340,6 +359,9 @@ impl SweepOutcomes {
                     ("row", r.row.clone().unwrap_or(Json::Null)),
                     ("panic_msg", r.panic_msg.clone().into()),
                     ("params", r.params.clone().into()),
+                    ("script_id", r.script_id.clone().into()),
+                    ("script_error", r.script_error.clone().into()),
+                    ("fuel_used", r.fuel_used.map_or(Json::Null, Json::U64)),
                     ("violations", Json::Arr(r.violations.iter().map(|v| v.as_str().into()).collect())),
                 ])
             })
@@ -351,6 +373,7 @@ impl SweepOutcomes {
             ("completed", Json::U64(self.count(PointStatus::Completed) as u64)),
             ("truncated", Json::U64(self.count(PointStatus::Truncated) as u64)),
             ("poisoned", Json::U64(self.count(PointStatus::Poisoned) as u64)),
+            ("script_faults", Json::U64(self.count(PointStatus::ScriptFault) as u64)),
             ("rows", Json::Arr(rows)),
         ])
     }
@@ -384,6 +407,9 @@ fn outcome_record(point: usize, outcome: PointOutcome<Json>) -> CheckpointRecord
                 row: Some(result),
                 panic_msg: None,
                 params: None,
+                script_id: None,
+                script_error: None,
+                fuel_used: None,
                 violations: violations.iter().map(|v| v.to_string()).collect(),
             }
         }
@@ -394,6 +420,21 @@ fn outcome_record(point: usize, outcome: PointOutcome<Json>) -> CheckpointRecord
             row: None,
             panic_msg: Some(panic_msg),
             params: Some(params),
+            script_id: None,
+            script_error: None,
+            fuel_used: None,
+            violations: Vec::new(),
+        },
+        PointOutcome::ScriptFault { script_id, error, fuel_used, .. } => CheckpointRecord {
+            point,
+            status: PointStatus::ScriptFault,
+            truncation: None,
+            row: None,
+            panic_msg: None,
+            params: None,
+            script_id: Some(script_id),
+            script_error: Some(error),
+            fuel_used: Some(fuel_used),
             violations: Vec::new(),
         },
     }
@@ -415,6 +456,25 @@ where
     P: Sync + std::fmt::Debug,
     F: Fn(&SweepCtx, &P) -> PointRun<Json> + Sync,
 {
+    run_checkpointed_fallible(cfg, points, |ctx, p| Ok(run_point(ctx, p)))
+}
+
+/// Like [`run_checkpointed`], for point functions that can fail with a typed
+/// script fault instead of a row.
+///
+/// A faulting point is recorded as [`PointStatus::ScriptFault`] after a
+/// single attempt — script faults are deterministic, so retrying would burn
+/// the panic budget for nothing — and, unlike poisoned points, the record is
+/// **kept** on resume: re-running it would only reproduce the same fault.
+pub fn run_checkpointed_fallible<P, F>(
+    cfg: &CheckpointConfig<'_>,
+    points: &[P],
+    run_point: F,
+) -> Result<SweepOutcomes, CheckpointError>
+where
+    P: Sync + std::fmt::Debug,
+    F: Fn(&SweepCtx, &P) -> Result<PointRun<Json>, sweep::ScriptFaultInfo> + Sync,
+{
     let manifest = if cfg.resume {
         Manifest::load(cfg.path, cfg.experiment, cfg.base_seed)?
     } else {
@@ -422,8 +482,8 @@ where
     };
     let mut slots: BTreeMap<usize, PointReport> = BTreeMap::new();
     for (&idx, rec) in &manifest.records {
-        // Poisoned points re-run; records beyond the grid (a shrunk sweep)
-        // are ignored.
+        // Poisoned points re-run; script-faulted points are deterministic and
+        // stay; records beyond the grid (a shrunk sweep) are ignored.
         if idx < points.len() && rec.status != PointStatus::Poisoned {
             slots.insert(idx, PointReport { record: rec.clone(), resumed: true });
         }
@@ -436,7 +496,7 @@ where
     let supervisor = cfg.supervisor;
     let fresh = sweep::run(cfg.experiment, cfg.base_seed, &todo, cfg.threads, |_, &(orig, p)| {
         let ctx = SweepCtx { experiment: cfg.experiment, point: orig, base_seed: cfg.base_seed };
-        let record = outcome_record(orig, sweep::supervised_point(&ctx, &supervisor, p, &run_point));
+        let record = outcome_record(orig, sweep::supervised_point_fallible(&ctx, &supervisor, p, &run_point));
         let written = writer.record(cfg.experiment, cfg.base_seed, &record);
         (record, written)
     });
@@ -485,6 +545,9 @@ mod tests {
                 row: Some(row(0)),
                 panic_msg: None,
                 params: None,
+                script_id: None,
+                script_error: None,
+                fuel_used: None,
                 violations: vec![],
             },
             CheckpointRecord {
@@ -494,6 +557,9 @@ mod tests {
                 row: Some(row(1)),
                 panic_msg: None,
                 params: None,
+                script_id: None,
+                script_error: None,
+                fuel_used: None,
                 violations: vec!["invariant 'x' violated".into()],
             },
             CheckpointRecord {
@@ -503,6 +569,21 @@ mod tests {
                 row: None,
                 panic_msg: Some("boom".into()),
                 params: Some("2".into()),
+                script_id: None,
+                script_error: None,
+                fuel_used: None,
+                violations: vec![],
+            },
+            CheckpointRecord {
+                point: 3,
+                status: PointStatus::ScriptFault,
+                truncation: None,
+                row: None,
+                panic_msg: None,
+                params: None,
+                script_id: Some("bomb.flua".into()),
+                script_error: Some("script exceeded its memory budget (70000 > 65536 bytes)".into()),
+                fuel_used: Some(4242),
                 violations: vec![],
             },
         ];
@@ -511,7 +592,7 @@ mod tests {
         }
         let manifest = Manifest::load(&path, "test", 7).unwrap();
         assert_eq!(manifest.skipped_lines, 0);
-        assert_eq!(manifest.records.len(), 3);
+        assert_eq!(manifest.records.len(), 4);
         for rec in &recs {
             assert_eq!(manifest.records[&rec.point], *rec);
         }
@@ -529,6 +610,9 @@ mod tests {
             row: Some(row(0)),
             panic_msg: None,
             params: None,
+            script_id: None,
+            script_error: None,
+            fuel_used: None,
             violations: vec![],
         };
         writer.record("test", 7, &rec).unwrap();
@@ -563,6 +647,9 @@ mod tests {
             row: Some(row(0)),
             panic_msg: None,
             params: None,
+            script_id: None,
+            script_error: None,
+            fuel_used: None,
             violations: vec![],
         };
         writer.record("test", 7, &rec).unwrap();
@@ -656,5 +743,66 @@ mod tests {
         assert_eq!(second.points[1].record.status, PointStatus::Completed, "poisoned point re-ran");
         assert!(!second.points[1].resumed);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn script_faults_are_kept_on_resume_and_reports_stay_byte_identical() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let points: Vec<u64> = (0..6).collect();
+        let fault_runs = AtomicU32::new(0);
+        let eval = |ctx: &SweepCtx, &p: &u64| {
+            if p == 2 {
+                fault_runs.fetch_add(1, Ordering::SeqCst);
+                return Err(sweep::ScriptFaultInfo {
+                    script_id: "bomb.flua".into(),
+                    error: "script ran out of fuel".into(),
+                    fuel_used: 20_000,
+                });
+            }
+            Ok(PointRun::complete(Json::obj([
+                ("param", Json::U64(p)),
+                ("seed", Json::U64(ctx.derived_seed())),
+            ])))
+        };
+        let full_path = temp_path("fault-full");
+        let cfg = CheckpointConfig {
+            experiment: "fault",
+            base_seed: 23,
+            threads: 2,
+            supervisor: SweepSupervisor { retries: 5, ..SweepSupervisor::default() },
+            path: &full_path,
+            resume: false,
+        };
+        let full = run_checkpointed_fallible(&cfg, &points, eval).unwrap();
+        let full_report = full.report().to_canonical_string();
+        assert_eq!(full.points[2].record.status, PointStatus::ScriptFault);
+        assert_eq!(full.points[2].record.script_id.as_deref(), Some("bomb.flua"));
+        assert_eq!(full.points[2].record.fuel_used, Some(20_000));
+        assert_eq!(fault_runs.load(Ordering::SeqCst), 1, "deterministic fault: no retry burn");
+        assert_eq!(full.report().get("script_faults").and_then(Json::as_u64), Some(1));
+
+        // Truncate to the first 4 lines (which include the faulted point in
+        // some interleaving or not — either way resume must reconverge).
+        let partial_path = temp_path("fault-partial");
+        let full_text = std::fs::read_to_string(&full_path).unwrap();
+        let lines: Vec<&str> = full_text.lines().take(4).collect();
+        std::fs::write(&partial_path, format!("{}\n", lines.join("\n"))).unwrap();
+        let resumed = run_checkpointed_fallible(
+            &CheckpointConfig { path: &partial_path, resume: true, ..cfg },
+            &points,
+            eval,
+        )
+        .unwrap();
+        assert_eq!(
+            resumed.report().to_canonical_string(),
+            full_report,
+            "resume with a ScriptFault record must be byte-identical"
+        );
+        // If the fault record survived truncation it was kept, not re-run.
+        let kept_fault = lines.iter().any(|l| l.contains("script_fault"));
+        let expected_runs = if kept_fault { 1 } else { 2 };
+        assert_eq!(fault_runs.load(Ordering::SeqCst), expected_runs);
+        std::fs::remove_file(&full_path).unwrap();
+        std::fs::remove_file(&partial_path).unwrap();
     }
 }

@@ -2,9 +2,10 @@
 //!
 //! Each layer keeps its own small, typed error (`TimeError`,
 //! `FaultConfigError`, `DnsError`, `HttpError`, `RetryExhausted`,
-//! `InvariantViolation`, `CheckpointError`) — all implementing
-//! [`std::error::Error`] and `Display` — and [`Error`] folds them into one
-//! enum so harnesses and examples can bubble any of them through a single
+//! `InvariantViolation`, `CheckpointError`, `CompileScriptError`,
+//! `RunScriptError`) — all implementing [`std::error::Error`] and
+//! `Display` — and [`Error`] folds them into one enum so harnesses and
+//! examples can bubble any of them through a single
 //! `Result<_, malsim::Error>` with `?`.
 
 use malsim_kernel::fault::FaultConfigError;
@@ -13,6 +14,7 @@ use malsim_kernel::time::TimeError;
 use malsim_net::dns::DnsError;
 use malsim_net::http::HttpError;
 use malsim_net::retry::RetryExhausted;
+use malsim_script::error::{CompileScriptError, RunScriptError};
 
 use crate::checkpoint::CheckpointError;
 
@@ -33,6 +35,12 @@ pub enum Error {
     Invariant(InvariantViolation),
     /// Checkpoint persistence or resume failed ([`CheckpointError`]).
     Checkpoint(CheckpointError),
+    /// A Flua scenario/module script failed to compile
+    /// ([`CompileScriptError`]).
+    Compile(CompileScriptError),
+    /// A Flua scenario/module script faulted at runtime
+    /// ([`RunScriptError`]).
+    Script(RunScriptError),
 }
 
 impl std::fmt::Display for Error {
@@ -45,6 +53,8 @@ impl std::fmt::Display for Error {
             Error::Retry(e) => write!(f, "retry: {e}"),
             Error::Invariant(e) => write!(f, "invariant: {e}"),
             Error::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            Error::Compile(e) => write!(f, "script: {e}"),
+            Error::Script(e) => write!(f, "script: {e}"),
         }
     }
 }
@@ -59,6 +69,8 @@ impl std::error::Error for Error {
             Error::Retry(e) => Some(e),
             Error::Invariant(e) => Some(e),
             Error::Checkpoint(e) => Some(e),
+            Error::Compile(e) => Some(e),
+            Error::Script(e) => Some(e),
         }
     }
 }
@@ -105,6 +117,18 @@ impl From<CheckpointError> for Error {
     }
 }
 
+impl From<CompileScriptError> for Error {
+    fn from(e: CompileScriptError) -> Error {
+        Error::Compile(e)
+    }
+}
+
+impl From<RunScriptError> for Error {
+    fn from(e: RunScriptError) -> Error {
+        Error::Script(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +146,32 @@ mod tests {
         let err: Error = ckpt.into();
         assert!(err.to_string().starts_with("checkpoint: "), "{err}");
         assert!(err.source().unwrap().to_string().contains("/tmp/x"));
+    }
+
+    #[test]
+    fn script_errors_round_trip_display_and_source() {
+        use malsim_script::error::SourcePos;
+
+        let run = RunScriptError::OutOfFuel;
+        let err: Error = run.clone().into();
+        assert_eq!(err, Error::Script(run.clone()));
+        assert_eq!(err.to_string(), format!("script: {run}"));
+        assert_eq!(err.source().unwrap().to_string(), run.to_string());
+
+        let cap = RunScriptError::CapabilityDenied {
+            name: "detonate".into(),
+            capability: malsim_script::cap::Capability::Detonate,
+        };
+        let err: Error = cap.clone().into();
+        assert_eq!(err.to_string(), "script: capability denied: 'detonate' requires detonate");
+        assert_eq!(err.source().unwrap().to_string(), cap.to_string());
+
+        let compile =
+            CompileScriptError { pos: SourcePos { line: 2, col: 5 }, message: "unexpected token".into() };
+        let err: Error = compile.clone().into();
+        assert_eq!(err, Error::Compile(compile.clone()));
+        assert_eq!(err.to_string(), "script: compile error at 2:5: unexpected token");
+        assert_eq!(err.source().unwrap().to_string(), compile.to_string());
     }
 
     #[test]

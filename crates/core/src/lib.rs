@@ -53,6 +53,7 @@ pub mod golden;
 pub mod invariants;
 pub mod report;
 pub mod scenario;
+pub mod script_api;
 pub mod sweep;
 
 pub use error::Error;
@@ -69,7 +70,8 @@ pub mod prelude {
     pub use crate::invariants;
     pub use crate::report::{self, Json};
     pub use crate::scenario::ScenarioBuilder;
-    pub use crate::sweep::{self, PointOutcome, PointRun, SweepSupervisor, Truncation};
+    pub use crate::script_api::{self, ScriptManifest, ScriptRunReport, ScriptScenario};
+    pub use crate::sweep::{self, PointOutcome, PointRun, ScriptFaultInfo, SweepSupervisor, Truncation};
     pub use malsim_analysis::prelude::*;
     pub use malsim_kernel::prelude::*;
     pub use malsim_malware::prelude::*;

@@ -84,6 +84,31 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Compiles a Flua scenario script (manifest header + body) for running
+    /// against worlds built by this builder. Scripts are sandboxed: see
+    /// [`crate::script_api`] for the capability gate and fault semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Compile`] for a malformed manifest or body.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use malsim::scenario::ScenarioBuilder;
+    ///
+    /// let builder = ScenarioBuilder::new(7);
+    /// let script = builder
+    ///     .script_scenario("#! name: census\n#! grant: fs_scan\nreturn len(scan_files(\".dll\"))")
+    ///     .unwrap();
+    /// let (mut world, mut sim) = builder.office_lan(3);
+    /// let report = script.run(&mut world, &mut sim).unwrap();
+    /// assert_eq!(report.script_id, "census");
+    /// ```
+    pub fn script_scenario(&self, source: &str) -> Result<crate::script_api::ScriptScenario, crate::Error> {
+        crate::script_api::ScriptScenario::compile(source)
+    }
+
     fn sim(&self) -> WorldSim {
         let mut sim = WorldSim::new(self.start, self.seed);
         if !self.trace {

@@ -201,6 +201,23 @@ impl<R> PointRun<R> {
     }
 }
 
+/// How a scenario script failed at one grid point: the typed fault rendered
+/// for the report, plus enough context to reproduce and triage it.
+///
+/// Produced by fallible point closures (see [`supervised_point_fallible`]);
+/// the sweep turns it into [`PointOutcome::ScriptFault`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptFaultInfo {
+    /// The script's manifest name (or a stable synthetic id).
+    pub script_id: String,
+    /// `Display` rendering of the underlying
+    /// [`RunScriptError`](malsim_script::error::RunScriptError) or
+    /// [`CompileScriptError`](malsim_script::error::CompileScriptError).
+    pub error: String,
+    /// Fuel the script had consumed when it faulted (0 for compile faults).
+    pub fuel_used: u64,
+}
+
 /// Terminal outcome of one supervised sweep point.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PointOutcome<R> {
@@ -226,14 +243,29 @@ pub enum PointOutcome<R> {
         /// Attempts consumed (all panicked).
         attempts: u32,
     },
+    /// The point's scenario script faulted (ran out of fuel/memory, called
+    /// a forbidden capability, hit a runtime error…). Deterministic — the
+    /// same script fails the same way every time — so unlike
+    /// [`PointOutcome::Poisoned`] no retries are burned; the point is
+    /// tagged and the rest of the grid completes.
+    ScriptFault {
+        /// The script's manifest name.
+        script_id: String,
+        /// `Display` rendering of the typed fault.
+        error: String,
+        /// Fuel consumed before the fault.
+        fuel_used: u64,
+        /// Zero-based grid index of the point.
+        point: usize,
+    },
 }
 
 impl<R> PointOutcome<R> {
-    /// The completed run, if the point was not poisoned.
+    /// The completed run, if the point was not poisoned or script-faulted.
     pub fn run(&self) -> Option<&PointRun<R>> {
         match self {
             PointOutcome::Completed { run, .. } => Some(run),
-            PointOutcome::Poisoned { .. } => None,
+            PointOutcome::Poisoned { .. } | PointOutcome::ScriptFault { .. } => None,
         }
     }
 }
@@ -273,6 +305,27 @@ where
     P: std::fmt::Debug,
     F: Fn(&SweepCtx, &P) -> PointRun<R>,
 {
+    supervised_point_fallible(ctx, supervisor, point, &|ctx: &SweepCtx, p: &P| Ok(run_point(ctx, p)))
+}
+
+/// [`supervised_point`] for points that can fail with a typed script fault
+/// in addition to panicking.
+///
+/// The two failure modes are handled differently: a panic is assumed
+/// transient-ish and retried up to the supervisor's budget; an
+/// `Err(ScriptFaultInfo)` is deterministic (the same script faults the same
+/// way on every attempt), so it is tagged as
+/// [`PointOutcome::ScriptFault`] immediately without burning a retry.
+pub fn supervised_point_fallible<P, R, F>(
+    ctx: &SweepCtx,
+    supervisor: &SweepSupervisor,
+    point: &P,
+    run_point: &F,
+) -> PointOutcome<R>
+where
+    P: std::fmt::Debug,
+    F: Fn(&SweepCtx, &P) -> Result<PointRun<R>, ScriptFaultInfo>,
+{
     if supervisor.stagger_ms > 0 {
         std::thread::sleep(std::time::Duration::from_millis(supervisor.stagger_ms));
     }
@@ -280,7 +333,15 @@ where
     loop {
         attempts += 1;
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_point(ctx, point))) {
-            Ok(run) => return PointOutcome::Completed { run, attempts },
+            Ok(Ok(run)) => return PointOutcome::Completed { run, attempts },
+            Ok(Err(fault)) => {
+                return PointOutcome::ScriptFault {
+                    script_id: fault.script_id,
+                    error: fault.error,
+                    fuel_used: fault.fuel_used,
+                    point: ctx.point,
+                }
+            }
             Err(payload) => {
                 if attempts > supervisor.retries {
                     return PointOutcome::Poisoned {
@@ -321,6 +382,27 @@ where
     F: Fn(&SweepCtx, &P) -> PointRun<R> + Sync,
 {
     run(experiment, base_seed, points, threads, |ctx, p| supervised_point(ctx, supervisor, p, &run_point))
+}
+
+/// [`run_supervised`] for fallible point closures: a point returning
+/// `Err(ScriptFaultInfo)` becomes [`PointOutcome::ScriptFault`] (no retries)
+/// while the rest of the grid completes normally.
+pub fn run_supervised_fallible<P, R, F>(
+    experiment: &'static str,
+    base_seed: u64,
+    points: &[P],
+    threads: usize,
+    supervisor: &SweepSupervisor,
+    run_point: F,
+) -> Vec<PointOutcome<R>>
+where
+    P: Sync + std::fmt::Debug,
+    R: Send,
+    F: Fn(&SweepCtx, &P) -> Result<PointRun<R>, ScriptFaultInfo> + Sync,
+{
+    run(experiment, base_seed, points, threads, |ctx, p| {
+        supervised_point_fallible(ctx, supervisor, p, &run_point)
+    })
 }
 
 /// Per-category roll-up of one metric across a grid of profiling summaries.
@@ -608,6 +690,49 @@ mod tests {
                 assert_eq!(panic_msg, "flaky");
             }
             other => panic!("expected poisoning, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn script_fault_tags_the_point_without_burning_retries() {
+        use std::sync::atomic::AtomicU32;
+        let points: Vec<u32> = (0..6).collect();
+        let tries: Vec<AtomicU32> = (0..6).map(|_| AtomicU32::new(0)).collect();
+        // Generous retry budget: a deterministic script fault must still be
+        // reported after exactly one attempt.
+        let supervisor = SweepSupervisor { retries: 5, ..SweepSupervisor::default() };
+        for threads in [1, 4] {
+            for t in &tries {
+                t.store(0, Ordering::SeqCst);
+            }
+            let outcomes =
+                run_supervised_fallible("scriptfault", 7, &points, threads, &supervisor, |ctx, &p| {
+                    tries[p as usize].fetch_add(1, Ordering::SeqCst);
+                    if p == 3 {
+                        return Err(ScriptFaultInfo {
+                            script_id: "bomb.flua".into(),
+                            error: "script exceeded its fuel budget".into(),
+                            fuel_used: 20_000,
+                        });
+                    }
+                    Ok(PointRun::complete((ctx.point, p)))
+                });
+            assert_eq!(outcomes.len(), 6);
+            for (i, outcome) in outcomes.iter().enumerate() {
+                if i == 3 {
+                    let PointOutcome::ScriptFault { script_id, error, fuel_used, point } = outcome else {
+                        panic!("point 3 must be a script fault, got {outcome:?}");
+                    };
+                    assert_eq!(script_id, "bomb.flua");
+                    assert_eq!(error, "script exceeded its fuel budget");
+                    assert_eq!(*fuel_used, 20_000);
+                    assert_eq!(*point, 3);
+                    assert!(outcome.run().is_none());
+                } else {
+                    assert_eq!(outcome.run().map(|r| r.result), Some((i, i as u32)));
+                }
+            }
+            assert_eq!(tries[3].load(Ordering::SeqCst), 1, "no retry burned on a script fault");
         }
     }
 

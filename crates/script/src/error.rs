@@ -68,6 +68,22 @@ pub enum RunScriptError {
     OutOfFuel,
     /// Value stack exceeded its limit (runaway recursion).
     StackOverflow,
+    /// The memory budget ran out — guards against memory bombs
+    /// (`s = s .. s` doubling loops, unbounded `push`).
+    OutOfMemory {
+        /// Bytes the script had allocated when it crossed the limit.
+        used: usize,
+        /// The configured budget ([`crate::vm::VmLimits::max_memory`]).
+        limit: usize,
+    },
+    /// A gated host call required a capability the script's manifest does
+    /// not grant.
+    CapabilityDenied {
+        /// The host function that was called.
+        name: String,
+        /// The missing capability.
+        capability: crate::cap::Capability,
+    },
     /// A host function reported an error.
     Host(String),
 }
@@ -87,6 +103,12 @@ impl fmt::Display for RunScriptError {
             RunScriptError::BadIndex(m) => write!(f, "bad index: {m}"),
             RunScriptError::OutOfFuel => write!(f, "script exceeded its fuel budget"),
             RunScriptError::StackOverflow => write!(f, "script stack overflow"),
+            RunScriptError::OutOfMemory { used, limit } => {
+                write!(f, "script exceeded its memory budget ({used} > {limit} bytes)")
+            }
+            RunScriptError::CapabilityDenied { name, capability } => {
+                write!(f, "capability denied: '{name}' requires {capability}")
+            }
             RunScriptError::Host(m) => write!(f, "host error: {m}"),
         }
     }
@@ -111,6 +133,18 @@ mod tests {
         assert!(RunScriptError::ArityMismatch { name: "g".into(), expected: 2, got: 3 }
             .to_string()
             .contains("expects 2"));
+        assert_eq!(
+            RunScriptError::OutOfMemory { used: 2048, limit: 1024 }.to_string(),
+            "script exceeded its memory budget (2048 > 1024 bytes)"
+        );
+        assert_eq!(
+            RunScriptError::CapabilityDenied {
+                name: "wipe_self".into(),
+                capability: crate::cap::Capability::Detonate,
+            }
+            .to_string(),
+            "capability denied: 'wipe_self' requires detonate"
+        );
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! Deterministic generator of hostile Flua scripts for scenario-space
+//! fuzzing.
+//!
+//! The containment layer's claim is that *no* script — however buggy or
+//! malicious — can panic, stall, or exhaust the harness; the worst it can do
+//! is fail with a typed [`RunScriptError`](crate::error::RunScriptError).
+//! This module mass-produces the prosecution's evidence: seeded,
+//! syntactically plausible scripts biased toward the known attack shapes
+//! (infinite loops, memory bombs, deep nesting, runaway recursion, forbidden
+//! capabilities, erroring host calls) plus outright garbage text.
+//!
+//! Everything is a pure function of the seed — no wall clock, no OS RNG —
+//! so a failing seed from CI reproduces locally byte-for-byte. The crate has
+//! no dependencies, so the generator carries its own tiny splitmix64 instead
+//! of the workspace `SimRng` (same determinism contract).
+
+/// A tiny deterministic RNG (splitmix64). Not cryptographic; only used to
+/// derive fuzz scripts from a seed.
+#[derive(Debug, Clone)]
+pub struct FuzzRng {
+    state: u64,
+}
+
+impl FuzzRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        FuzzRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n` must be non-zero).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform pick from a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// True with probability `percent`/100.
+    pub fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+/// Host functions the generated scripts call: a blend of the gated scenario
+/// API (some of which a sandboxed run will deny), harmless helpers, and
+/// names nothing defines.
+const HOST_CALLS: &[&str] = &[
+    "hosts()",
+    "host_count()",
+    "log(\"probe\")",
+    "scan_files(\"office-0\")",
+    "net_dial(\"cc.example.net\")",
+    "usb_write(\"office-0\", \"payload.tmp\", 4096)",
+    "exfil(\"office-0\", \"plans.dwg\")",
+    "detonate(\"office-0\")",
+    "totally_undefined_fn(1, 2)",
+    "fail_always()",
+];
+
+/// Leaf expressions.
+const ATOMS: &[&str] =
+    &["0", "1", "42", "-7", "3.5", "\"docx\"", "\"\"", "nil", "true", "false", "[1, 2, 3]", "[]"];
+
+/// Binary operators (including type-error bait like string arithmetic).
+const BINOPS: &[&str] = &["+", "-", "*", "/", "%", "..", "==", "!=", "<", "and", "or"];
+
+fn expr(rng: &mut FuzzRng, depth: u32) -> String {
+    if depth == 0 || rng.chance(40) {
+        return (*rng.pick(ATOMS)).to_owned();
+    }
+    match rng.below(5) {
+        0 => format!("({} {} {})", expr(rng, depth - 1), rng.pick(BINOPS), expr(rng, depth - 1)),
+        1 => format!("-{}", expr(rng, depth - 1)),
+        2 => format!("len({})", expr(rng, depth - 1)),
+        3 => format!("str({})", expr(rng, depth - 1)),
+        _ => (*rng.pick(HOST_CALLS)).to_owned(),
+    }
+}
+
+fn statements(rng: &mut FuzzRng, count: u64, depth: u32) -> String {
+    let mut out = String::new();
+    for i in 0..count {
+        let line = match rng.below(7) {
+            0 => format!("let v{i} = {}", expr(rng, depth)),
+            1 => format!("v{i} = {}", expr(rng, depth)),
+            2 => format!("if {} then let t{i} = {} end", expr(rng, depth.min(1)), expr(rng, depth.min(1))),
+            3 => format!("for x{i} in range({}) do let u{i} = x{i} + 1 end", rng.below(20)),
+            4 => (*rng.pick(HOST_CALLS)).to_owned(),
+            5 => format!("let s{i} = {} .. {}", expr(rng, 1), expr(rng, 1)),
+            _ => format!("let l{i} = push([], {})", expr(rng, 1)),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// The attack families the generator is biased toward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostileShape {
+    /// `while true do … end` — only fuel can stop it.
+    InfiniteLoop,
+    /// Doubling string concat — only the memory budget can stop it.
+    ConcatBomb,
+    /// Unbounded `push` growth.
+    PushBomb,
+    /// Large `range` allocations in a loop.
+    RangeBomb,
+    /// Deeply nested source — must die in the parser, not the native stack.
+    DeepNesting,
+    /// Unbounded script recursion — must hit the frame limit.
+    DeepRecursion,
+    /// Calls the gated API without the capability (when sandboxed).
+    ForbiddenCall,
+    /// Random statement soup: type errors, undefined names, host errors.
+    StatementSoup,
+    /// Random bytes that usually fail to lex/parse at all.
+    Garbage,
+}
+
+impl HostileShape {
+    /// All shapes, in declaration order.
+    pub const ALL: [HostileShape; 9] = [
+        HostileShape::InfiniteLoop,
+        HostileShape::ConcatBomb,
+        HostileShape::PushBomb,
+        HostileShape::RangeBomb,
+        HostileShape::DeepNesting,
+        HostileShape::DeepRecursion,
+        HostileShape::ForbiddenCall,
+        HostileShape::StatementSoup,
+        HostileShape::Garbage,
+    ];
+
+    /// The shape seed `seed` generates (uniform over [`HostileShape::ALL`]).
+    pub fn for_seed(seed: u64) -> HostileShape {
+        let mut rng = FuzzRng::new(seed);
+        *rng.pick(&HostileShape::ALL)
+    }
+}
+
+/// Generates one hostile script from a seed. Pure: the same seed always
+/// yields the same text.
+pub fn hostile_script(seed: u64) -> String {
+    let mut rng = FuzzRng::new(seed);
+    let shape = *rng.pick(&HostileShape::ALL);
+    let preamble_len = rng.below(4);
+    let preamble = statements(&mut rng, preamble_len, 2);
+    let payload = match shape {
+        HostileShape::InfiniteLoop => "let n = 0\nwhile true do n = n + 1 end\nreturn n".to_owned(),
+        HostileShape::ConcatBomb => {
+            "let s = \"seed\"\nwhile true do s = s .. s end\nreturn len(s)".to_owned()
+        }
+        HostileShape::PushBomb => {
+            "let l = [0]\nwhile true do l = push(l, len(l)) end\nreturn len(l)".to_owned()
+        }
+        HostileShape::RangeBomb => {
+            "let total = 0\nwhile true do total = total + len(range(1000000)) end".to_owned()
+        }
+        HostileShape::DeepNesting => {
+            let n = 300 + rng.below(5_000) as usize;
+            match rng.below(3) {
+                0 => format!("let x = {}1{}", "(".repeat(n), ")".repeat(n)),
+                1 => format!("let x = {}1", "-".repeat(2 * n)),
+                _ => format!("{}break{}", "while true do ".repeat(n), " end".repeat(n)),
+            }
+        }
+        HostileShape::DeepRecursion => "fn f(n) return f(n + 1) end\nreturn f(0)".to_owned(),
+        HostileShape::ForbiddenCall => {
+            let call = rng.pick(&["detonate(\"office-0\")", "usb_write(\"office-0\", \"x\", 1)"]);
+            format!("let before = host_count()\n{call}\nreturn before")
+        }
+        HostileShape::StatementSoup => {
+            let count = 5 + rng.below(15);
+            statements(&mut rng, count, 3)
+        }
+        HostileShape::Garbage => {
+            let len = rng.below(200) as usize;
+            let mut s = String::with_capacity(len);
+            for _ in 0..len {
+                // Printable ASCII plus newlines: exercises the lexer's
+                // error paths (unterminated strings, stray symbols).
+                let c = match rng.below(20) {
+                    0 => '\n',
+                    1 => '"',
+                    _ => char::from(32 + rng.below(95) as u8),
+                };
+                s.push(c);
+            }
+            s
+        }
+    };
+    format!("{preamble}{payload}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::compile;
+    use crate::vm::{NoHost, Vm, VmLimits};
+
+    #[test]
+    fn generator_is_deterministic() {
+        for seed in [0, 1, 7, 0xDEAD_BEEF] {
+            assert_eq!(hostile_script(seed), hostile_script(seed));
+        }
+        assert_ne!(hostile_script(1), hostile_script(2));
+    }
+
+    #[test]
+    fn all_shapes_appear_over_a_seed_range() {
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..200 {
+            seen.insert(format!("{:?}", HostileShape::for_seed(seed)));
+        }
+        assert_eq!(seen.len(), HostileShape::ALL.len(), "seen: {seen:?}");
+    }
+
+    #[test]
+    fn sandbox_survives_a_seed_sweep_without_host() {
+        // A quick in-crate smoke pass (the full 2k-script harness with the
+        // world host lives in the core crate's script_sandbox test): every
+        // generated script either compiles or fails typed, and every run
+        // ends in a value or a typed fault within the limits.
+        let limits = VmLimits { fuel: 50_000, max_memory: 256 * 1024, ..VmLimits::default() };
+        for seed in 0..300 {
+            let src = hostile_script(seed);
+            if let Ok(chunk) = compile(&src) {
+                let mut vm = Vm::new();
+                let _ = vm.run(&chunk, &mut NoHost, limits);
+            }
+        }
+    }
+}

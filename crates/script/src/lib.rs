@@ -20,8 +20,14 @@
 //! through [`vm::HostEnv`] — that is the *only* way a script can touch the
 //! simulated world.
 //!
-//! Execution is deterministic and fuel-limited ([`vm::VmLimits`]); a hostile
-//! script cannot stall the simulation.
+//! Execution is deterministic and budgeted ([`vm::VmLimits`]): fuel per
+//! instruction (with a surcharge on host calls), a memory cap on string/list
+//! allocation, and a parser nesting limit — a hostile script cannot stall,
+//! OOM, or crash the simulation; the worst it gets is a typed
+//! [`error::RunScriptError`]. Sensitive host functions can additionally be
+//! gated behind per-script capabilities ([`cap::GatedHost`]), and
+//! [`fuzz::hostile_script`] mass-produces adversarial scripts to prove the
+//! sandbox holds.
 //!
 //! # Examples
 //!
@@ -57,8 +63,10 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod cap;
 pub mod compiler;
 pub mod error;
+pub mod fuzz;
 pub mod lexer;
 pub mod parser;
 pub mod value;
@@ -66,6 +74,7 @@ pub mod vm;
 
 /// Commonly used items.
 pub mod prelude {
+    pub use crate::cap::{Capability, CapabilitySet, GatedHost};
     pub use crate::compiler::{compile, Chunk};
     pub use crate::error::{CompileScriptError, RunScriptError};
     pub use crate::value::Value;

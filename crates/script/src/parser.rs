@@ -21,18 +21,43 @@ use crate::lexer::{lex, Spanned, Token};
 /// ```
 pub fn parse(source: &str) -> Result<Program, CompileScriptError> {
     let tokens = lex(source)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser { tokens, pos: 0, depth: 0 };
     let stmts = p.block(&[Token::Eof])?;
     p.expect(Token::Eof)?;
     Ok(Program { stmts })
 }
 
+/// Maximum combined statement/expression nesting depth.
+///
+/// The parser is recursive-descent, so source nesting consumes native stack
+/// frames; without a cap a few kilobytes of `(((((…` aborts the whole
+/// process — which `catch_unwind` in the sweep supervisor cannot contain.
+/// The cap also bounds AST depth, keeping the (equally recursive) compiler
+/// safe. Each nesting level is counted up to twice (statement/expression
+/// entry plus unary chains), so the practical source nesting limit is about
+/// half this value — far beyond anything a legitimate scenario writes. The
+/// value is sized so a cap-depth parse fits comfortably inside a 2 MiB
+/// thread stack even in debug builds (each level costs ~10 native frames
+/// through the precedence chain).
+const MAX_DEPTH: usize = 128;
+
 struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
+    /// Bumps the nesting depth, failing with a typed error at the cap.
+    fn enter(&mut self) -> Result<(), CompileScriptError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            self.err(format!("nesting exceeds depth limit ({MAX_DEPTH})"))
+        } else {
+            Ok(())
+        }
+    }
+
     fn peek(&self) -> &Token {
         &self.tokens[self.pos].token
     }
@@ -86,6 +111,13 @@ impl Parser {
     }
 
     fn statement(&mut self) -> Result<Stmt, CompileScriptError> {
+        self.enter()?;
+        let stmt = self.statement_inner();
+        self.depth -= 1;
+        stmt
+    }
+
+    fn statement_inner(&mut self) -> Result<Stmt, CompileScriptError> {
         match self.peek().clone() {
             Token::Let => {
                 self.advance();
@@ -194,26 +226,41 @@ impl Parser {
     }
 
     fn expression(&mut self) -> Result<Expr, CompileScriptError> {
-        self.parse_or()
+        self.enter()?;
+        let expr = self.parse_or();
+        self.depth -= 1;
+        expr
     }
 
     fn parse_or(&mut self) -> Result<Expr, CompileScriptError> {
+        let mut chain = 0;
         let mut lhs = self.parse_and()?;
         while *self.peek() == Token::Or {
+            // Operator chains build a left-leaning AST one level deeper per
+            // term without any parser recursion, so each iteration is
+            // charged against the same depth budget — otherwise a flat
+            // 10k-term line overflows the (recursive) compiler and Drop.
+            self.enter()?;
+            chain += 1;
             self.advance();
             let rhs = self.parse_and()?;
             lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
         }
+        self.depth -= chain;
         Ok(lhs)
     }
 
     fn parse_and(&mut self) -> Result<Expr, CompileScriptError> {
+        let mut chain = 0;
         let mut lhs = self.parse_cmp()?;
         while *self.peek() == Token::And {
+            self.enter()?;
+            chain += 1;
             self.advance();
             let rhs = self.parse_cmp()?;
             lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
         }
+        self.depth -= chain;
         Ok(lhs)
     }
 
@@ -234,16 +281,21 @@ impl Parser {
     }
 
     fn parse_concat(&mut self) -> Result<Expr, CompileScriptError> {
+        let mut chain = 0;
         let mut lhs = self.parse_additive()?;
         while *self.peek() == Token::Concat {
+            self.enter()?;
+            chain += 1;
             self.advance();
             let rhs = self.parse_additive()?;
             lhs = Expr::Binary { op: BinOp::Concat, lhs: Box::new(lhs), rhs: Box::new(rhs) };
         }
+        self.depth -= chain;
         Ok(lhs)
     }
 
     fn parse_additive(&mut self) -> Result<Expr, CompileScriptError> {
+        let mut chain = 0;
         let mut lhs = self.parse_multiplicative()?;
         loop {
             let op = match self.peek() {
@@ -251,14 +303,18 @@ impl Parser {
                 Token::Minus => BinOp::Sub,
                 _ => break,
             };
+            self.enter()?;
+            chain += 1;
             self.advance();
             let rhs = self.parse_multiplicative()?;
             lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
         }
+        self.depth -= chain;
         Ok(lhs)
     }
 
     fn parse_multiplicative(&mut self) -> Result<Expr, CompileScriptError> {
+        let mut chain = 0;
         let mut lhs = self.parse_unary()?;
         loop {
             let op = match self.peek() {
@@ -267,37 +323,47 @@ impl Parser {
                 Token::Percent => BinOp::Mod,
                 _ => break,
             };
+            self.enter()?;
+            chain += 1;
             self.advance();
             let rhs = self.parse_unary()?;
             lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
         }
+        self.depth -= chain;
         Ok(lhs)
     }
 
     fn parse_unary(&mut self) -> Result<Expr, CompileScriptError> {
-        match self.peek() {
+        // Unary chains (`----x`, `not not x`) recurse without passing
+        // through `expression`, so they are depth-counted here too.
+        self.enter()?;
+        let expr = match self.peek() {
             Token::Minus => {
                 self.advance();
-                let expr = self.parse_unary()?;
-                Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(expr) })
+                self.parse_unary().map(|expr| Expr::Unary { op: UnOp::Neg, expr: Box::new(expr) })
             }
             Token::Not => {
                 self.advance();
-                let expr = self.parse_unary()?;
-                Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(expr) })
+                self.parse_unary().map(|expr| Expr::Unary { op: UnOp::Not, expr: Box::new(expr) })
             }
             _ => self.parse_postfix(),
-        }
+        };
+        self.depth -= 1;
+        expr
     }
 
     fn parse_postfix(&mut self) -> Result<Expr, CompileScriptError> {
+        let mut chain = 0;
         let mut expr = self.parse_primary()?;
         while *self.peek() == Token::LBracket {
+            self.enter()?;
+            chain += 1;
             self.advance();
             let index = self.expression()?;
             self.expect(Token::RBracket)?;
             expr = Expr::Index { target: Box::new(expr), index: Box::new(index) };
         }
+        self.depth -= chain;
         Ok(expr)
     }
 
@@ -456,6 +522,35 @@ mod tests {
         assert!(parse("let = 3").is_err());
         assert!(parse("1 +").is_err());
         assert!(parse(") x").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_a_typed_error_not_a_crash() {
+        // Parens recurse through expression(); this used to blow the
+        // native stack at a few thousand levels.
+        let bomb = format!("let x = {}1{}", "(".repeat(5_000), ")".repeat(5_000));
+        let err = parse(&bomb).unwrap_err();
+        assert!(err.message.contains("depth limit"), "got: {}", err.message);
+
+        // Unary chains recurse through parse_unary() directly.
+        let minus_bomb = format!("let x = {}1", "-".repeat(10_000));
+        assert!(parse(&minus_bomb).unwrap_err().message.contains("depth limit"));
+
+        // Nested blocks recurse through statement().
+        let block_bomb = format!("{}break{}", "while true do ".repeat(5_000), " end".repeat(5_000));
+        assert!(parse(&block_bomb).unwrap_err().message.contains("depth limit"));
+
+        // List-literal nesting recurses through expression().
+        let list_bomb = format!("let x = {}{}", "[".repeat(5_000), "]".repeat(5_000));
+        assert!(parse(&list_bomb).unwrap_err().message.contains("depth limit"));
+    }
+
+    #[test]
+    fn moderate_nesting_still_parses() {
+        let src = format!("let x = {}1{}", "(".repeat(40), ")".repeat(40));
+        assert!(parse(&src).is_ok());
+        let src = format!("{}break{}", "while true do ".repeat(40), " end".repeat(40));
+        assert!(parse(&src).is_ok());
     }
 
     #[test]

@@ -86,6 +86,22 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Approximate heap bytes owned *directly* by this value: string bytes
+    /// or list slots plus a fixed allocation overhead; scalars are free.
+    ///
+    /// Shallow by design — list elements are `Rc`-shared with whatever
+    /// produced them and were charged when *they* were allocated. The VM
+    /// uses this to charge freshly built strings/lists against
+    /// [`crate::vm::VmLimits::max_memory`].
+    pub fn heap_bytes(&self) -> usize {
+        const ALLOC_OVERHEAD: usize = 40; // Rc header + Vec/str bookkeeping
+        match self {
+            Value::Str(s) => ALLOC_OVERHEAD + s.len(),
+            Value::List(l) => ALLOC_OVERHEAD + l.len() * std::mem::size_of::<Value>(),
+            _ => 0,
+        }
+    }
 }
 
 impl From<bool> for Value {
@@ -175,5 +191,17 @@ mod tests {
     fn type_names() {
         assert_eq!(Value::Nil.type_name(), "nil");
         assert_eq!(Value::list(vec![]).type_name(), "list");
+    }
+
+    #[test]
+    fn heap_bytes_scale_with_payload() {
+        assert_eq!(Value::Int(7).heap_bytes(), 0);
+        assert_eq!(Value::Nil.heap_bytes(), 0);
+        let short = Value::str("ab").heap_bytes();
+        let long = Value::str("abcdefgh").heap_bytes();
+        assert_eq!(long - short, 6);
+        let one = Value::list(vec![Value::Int(1)]).heap_bytes();
+        let three = Value::list(vec![Value::Int(1); 3]).heap_bytes();
+        assert_eq!(three - one, 2 * std::mem::size_of::<Value>());
     }
 }

@@ -90,11 +90,27 @@ pub struct VmLimits {
     pub max_stack: usize,
     /// Maximum call depth.
     pub max_frames: usize,
+    /// Maximum bytes of strings/lists a run may allocate (charged on `..`
+    /// concat, list literals, and allocating builtins/host results). Guards
+    /// against memory bombs that fuel alone cannot stop — a doubling concat
+    /// loop reaches gigabytes in ~30 cheap instructions.
+    pub max_memory: usize,
+    /// Extra fuel charged for every host-function dispatch, on top of the
+    /// call instruction itself. Host calls do real work in the simulated
+    /// world (file scans, beacons); pricing them above plain ops keeps a
+    /// host-call spin loop from monopolising a sweep point.
+    pub host_call_fuel: u64,
 }
 
 impl Default for VmLimits {
     fn default() -> Self {
-        VmLimits { fuel: 1_000_000, max_stack: 4_096, max_frames: 64 }
+        VmLimits {
+            fuel: 1_000_000,
+            max_stack: 4_096,
+            max_frames: 64,
+            max_memory: 16 * 1024 * 1024,
+            host_call_fuel: 8,
+        }
     }
 }
 
@@ -105,6 +121,9 @@ pub struct RunOutcome {
     pub value: Value,
     /// Instructions executed.
     pub fuel_used: u64,
+    /// Bytes of strings/lists allocated (the quantity limited by
+    /// [`VmLimits::max_memory`]).
+    pub mem_allocated: usize,
 }
 
 /// The virtual machine. Holds globals that persist across runs, so a
@@ -112,6 +131,8 @@ pub struct RunOutcome {
 #[derive(Debug, Default)]
 pub struct Vm {
     globals: HashMap<String, Value>,
+    last_fuel_used: u64,
+    last_mem_allocated: usize,
 }
 
 struct Frame {
@@ -137,12 +158,26 @@ impl Vm {
         self.globals.insert(name.into(), value);
     }
 
+    /// Fuel consumed by the most recent [`Vm::run`], whether it succeeded
+    /// or faulted — errors carry no fuel figure, so fault reporting (e.g.
+    /// a sweep's `ScriptFault` tag) reads it from here.
+    pub fn last_fuel_used(&self) -> u64 {
+        self.last_fuel_used
+    }
+
+    /// Bytes allocated by the most recent [`Vm::run`] (success or fault).
+    pub fn last_mem_allocated(&self) -> usize {
+        self.last_mem_allocated
+    }
+
     /// Runs a chunk to completion under `limits`.
     ///
     /// # Errors
     ///
     /// Any [`RunScriptError`], including [`RunScriptError::OutOfFuel`] when
-    /// the budget is exhausted.
+    /// the instruction budget is exhausted and
+    /// [`RunScriptError::OutOfMemory`] when allocations exceed
+    /// [`VmLimits::max_memory`].
     pub fn run(
         &mut self,
         chunk: &Chunk,
@@ -150,6 +185,21 @@ impl Vm {
         limits: VmLimits,
     ) -> Result<RunOutcome, RunScriptError> {
         let mut fuel = limits.fuel;
+        let mut mem: usize = 0;
+        let result = self.exec(chunk, host, limits, &mut fuel, &mut mem);
+        self.last_fuel_used = limits.fuel - fuel;
+        self.last_mem_allocated = mem;
+        result.map(|value| RunOutcome { value, fuel_used: limits.fuel - fuel, mem_allocated: mem })
+    }
+
+    fn exec(
+        &mut self,
+        chunk: &Chunk,
+        host: &mut dyn HostEnv,
+        limits: VmLimits,
+        fuel: &mut u64,
+        mem: &mut usize,
+    ) -> Result<Value, RunScriptError> {
         let mut stack: Vec<Value> = Vec::with_capacity(64);
         let mut frames: Vec<Frame> =
             vec![Frame { proto: None, ip: 0, stack_base: 0, locals: HashMap::new() }];
@@ -163,16 +213,16 @@ impl Vm {
                 // Fell off the end: implicit nil return.
                 let done = self.do_return(&mut frames, &mut stack, Value::Nil);
                 if done {
-                    return Ok(RunOutcome { value: Value::Nil, fuel_used: limits.fuel - fuel });
+                    return Ok(Value::Nil);
                 }
                 continue;
             }
             let op = code[frame.ip].clone();
             frame.ip += 1;
-            if fuel == 0 {
+            if *fuel == 0 {
                 return Err(RunScriptError::OutOfFuel);
             }
-            fuel -= 1;
+            *fuel -= 1;
             if stack.len() > limits.max_stack {
                 return Err(RunScriptError::StackOverflow);
             }
@@ -214,7 +264,9 @@ impl Vm {
                         return Err(RunScriptError::StackOverflow);
                     }
                     let items = stack.split_off(stack.len() - n);
-                    stack.push(Value::list(items));
+                    let v = Value::list(items);
+                    charge(mem, limits.max_memory, &v)?;
+                    stack.push(v);
                 }
                 Op::Add => binary_num(&mut stack, "+", |a, b| a.checked_add(b), |a, b| a + b)?,
                 Op::Sub => binary_num(&mut stack, "-", |a, b| a.checked_sub(b), |a, b| a - b)?,
@@ -254,7 +306,9 @@ impl Vm {
                 Op::Concat => {
                     let b = pop(&mut stack)?;
                     let a = pop(&mut stack)?;
-                    stack.push(Value::str(format!("{a}{b}")));
+                    let v = Value::str(format!("{a}{b}"));
+                    charge(mem, limits.max_memory, &v)?;
+                    stack.push(v);
                 }
                 Op::Eq => {
                     let b = pop(&mut stack)?;
@@ -363,24 +417,35 @@ impl Vm {
                         }
                         frames.push(Frame { proto: Some(proto), ip: 0, stack_base: stack.len(), locals });
                     } else if let Some(v) = builtin(fname, &args)? {
-                        stack.push(v);
-                    } else if let Some(v) = host.call_host(fname, &args)? {
+                        charge(mem, limits.max_memory, &v)?;
                         stack.push(v);
                     } else {
-                        return Err(RunScriptError::UndefinedFunction(fname.to_owned()));
+                        // Anything past the builtins is a host dispatch;
+                        // surcharge it before the host runs.
+                        if *fuel < limits.host_call_fuel {
+                            return Err(RunScriptError::OutOfFuel);
+                        }
+                        *fuel -= limits.host_call_fuel;
+                        match host.call_host(fname, &args)? {
+                            Some(v) => {
+                                charge(mem, limits.max_memory, &v)?;
+                                stack.push(v);
+                            }
+                            None => return Err(RunScriptError::UndefinedFunction(fname.to_owned())),
+                        }
                     }
                 }
                 Op::Return => {
                     let v = pop(&mut stack)?;
                     let done = self.do_return(&mut frames, &mut stack, v.clone());
                     if done {
-                        return Ok(RunOutcome { value: v, fuel_used: limits.fuel - fuel });
+                        return Ok(v);
                     }
                 }
                 Op::ReturnNil => {
                     let done = self.do_return(&mut frames, &mut stack, Value::Nil);
                     if done {
-                        return Ok(RunOutcome { value: Value::Nil, fuel_used: limits.fuel - fuel });
+                        return Ok(Value::Nil);
                     }
                 }
                 Op::Pop => {
@@ -406,6 +471,18 @@ impl Vm {
 
 fn pop(stack: &mut Vec<Value>) -> Result<Value, RunScriptError> {
     stack.pop().ok_or(RunScriptError::StackOverflow)
+}
+
+/// Charges a freshly allocated value against the memory budget.
+fn charge(mem: &mut usize, limit: usize, v: &Value) -> Result<(), RunScriptError> {
+    let add = v.heap_bytes();
+    if add != 0 {
+        *mem = mem.saturating_add(add);
+        if *mem > limit {
+            return Err(RunScriptError::OutOfMemory { used: *mem, limit });
+        }
+    }
+    Ok(())
 }
 
 fn both_nums(a: &Value, b: &Value, op: &str) -> Result<(f64, f64), RunScriptError> {
@@ -750,6 +827,72 @@ mod tests {
     fn builtin_range_bounds() {
         assert!(matches!(eval("return range(-1)"), Err(RunScriptError::BadIndex(_))));
         assert_eq!(eval("return len(range(5))").unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn memory_limit_stops_concat_bomb() {
+        // The classic 3-line doubling bomb: without `max_memory` this
+        // reaches gigabytes long before the fuel budget notices.
+        let chunk = compile("let s = \"x\"\nwhile true do s = s .. s end").unwrap();
+        let mut vm = Vm::new();
+        let limits = VmLimits { max_memory: 64 * 1024, ..VmLimits::default() };
+        let err = vm.run(&chunk, &mut NoHost, limits).unwrap_err();
+        assert!(matches!(err, RunScriptError::OutOfMemory { limit: 65_536, .. }));
+        assert!(vm.last_mem_allocated() > 64 * 1024, "counter crossed the limit");
+        assert!(vm.last_fuel_used() > 0 && vm.last_fuel_used() < 1_000, "caught early");
+    }
+
+    #[test]
+    fn memory_limit_stops_push_bomb() {
+        let chunk = compile("let l = []\nwhile true do l = push(l, 1) end").unwrap();
+        let mut vm = Vm::new();
+        let limits = VmLimits { max_memory: 4 * 1024, ..VmLimits::default() };
+        let err = vm.run(&chunk, &mut NoHost, limits).unwrap_err();
+        assert!(matches!(err, RunScriptError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn memory_limit_stops_range_bomb() {
+        let chunk = compile("return range(1000000)").unwrap();
+        let mut vm = Vm::new();
+        let limits = VmLimits { max_memory: 1024 * 1024, ..VmLimits::default() };
+        let err = vm.run(&chunk, &mut NoHost, limits).unwrap_err();
+        assert!(matches!(err, RunScriptError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn memory_accounting_reported_and_deterministic() {
+        let chunk = compile("return \"aaaa\" .. \"bbbb\"").unwrap();
+        let mut vm = Vm::new();
+        let a = vm.run(&chunk, &mut NoHost, VmLimits::default()).unwrap();
+        let b = vm.run(&chunk, &mut NoHost, VmLimits::default()).unwrap();
+        assert!(a.mem_allocated > 0);
+        assert_eq!(a.mem_allocated, b.mem_allocated);
+        assert_eq!(a.mem_allocated, vm.last_mem_allocated());
+    }
+
+    #[test]
+    fn host_calls_pay_the_fuel_surcharge() {
+        let chunk = compile("ping()\nping()").unwrap();
+        let run_with = |surcharge: u64| {
+            let mut vm = Vm::new();
+            let mut host = FnHost::new();
+            host.register("ping", |_| Ok(Value::Nil));
+            let limits = VmLimits { host_call_fuel: surcharge, ..VmLimits::default() };
+            vm.run(&chunk, &mut host, limits).unwrap().fuel_used
+        };
+        assert_eq!(run_with(100) - run_with(0), 200, "two host calls, 100 extra fuel each");
+    }
+
+    #[test]
+    fn host_call_surcharge_is_enforced() {
+        // Enough fuel for the call instruction but not the surcharge.
+        let chunk = compile("ping()").unwrap();
+        let mut vm = Vm::new();
+        let mut host = FnHost::new();
+        host.register("ping", |_| Ok(Value::Nil));
+        let limits = VmLimits { fuel: 3, host_call_fuel: 1_000, ..VmLimits::default() };
+        assert_eq!(vm.run(&chunk, &mut host, limits).unwrap_err(), RunScriptError::OutOfFuel);
     }
 
     #[test]

@@ -114,4 +114,74 @@ proptest! {
         let out = vm.run(&chunk, &mut NoHost, VmLimits::default()).unwrap();
         prop_assert_eq!(out.value, Value::str(format!("{a}{b}")));
     }
+
+    // --- pathological inputs: the compiler must fail typed, never panic ---
+
+    #[test]
+    fn deeply_nested_parens_fail_typed(depth in 200usize..4_000) {
+        let src = format!("return {}1{}", "(".repeat(depth), ")".repeat(depth));
+        let err = compile(&src).unwrap_err();
+        prop_assert!(err.message.contains("depth limit"), "got: {}", err.message);
+    }
+
+    #[test]
+    fn deeply_nested_blocks_fail_typed(depth in 200usize..2_000) {
+        let src = format!("{}break{}", "while true do ".repeat(depth), " end".repeat(depth));
+        let err = compile(&src).unwrap_err();
+        prop_assert!(err.message.contains("depth limit"), "got: {}", err.message);
+    }
+
+    #[test]
+    fn unary_chains_fail_typed(depth in 400usize..20_000) {
+        let src = format!("return {}1", "-".repeat(depth));
+        let err = compile(&src).unwrap_err();
+        prop_assert!(err.message.contains("depth limit"), "got: {}", err.message);
+    }
+
+    #[test]
+    fn long_flat_token_lines_fail_typed(n in 1_000usize..10_000) {
+        // A flat 10k-term chain is not nested *source*, but it builds a
+        // left-leaning AST thousands of levels deep — which would overflow
+        // the recursive compiler (and recursive Drop). The parser charges
+        // chain length against the same depth budget, so this must fail
+        // typed, never abort.
+        let line = (0..n).map(|i| i.to_string()).collect::<Vec<_>>().join(" + ");
+        let err = compile(&format!("return {line}")).unwrap_err();
+        prop_assert!(err.message.contains("depth limit"), "got: {}", err.message);
+    }
+
+    #[test]
+    fn long_index_chains_fail_typed(n in 200usize..5_000) {
+        let src = format!("let l = [[0]]\nreturn l{}", "[0]".repeat(n));
+        let err = compile(&src).unwrap_err();
+        prop_assert!(err.message.contains("depth limit"), "got: {}", err.message);
+    }
+
+    #[test]
+    fn many_flat_statements_compile_fine(n in 1_000usize..4_000) {
+        // Program *length* is not nesting: thousands of sibling statements
+        // must stay inside the budget.
+        let src = (0..n).map(|i| format!("let v{i} = {i}")).collect::<Vec<_>>().join("\n");
+        prop_assert!(compile(&src).is_ok());
+    }
+
+    #[test]
+    fn unterminated_strings_fail_typed(prefix in "[a-z ]{0,30}") {
+        let src = format!("let s = \"{prefix}");
+        let err = compile(&src).unwrap_err();
+        prop_assert!(err.message.contains("unterminated"), "got: {}", err.message);
+    }
+
+    #[test]
+    fn hostile_generator_output_never_panics_the_pipeline(seed in 0u64..10_000) {
+        // Compile + run under tight limits: every outcome is Ok or a typed
+        // error; the process-level failures (native stack overflow, OOM)
+        // are exactly what the sandbox must prevent.
+        let limits = VmLimits { fuel: 20_000, max_memory: 128 * 1024, ..VmLimits::default() };
+        let src = malsim_script::fuzz::hostile_script(seed);
+        if let Ok(chunk) = compile(&src) {
+            let mut vm = Vm::new();
+            let _ = vm.run(&chunk, &mut NoHost, limits);
+        }
+    }
 }

@@ -16,6 +16,12 @@
 
 use malsim::prelude::*;
 
+/// Exits with a Display-rendered message instead of a raw `Debug` panic.
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(1);
+}
+
 fn main() {
     let mut trace_out: Option<String> = None;
     let mut jsonl_out: Option<String> = None;
@@ -24,8 +30,12 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--trace-out" => trace_out = Some(args.next().expect("--trace-out takes a path")),
-            "--jsonl-out" => jsonl_out = Some(args.next().expect("--jsonl-out takes a path")),
+            "--trace-out" => {
+                trace_out = Some(args.next().unwrap_or_else(|| fail("--trace-out takes a path")))
+            }
+            "--jsonl-out" => {
+                jsonl_out = Some(args.next().unwrap_or_else(|| fail("--jsonl-out takes a path")))
+            }
             "--profile" => profile = true,
             "--check-invariants" => check_invariants = true,
             other => {
@@ -73,12 +83,18 @@ fn main() {
 
     if let Some(path) = &trace_out {
         let doc = export::chrome_trace(&sim.trace, &sim.spans);
-        export::validate_chrome_trace(&doc).expect("exporter emits schema-valid documents");
-        std::fs::write(path, doc.to_canonical_string()).expect("write --trace-out file");
+        if let Err(e) = export::validate_chrome_trace(&doc) {
+            fail(format!("exporter produced a schema-invalid document: {e}"));
+        }
+        if let Err(e) = std::fs::write(path, doc.to_canonical_string()) {
+            fail(format!("cannot write {path}: {e}"));
+        }
         println!("\nwrote Perfetto-loadable trace to {path}");
     }
     if let Some(path) = &jsonl_out {
-        std::fs::write(path, export::jsonl(&sim.trace, &sim.spans)).expect("write --jsonl-out file");
+        if let Err(e) = std::fs::write(path, export::jsonl(&sim.trace, &sim.spans)) {
+            fail(format!("cannot write {path}: {e}"));
+        }
         println!("wrote JSONL feed to {path}");
     }
     if profile {
