@@ -1,0 +1,90 @@
+//! Sweep throughput baseline: end-to-end events/sec on three representative
+//! experiments (E1 Stuxnet site, E9 Shamoon fleet wipe, E13 takedown
+//! resilience), emitted as one canonical-JSON document so CI can archive
+//! `BENCH_sweep.json` per commit and regressions show up as a diffable
+//! artifact rather than an anecdote.
+//!
+//! Usage: `cargo run --release -p malsim-bench --bin bench_sweep --
+//!   [--iters <n>] [--out <path>]`
+//!
+//! Event counts are deterministic per seed; only the wall-clock figures
+//! vary between machines and runs.
+
+use std::time::Instant;
+
+use malsim::experiments::{
+    e13_takedown_resilience_profiled_t, e1_stuxnet_end_to_end_run, e9_shamoon_wipe_run,
+};
+use malsim::report::Json;
+
+/// Times `iters` runs of one experiment; `run()` returns the number of
+/// kernel events the run dispatched.
+fn sample(iters: u64, run: impl Fn() -> u64) -> (u64, f64) {
+    let mut events = 0u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        events += run();
+    }
+    (events / iters, start.elapsed().as_secs_f64() * 1e3 / iters as f64)
+}
+
+fn main() {
+    let mut iters = 3u64;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--iters" => {
+                iters = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--iters takes an integer");
+                    std::process::exit(2);
+                })
+            }
+            "--out" => out = args.next(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_sweep [--iters <n>] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    type Case = (&'static str, Box<dyn Fn() -> u64>);
+    let cases: Vec<Case> = vec![
+        ("e1_stuxnet_site", Box::new(|| e1_stuxnet_end_to_end_run(42, 10, false).sim.executed())),
+        ("e9_shamoon_fleet", Box::new(|| e9_shamoon_wipe_run(815, 4, 24, 2).sim.executed())),
+        (
+            "e13_takedown_grid",
+            Box::new(|| {
+                let (_, profiles) =
+                    e13_takedown_resilience_profiled_t(11, 6, 3, &[0.0, 0.25, 0.5, 0.75, 1.0], 1);
+                profiles.iter().map(|p| p.total_events).sum()
+            }),
+        ),
+    ];
+    let rows: Vec<Json> = cases
+        .into_iter()
+        .map(|(experiment, run)| {
+            let (events, wall_ms) = sample(iters, run);
+            eprintln!("{experiment}: {events} events in {wall_ms:.1} ms/iter");
+            Json::obj([
+                ("experiment", experiment.into()),
+                ("events", Json::U64(events)),
+                ("wall_ms", Json::F64(wall_ms)),
+                ("events_per_sec", Json::F64((events as f64 / wall_ms * 1e3).round())),
+            ])
+        })
+        .collect();
+    let doc = Json::obj([("bench", "sweep".into()), ("iters", Json::U64(iters)), ("rows", Json::Arr(rows))]);
+    let text = doc.to_canonical_string();
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &text).unwrap_or_else(|e| {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+}

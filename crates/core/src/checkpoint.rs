@@ -28,7 +28,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use crate::report::{self, Json};
-use crate::sweep::{self, PointOutcome, PointRun, SweepCtx, SweepSupervisor};
+use crate::sweep::{self, PointOutcome, PointRun, PoolConfig, SweepCtx, SweepSupervisor};
 
 /// FNV-1a 64-bit hash (the checkpoint record integrity check).
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -95,6 +95,10 @@ pub enum PointStatus {
     /// row. Unlike poisoned points these are deterministic, so the record
     /// is *kept* on resume rather than re-run.
     ScriptFault,
+    /// The point's job was cancelled before the point started; there is no
+    /// row. Only the [`jobs`](crate::jobs) layer produces this status —
+    /// plain sweeps have no cancellation surface.
+    Cancelled,
 }
 
 impl PointStatus {
@@ -105,15 +109,17 @@ impl PointStatus {
             PointStatus::Truncated => "truncated",
             PointStatus::Poisoned => "poisoned",
             PointStatus::ScriptFault => "script_fault",
+            PointStatus::Cancelled => "cancelled",
         }
     }
 
-    fn from_label(label: &str) -> Option<PointStatus> {
+    pub(crate) fn from_label(label: &str) -> Option<PointStatus> {
         match label {
             "completed" => Some(PointStatus::Completed),
             "truncated" => Some(PointStatus::Truncated),
             "poisoned" => Some(PointStatus::Poisoned),
             "script_fault" => Some(PointStatus::ScriptFault),
+            "cancelled" => Some(PointStatus::Cancelled),
             _ => None,
         }
     }
@@ -148,7 +154,26 @@ pub struct CheckpointRecord {
 }
 
 impl CheckpointRecord {
-    fn to_json(&self, experiment: &str, base_seed: u64) -> Json {
+    /// An empty record for a cancelled point (no row, no fault detail).
+    pub(crate) fn cancelled(point: usize) -> CheckpointRecord {
+        CheckpointRecord {
+            point,
+            status: PointStatus::Cancelled,
+            truncation: None,
+            row: None,
+            panic_msg: None,
+            params: None,
+            script_id: None,
+            script_error: None,
+            fuel_used: None,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Serialises the record as one journal/checkpoint object under the
+    /// given `(scope, base_seed)` identity — the sweep's experiment label
+    /// for checkpoints, the job id for job journals.
+    pub(crate) fn to_json(&self, experiment: &str, base_seed: u64) -> Json {
         let (row, hash) = match &self.row {
             Some(row) => (row.clone(), format!("{:016x}", fnv1a64(row.to_compact_string().as_bytes()))),
             None => (Json::Null, String::new()),
@@ -173,7 +198,7 @@ impl CheckpointRecord {
     /// Parses one checkpoint line. `Ok(None)` means the line is damaged or
     /// stale (skip and re-run the point); `Err` means it belongs to another
     /// sweep entirely.
-    fn from_line(
+    pub(crate) fn from_line(
         line: &str,
         path: &Path,
         experiment: &str,
@@ -297,19 +322,29 @@ impl CheckpointWriter {
         Ok(CheckpointWriter { path: path.to_owned(), file: Mutex::new(file) })
     }
 
-    /// Appends one record as a single compact-JSON line and flushes, so a
-    /// `SIGKILL` can tear at most the line in flight.
+    /// Appends one record as a single compact-JSON line, flushed **and
+    /// fsynced**: once this returns, the record survives a `SIGKILL` — or a
+    /// power cut — landing immediately after. A kill mid-call can tear at
+    /// most the line in flight, which the lenient loader skips and counts.
     pub fn record(
         &self,
         experiment: &str,
         base_seed: u64,
         rec: &CheckpointRecord,
     ) -> Result<(), CheckpointError> {
-        let line = rec.to_json(experiment, base_seed).to_compact_string();
+        self.append_json(&rec.to_json(experiment, base_seed))
+    }
+
+    /// Appends one arbitrary record as a single compact-JSON line with the
+    /// same flush+fsync durability contract as [`CheckpointWriter::record`].
+    /// The job journal writes its state transitions through this.
+    pub fn append_json(&self, record: &Json) -> Result<(), CheckpointError> {
+        let line = record.to_compact_string();
         let io = |e: std::io::Error| CheckpointError::Io { path: self.path.clone(), detail: e.to_string() };
         let mut file = self.file.lock().expect("checkpoint lock never held across user code");
         writeln!(file, "{line}").map_err(io)?;
-        file.flush().map_err(io)
+        file.flush().map_err(io)?;
+        file.sync_data().map_err(io)
     }
 }
 
@@ -386,8 +421,8 @@ pub struct CheckpointConfig<'a> {
     pub experiment: &'static str,
     /// The sweep's base seed; part of every record's identity.
     pub base_seed: u64,
-    /// Worker-thread cap (see [`sweep::run`]).
-    pub threads: usize,
+    /// Worker-pool sizing (see [`PoolConfig`]).
+    pub pool: PoolConfig,
     /// Per-point supervision policy.
     pub supervisor: SweepSupervisor,
     /// The checkpoint file.
@@ -396,7 +431,7 @@ pub struct CheckpointConfig<'a> {
     pub resume: bool,
 }
 
-fn outcome_record(point: usize, outcome: PointOutcome<Json>) -> CheckpointRecord {
+pub(crate) fn outcome_record(point: usize, outcome: PointOutcome<Json>) -> CheckpointRecord {
     match outcome {
         PointOutcome::Completed { run, .. } => {
             let PointRun { result, truncation, violations } = run;
@@ -494,7 +529,7 @@ where
     let writer =
         if cfg.resume { CheckpointWriter::append(cfg.path)? } else { CheckpointWriter::create(cfg.path)? };
     let supervisor = cfg.supervisor;
-    let fresh = sweep::run(cfg.experiment, cfg.base_seed, &todo, cfg.threads, |_, &(orig, p)| {
+    let fresh = sweep::run(cfg.experiment, cfg.base_seed, &todo, cfg.pool.resolve(), |_, &(orig, p)| {
         let ctx = SweepCtx { experiment: cfg.experiment, point: orig, base_seed: cfg.base_seed };
         let record = outcome_record(orig, sweep::supervised_point_fallible(&ctx, &supervisor, p, &run_point));
         let written = writer.record(cfg.experiment, cfg.base_seed, &record);
@@ -637,6 +672,41 @@ mod tests {
     }
 
     #[test]
+    fn truncation_mid_line_is_counted_and_prior_records_survive() {
+        let path = temp_path("set-len");
+        let writer = CheckpointWriter::create(&path).unwrap();
+        for point in 0..3 {
+            let rec = CheckpointRecord {
+                point,
+                status: PointStatus::Completed,
+                truncation: None,
+                row: Some(row(point)),
+                panic_msg: None,
+                params: None,
+                script_id: None,
+                script_error: None,
+                fuel_used: None,
+                violations: vec![],
+            };
+            writer.record("test", 7, &rec).unwrap();
+        }
+        drop(writer);
+        // Chop the file mid-way through the final line, as a SIGKILL (or a
+        // power cut) landing inside the last append would.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let file = std::fs::File::options().write(true).open(&path).unwrap();
+        file.set_len(len - 20).unwrap();
+        drop(file);
+
+        let manifest = Manifest::load(&path, "test", 7).unwrap();
+        assert_eq!(manifest.skipped_lines, 1, "the torn tail line is counted");
+        assert_eq!(manifest.records.len(), 2, "fsynced predecessors survive intact");
+        assert_eq!(manifest.records[&0].row, Some(row(0)));
+        assert_eq!(manifest.records[&1].row, Some(row(1)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn wrong_sweep_is_a_hard_error() {
         let path = temp_path("wrong");
         let writer = CheckpointWriter::create(&path).unwrap();
@@ -677,7 +747,7 @@ mod tests {
         let cfg = CheckpointConfig {
             experiment: "resume",
             base_seed: 11,
-            threads: 2,
+            pool: PoolConfig::explicit(2),
             supervisor: SweepSupervisor::default(),
             path: &full_path,
             resume: false,
@@ -695,7 +765,12 @@ mod tests {
             let seed_path = temp_path(&format!("resume-t{threads}"));
             std::fs::copy(&partial_path, &seed_path).unwrap();
             let resumed = run_checkpointed(
-                &CheckpointConfig { path: &seed_path, resume: true, threads, ..cfg },
+                &CheckpointConfig {
+                    path: &seed_path,
+                    resume: true,
+                    pool: PoolConfig::explicit(threads),
+                    ..cfg
+                },
                 &points,
                 eval,
             )
@@ -727,7 +802,7 @@ mod tests {
         let cfg = CheckpointConfig {
             experiment: "poison",
             base_seed: 3,
-            threads: 1,
+            pool: PoolConfig::explicit(1),
             supervisor: SweepSupervisor::default(),
             path: &path,
             resume: false,
@@ -768,7 +843,7 @@ mod tests {
         let cfg = CheckpointConfig {
             experiment: "fault",
             base_seed: 23,
-            threads: 2,
+            pool: PoolConfig::explicit(2),
             supervisor: SweepSupervisor { retries: 5, ..SweepSupervisor::default() },
             path: &full_path,
             resume: false,

@@ -17,6 +17,7 @@ use malsim_net::retry::RetryExhausted;
 use malsim_script::error::{CompileScriptError, RunScriptError};
 
 use crate::checkpoint::CheckpointError;
+use crate::jobs::{JobError, Rejected};
 
 /// Any error the malsim workspace can surface, by originating layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +36,8 @@ pub enum Error {
     Invariant(InvariantViolation),
     /// Checkpoint persistence or resume failed ([`CheckpointError`]).
     Checkpoint(CheckpointError),
+    /// A job-queue submission or journal operation failed ([`JobError`]).
+    Job(JobError),
     /// A Flua scenario/module script failed to compile
     /// ([`CompileScriptError`]).
     Compile(CompileScriptError),
@@ -53,6 +56,7 @@ impl std::fmt::Display for Error {
             Error::Retry(e) => write!(f, "retry: {e}"),
             Error::Invariant(e) => write!(f, "invariant: {e}"),
             Error::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            Error::Job(e) => write!(f, "jobs: {e}"),
             Error::Compile(e) => write!(f, "script: {e}"),
             Error::Script(e) => write!(f, "script: {e}"),
         }
@@ -69,6 +73,7 @@ impl std::error::Error for Error {
             Error::Retry(e) => Some(e),
             Error::Invariant(e) => Some(e),
             Error::Checkpoint(e) => Some(e),
+            Error::Job(e) => Some(e),
             Error::Compile(e) => Some(e),
             Error::Script(e) => Some(e),
         }
@@ -114,6 +119,18 @@ impl From<InvariantViolation> for Error {
 impl From<CheckpointError> for Error {
     fn from(e: CheckpointError) -> Error {
         Error::Checkpoint(e)
+    }
+}
+
+impl From<JobError> for Error {
+    fn from(e: JobError) -> Error {
+        Error::Job(e)
+    }
+}
+
+impl From<Rejected> for Error {
+    fn from(e: Rejected) -> Error {
+        Error::Job(JobError::Rejected(e))
     }
 }
 
@@ -186,6 +203,7 @@ mod tests {
             .into(),
             RetryExhausted { attempts: 1, last_error: "x".into() }.into(),
             CheckpointError::Io { path: "/tmp/x".into(), detail: "y".into() }.into(),
+            Rejected { job_id: "j".into(), reason: crate::jobs::RejectReason::EmptyGrid }.into(),
         ];
         for err in cases {
             let text = err.to_string();

@@ -581,9 +581,27 @@ pub struct E9Result {
     pub hours_to_trigger: f64,
 }
 
+/// E9 with the post-run world and scheduler retained (the E9 counterpart
+/// of [`E1Run`]), so callers can read event counts, metrics, or traces.
+#[derive(Debug)]
+pub struct E9Run {
+    /// The headline result row.
+    pub result: E9Result,
+    /// The simulated world at the end of the run.
+    pub world: World,
+    /// The scheduler, carrying `trace`, `metrics`, and the executed-event
+    /// count.
+    pub sim: WorldSim,
+}
+
 /// Runs E9: `zones` sites of `hosts_per_zone` hosts; seeding `seeds` zones
 /// a few days before the hard-coded trigger.
 pub fn e9_shamoon_wipe(seed: u64, zones: usize, hosts_per_zone: usize, seeded_zones: usize) -> E9Result {
+    e9_shamoon_wipe_run(seed, zones, hosts_per_zone, seeded_zones).result
+}
+
+/// Runs E9 and keeps the world and scheduler (see [`E9Run`]).
+pub fn e9_shamoon_wipe_run(seed: u64, zones: usize, hosts_per_zone: usize, seeded_zones: usize) -> E9Run {
     let mut builder = ScenarioBuilder::new(seed);
     builder.start(SimTime::from_utc(2012, 8, 13, 6, 0, 0)).without_trace();
     let (mut world, mut sim) = builder.enterprise(zones, hosts_per_zone);
@@ -599,13 +617,14 @@ pub fn e9_shamoon_wipe(seed: u64, zones: usize, hosts_per_zone: usize, seeded_zo
     }
     let start = sim.now();
     sim.run_until(&mut world, shamoon::aramco_trigger() + SimDuration::from_hours(2));
-    E9Result {
+    let result = E9Result {
         fleet: world.hosts.len(),
         infected: world.campaigns.shamoon.infections.len(),
         bricked: world.bricked_count(),
         reports: world.campaigns.shamoon.reports.len(),
         hours_to_trigger: (shamoon::aramco_trigger() - start).as_hours_f64(),
-    }
+    };
+    E9Run { result, world, sim }
 }
 
 /// E10 (§V): the derived trend matrix after running all three campaigns.
@@ -844,7 +863,7 @@ pub fn e13_takedown_resilience_supervised(
     let cfg = checkpoint::CheckpointConfig {
         experiment: "e13",
         base_seed: seed,
-        threads: opts.threads,
+        pool: opts.pool,
         supervisor: opts.supervisor,
         path: opts.ckpt_path,
         resume: opts.resume,
@@ -863,8 +882,8 @@ pub fn e13_takedown_resilience_supervised(
 /// How [`e13_takedown_resilience_supervised`] should run its sweep.
 #[derive(Debug, Clone, Copy)]
 pub struct SupervisedSweepOpts<'a> {
-    /// Worker-thread cap (see [`sweep::run`]).
-    pub threads: usize,
+    /// Worker-pool sizing (see [`sweep::PoolConfig`]).
+    pub pool: sweep::PoolConfig,
     /// Per-point supervision policy (retries, watchdog, invariants).
     pub supervisor: sweep::SweepSupervisor,
     /// The checkpoint file appended to after every point.

@@ -51,6 +51,7 @@ pub mod experiments;
 pub mod export;
 pub mod golden;
 pub mod invariants;
+pub mod jobs;
 pub mod report;
 pub mod scenario;
 pub mod script_api;
@@ -68,10 +69,16 @@ pub mod prelude {
     pub use crate::export;
     pub use crate::golden;
     pub use crate::invariants;
+    pub use crate::jobs::{
+        self, CancelToken, JobBudget, JobOutcome, JobQueue, JobSpec, JobStatus, Priority, QueueConfig,
+        SeedPolicy,
+    };
     pub use crate::report::{self, Json};
     pub use crate::scenario::ScenarioBuilder;
     pub use crate::script_api::{self, ScriptManifest, ScriptRunReport, ScriptScenario};
-    pub use crate::sweep::{self, PointOutcome, PointRun, ScriptFaultInfo, SweepSupervisor, Truncation};
+    pub use crate::sweep::{
+        self, PointOutcome, PointRun, PoolConfig, ScriptFaultInfo, SweepSupervisor, Truncation,
+    };
     pub use malsim_analysis::prelude::*;
     pub use malsim_kernel::prelude::*;
     pub use malsim_malware::prelude::*;

@@ -59,15 +59,51 @@ impl SweepCtx {
     }
 }
 
-/// Worker-thread count for sweeps: `MALSIM_THREADS` if set (minimum 1),
-/// otherwise the machine's available parallelism.
+/// Worker-pool sizing shared by every parallel surface: plain sweeps, the
+/// supervised and checkpointed runners, and the multi-tenant
+/// [`JobQueue`](crate::jobs::JobQueue).
 ///
-/// The count never changes *what* a sweep computes — only how fast.
-pub fn threads_from_env() -> usize {
-    match std::env::var("MALSIM_THREADS") {
-        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
-        Err(_) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+/// There is exactly one sizing rule in the workspace — this type — so an
+/// explicit per-run override and the `MALSIM_THREADS` environment knob can
+/// never disagree about what a "default" worker count means. The resolved
+/// count never changes *what* a run computes, only how fast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolConfig {
+    /// Explicit worker count (clamped to ≥ 1 on resolve). `None` defers to
+    /// `MALSIM_THREADS`, then to the machine's available parallelism.
+    pub threads: Option<usize>,
+}
+
+impl PoolConfig {
+    /// Defer entirely to the environment (`MALSIM_THREADS`, then core count).
+    pub fn from_env() -> PoolConfig {
+        PoolConfig { threads: None }
     }
+
+    /// A fixed worker count, ignoring the environment.
+    pub const fn explicit(threads: usize) -> PoolConfig {
+        PoolConfig { threads: Some(threads) }
+    }
+
+    /// The effective worker count: the explicit override if set (minimum 1),
+    /// else `MALSIM_THREADS` (minimum 1, unparsable values read as 1), else
+    /// the machine's available parallelism.
+    pub fn resolve(&self) -> usize {
+        match self.threads {
+            Some(n) => n.max(1),
+            None => match std::env::var("MALSIM_THREADS") {
+                Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+                Err(_) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            },
+        }
+    }
+}
+
+/// Worker-thread count for sweeps: `MALSIM_THREADS` if set (minimum 1),
+/// otherwise the machine's available parallelism. Shorthand for
+/// [`PoolConfig::from_env`]`.resolve()`.
+pub fn threads_from_env() -> usize {
+    PoolConfig::from_env().resolve()
 }
 
 /// Evaluates `run_point` over every point of `points` on up to `threads`
@@ -145,6 +181,11 @@ pub struct SweepSupervisor {
     /// Host-clock sleep before each point starts, in milliseconds. Zero in
     /// normal use; nonzero only to widen the kill window in resume drills.
     pub stagger_ms: u64,
+    /// Host-clock backoff between panic re-attempts, in milliseconds; the
+    /// sleep grows linearly with the attempt number (`backoff × attempts`).
+    /// Zero (the default) retries immediately. Backoff is pure pacing: it
+    /// never changes what a retried point computes.
+    pub retry_backoff_ms: u64,
 }
 
 impl SweepSupervisor {
@@ -352,6 +393,10 @@ where
                         attempts,
                     };
                 }
+                if supervisor.retry_backoff_ms > 0 {
+                    let pause = supervisor.retry_backoff_ms.saturating_mul(u64::from(attempts));
+                    std::thread::sleep(std::time::Duration::from_millis(pause));
+                }
             }
         }
     }
@@ -372,7 +417,7 @@ pub fn run_supervised<P, R, F>(
     experiment: &'static str,
     base_seed: u64,
     points: &[P],
-    threads: usize,
+    pool: PoolConfig,
     supervisor: &SweepSupervisor,
     run_point: F,
 ) -> Vec<PointOutcome<R>>
@@ -381,7 +426,9 @@ where
     R: Send,
     F: Fn(&SweepCtx, &P) -> PointRun<R> + Sync,
 {
-    run(experiment, base_seed, points, threads, |ctx, p| supervised_point(ctx, supervisor, p, &run_point))
+    run(experiment, base_seed, points, pool.resolve(), |ctx, p| {
+        supervised_point(ctx, supervisor, p, &run_point)
+    })
 }
 
 /// [`run_supervised`] for fallible point closures: a point returning
@@ -391,7 +438,7 @@ pub fn run_supervised_fallible<P, R, F>(
     experiment: &'static str,
     base_seed: u64,
     points: &[P],
-    threads: usize,
+    pool: PoolConfig,
     supervisor: &SweepSupervisor,
     run_point: F,
 ) -> Vec<PointOutcome<R>>
@@ -400,7 +447,7 @@ where
     R: Send,
     F: Fn(&SweepCtx, &P) -> Result<PointRun<R>, ScriptFaultInfo> + Sync,
 {
-    run(experiment, base_seed, points, threads, |ctx, p| {
+    run(experiment, base_seed, points, pool.resolve(), |ctx, p| {
         supervised_point_fallible(ctx, supervisor, p, &run_point)
     })
 }
@@ -624,12 +671,19 @@ mod tests {
         let points: Vec<u32> = (0..8).collect();
         let supervisor = SweepSupervisor::default();
         for threads in [1, 2, 8] {
-            let outcomes = run_supervised("quarantine", 3, &points, threads, &supervisor, |ctx, &p| {
-                if p == 5 {
-                    panic!("injected failure at point {p}");
-                }
-                PointRun::complete((ctx.point, p * 10))
-            });
+            let outcomes = run_supervised(
+                "quarantine",
+                3,
+                &points,
+                PoolConfig::explicit(threads),
+                &supervisor,
+                |ctx, &p| {
+                    if p == 5 {
+                        panic!("injected failure at point {p}");
+                    }
+                    PointRun::complete((ctx.point, p * 10))
+                },
+            );
             assert_eq!(outcomes.len(), 8);
             for (i, outcome) in outcomes.iter().enumerate() {
                 if i == 5 {
@@ -655,7 +709,7 @@ mod tests {
         let points: Vec<usize> = (0..4).collect();
         let tries: Vec<AtomicU32> = (0..4).map(|_| AtomicU32::new(0)).collect();
         let supervisor = SweepSupervisor { retries: 2, ..SweepSupervisor::default() };
-        let outcomes = run_supervised("flaky", 1, &points, 2, &supervisor, |_, &p| {
+        let outcomes = run_supervised("flaky", 1, &points, PoolConfig::explicit(2), &supervisor, |_, &p| {
             let attempt = tries[p].fetch_add(1, Ordering::SeqCst) + 1;
             // Point 2 fails twice, then succeeds — within the retry budget.
             if p == 2 && attempt < 3 {
@@ -677,7 +731,7 @@ mod tests {
         // With a smaller budget the same point stays poisoned.
         let tries: Vec<AtomicU32> = (0..4).map(|_| AtomicU32::new(0)).collect();
         let supervisor = SweepSupervisor { retries: 1, ..SweepSupervisor::default() };
-        let outcomes = run_supervised("flaky", 1, &points, 2, &supervisor, |_, &p| {
+        let outcomes = run_supervised("flaky", 1, &points, PoolConfig::explicit(2), &supervisor, |_, &p| {
             let attempt = tries[p].fetch_add(1, Ordering::SeqCst) + 1;
             if p == 2 && attempt < 3 {
                 panic!("flaky");
@@ -705,8 +759,13 @@ mod tests {
             for t in &tries {
                 t.store(0, Ordering::SeqCst);
             }
-            let outcomes =
-                run_supervised_fallible("scriptfault", 7, &points, threads, &supervisor, |ctx, &p| {
+            let outcomes = run_supervised_fallible(
+                "scriptfault",
+                7,
+                &points,
+                PoolConfig::explicit(threads),
+                &supervisor,
+                |ctx, &p| {
                     tries[p as usize].fetch_add(1, Ordering::SeqCst);
                     if p == 3 {
                         return Err(ScriptFaultInfo {
@@ -716,7 +775,8 @@ mod tests {
                         });
                     }
                     Ok(PointRun::complete((ctx.point, p)))
-                });
+                },
+            );
             assert_eq!(outcomes.len(), 6);
             for (i, outcome) in outcomes.iter().enumerate() {
                 if i == 3 {

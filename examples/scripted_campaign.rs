@@ -68,11 +68,17 @@ detonate(hosts()[0])";
     ];
     println!("\n=== hostile sweep ===");
     let supervisor = SweepSupervisor::default();
-    let outcomes =
-        sweep::run_supervised_fallible("scripted", 7, &scripts, 2, &supervisor, |ctx, (_, src)| {
+    let outcomes = sweep::run_supervised_fallible(
+        "scripted",
+        7,
+        &scripts,
+        sweep::PoolConfig::explicit(2),
+        &supervisor,
+        |ctx, (_, src)| {
             let (mut world, mut sim) = ScenarioBuilder::new(ctx.derived_seed()).office_lan(3);
             script_api::run_source(src, &mut world, &mut sim).map(|r| PointRun::complete(r.row()))
-        });
+        },
+    );
     for (i, outcome) in outcomes.iter().enumerate() {
         match outcome {
             PointOutcome::Completed { run, .. } => {

@@ -116,7 +116,12 @@ fn main() {
 
     if supervised {
         let ckpt_path = PathBuf::from(ckpt.unwrap_or_else(|| "sweep.ckpt".to_owned()));
-        let opts = SupervisedSweepOpts { threads, supervisor, ckpt_path: &ckpt_path, resume };
+        let opts = SupervisedSweepOpts {
+            pool: sweep::PoolConfig::explicit(threads),
+            supervisor,
+            ckpt_path: &ckpt_path,
+            resume,
+        };
         let outcomes =
             e13_takedown_resilience_supervised(seed, clients, days, grids::E13_SINKHOLE_FRACTIONS, &opts)
                 .unwrap_or_else(|e| {

@@ -41,10 +41,14 @@ fn run_suite_point(
 #[test]
 fn hostile_suite_faults_are_typed_and_the_grid_completes() {
     let supervisor = SweepSupervisor::default();
-    let outcomes =
-        sweep::run_supervised_fallible("sandbox", 5, HOSTILE_SUITE, 2, &supervisor, |ctx, (_, src)| {
-            run_suite_point(ctx.derived_seed(), src)
-        });
+    let outcomes = sweep::run_supervised_fallible(
+        "sandbox",
+        5,
+        HOSTILE_SUITE,
+        sweep::PoolConfig::explicit(2),
+        &supervisor,
+        |ctx, (_, src)| run_suite_point(ctx.derived_seed(), src),
+    );
     assert_eq!(outcomes.len(), HOSTILE_SUITE.len(), "every point reaches a terminal outcome");
 
     let mut faulted = Vec::new();
@@ -79,7 +83,7 @@ fn checkpointed_hostile_sweep_resumes_byte_identically() {
     let cfg = CheckpointConfig {
         experiment: "sandbox-ckpt",
         base_seed: 5,
-        threads: 2,
+        pool: sweep::PoolConfig::explicit(2),
         supervisor: SweepSupervisor::default(),
         path: &full_path,
         resume: false,

@@ -9,7 +9,7 @@ use malsim::checkpoint::{run_checkpointed, CheckpointConfig, PointStatus};
 use malsim::experiments::{self, SupervisedSweepOpts};
 use malsim::report::Json;
 use malsim::scenario::ScenarioBuilder;
-use malsim::sweep::{PointRun, SweepSupervisor};
+use malsim::sweep::{PointRun, PoolConfig, SweepSupervisor};
 use malsim_kernel::time::SimDuration;
 use malsim_malware::common::InfectionRecord;
 use malsim_malware::world::World;
@@ -27,7 +27,7 @@ const FRACTIONS: &[f64] = &[0.0, 0.5, 1.0];
 fn e13_resume_is_byte_identical_across_thread_counts() {
     let full_path = temp("e13-full");
     let base = SupervisedSweepOpts {
-        threads: 2,
+        pool: PoolConfig::explicit(2),
         supervisor: SweepSupervisor::default(),
         ckpt_path: &full_path,
         resume: false,
@@ -48,7 +48,12 @@ fn e13_resume_is_byte_identical_across_thread_counts() {
             4,
             2,
             FRACTIONS,
-            &SupervisedSweepOpts { threads, ckpt_path: &path, resume: true, ..base },
+            &SupervisedSweepOpts {
+                pool: PoolConfig::explicit(threads),
+                ckpt_path: &path,
+                resume: true,
+                ..base
+            },
         )
         .unwrap();
         assert_eq!(resumed.resumed_points, 1);
@@ -74,7 +79,12 @@ fn e13_event_budget_truncates_deterministically() {
                 3,
                 2,
                 FRACTIONS,
-                &SupervisedSweepOpts { threads, supervisor, ckpt_path: &path, resume: false },
+                &SupervisedSweepOpts {
+                    pool: PoolConfig::explicit(threads),
+                    supervisor,
+                    ckpt_path: &path,
+                    resume: false,
+                },
             )
             .unwrap();
             for p in &out.points {
@@ -98,7 +108,7 @@ fn e13_supervised_run_satisfies_all_invariants() {
         3,
         2,
         FRACTIONS,
-        &SupervisedSweepOpts { threads: 2, supervisor, ckpt_path: &path, resume: false },
+        &SupervisedSweepOpts { pool: PoolConfig::explicit(2), supervisor, ckpt_path: &path, resume: false },
     )
     .unwrap();
     for p in &out.points {
@@ -122,7 +132,7 @@ fn seeded_violation_surfaces_through_the_checkpoint_pipeline() {
     let cfg = CheckpointConfig {
         experiment: "negative",
         base_seed: 1,
-        threads: 1,
+        pool: PoolConfig::explicit(1),
         supervisor: SweepSupervisor::default(),
         path: &path,
         resume: false,
@@ -171,7 +181,7 @@ fn poisoned_e13_style_point_quarantines_without_aborting() {
     let cfg = CheckpointConfig {
         experiment: "quarantine",
         base_seed: 9,
-        threads: 2,
+        pool: PoolConfig::explicit(2),
         supervisor: SweepSupervisor::default(),
         path: &path,
         resume: false,
