@@ -1,11 +1,15 @@
-//! Sweep throughput baseline: end-to-end events/sec on three representative
-//! experiments (E1 Stuxnet site, E9 Shamoon fleet wipe, E13 takedown
-//! resilience), emitted as one canonical-JSON document so CI can archive
-//! `BENCH_sweep.json` per commit and regressions show up as a diffable
-//! artifact rather than an anecdote.
+//! Sweep throughput baseline: end-to-end events/sec on four representative
+//! experiments (E1 Stuxnet site, E9 Shamoon fleet wipe at the test scale and
+//! at the paper's ~30,000-workstation Aramco scale, E13 takedown resilience),
+//! emitted as one canonical-JSON document. The repo commits the result as
+//! `BENCH_sweep.json` at the root so speedups and regressions form a
+//! PR-over-PR trajectory rather than an anecdote; CI re-measures every push
+//! and `--compare`s against the committed file (warn-only — wall-clock
+//! figures are machine-dependent, so a regression prints a warning instead of
+//! failing the build).
 //!
 //! Usage: `cargo run --release -p malsim-bench --bin bench_sweep --
-//!   [--iters <n>] [--out <path>]`
+//!   [--iters <n>] [--out <path>] [--compare <path>] [--threshold <ratio>]`
 //!
 //! Event counts are deterministic per seed; only the wall-clock figures
 //! vary between machines and runs.
@@ -15,7 +19,7 @@ use std::time::Instant;
 use malsim::experiments::{
     e13_takedown_resilience_profiled_t, e1_stuxnet_end_to_end_run, e9_shamoon_wipe_run,
 };
-use malsim::report::Json;
+use malsim::report::{self, Json};
 
 /// Times `iters` runs of one experiment; `run()` returns the number of
 /// kernel events the run dispatched.
@@ -28,9 +32,53 @@ fn sample(iters: u64, run: impl Fn() -> u64) -> (u64, f64) {
     (events / iters, start.elapsed().as_secs_f64() * 1e3 / iters as f64)
 }
 
+/// Pulls `experiment -> events_per_sec` rows out of a bench document.
+fn throughput_rows(doc: &Json) -> Vec<(String, f64)> {
+    let Some(Json::Arr(rows)) = doc.get("rows") else { return Vec::new() };
+    rows.iter()
+        .filter_map(|row| {
+            let name = row.get("experiment")?.as_str()?.to_owned();
+            let eps = row.get("events_per_sec")?.as_f64()?;
+            Some((name, eps))
+        })
+        .collect()
+}
+
+/// Warn-only diff of the fresh measurement against a committed baseline:
+/// prints one line per experiment and a GitHub-annotation-style `::warning::`
+/// when throughput dropped below `threshold` of the baseline. Never fails the
+/// run — the committed file was measured on different hardware.
+fn compare(current: &Json, baseline_text: &str, threshold: f64) {
+    let baseline = match report::parse(baseline_text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("::warning::baseline unreadable, skipping comparison: {e}");
+            return;
+        }
+    };
+    let base_rows = throughput_rows(&baseline);
+    for (experiment, now_eps) in throughput_rows(current) {
+        match base_rows.iter().find(|(name, _)| *name == experiment) {
+            Some((_, base_eps)) if *base_eps > 0.0 => {
+                let ratio = now_eps / base_eps;
+                eprintln!("{experiment}: {now_eps:.0} ev/s vs baseline {base_eps:.0} ({ratio:.2}x)");
+                if ratio < threshold {
+                    eprintln!(
+                        "::warning::{experiment} throughput {now_eps:.0} ev/s is below \
+                         {threshold:.2}x of the committed baseline {base_eps:.0} ev/s"
+                    );
+                }
+            }
+            _ => eprintln!("{experiment}: {now_eps:.0} ev/s (no baseline row)"),
+        }
+    }
+}
+
 fn main() {
     let mut iters = 3u64;
     let mut out: Option<String> = None;
+    let mut compare_path: Option<String> = None;
+    let mut threshold = 0.5f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -41,9 +89,18 @@ fn main() {
                 })
             }
             "--out" => out = args.next(),
+            "--compare" => compare_path = args.next(),
+            "--threshold" => {
+                threshold = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threshold takes a ratio like 0.5");
+                    std::process::exit(2);
+                })
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench_sweep [--iters <n>] [--out <path>]");
+                eprintln!(
+                    "usage: bench_sweep [--iters <n>] [--out <path>] [--compare <path>] [--threshold <ratio>]"
+                );
                 std::process::exit(2);
             }
         }
@@ -53,6 +110,10 @@ fn main() {
     let cases: Vec<Case> = vec![
         ("e1_stuxnet_site", Box::new(|| e1_stuxnet_end_to_end_run(42, 10, false).sim.executed())),
         ("e9_shamoon_fleet", Box::new(|| e9_shamoon_wipe_run(815, 4, 24, 2).sim.executed())),
+        // The paper's headline Shamoon figure: ~30,000 wiped workstations.
+        // 30 zones x 1000 hosts with three seeded zones reproduces that scale
+        // end to end; this is the row the calendar-queue rewrite is judged on.
+        ("e9_shamoon_aramco", Box::new(|| e9_shamoon_wipe_run(815, 30, 1000, 3).sim.executed())),
         (
             "e13_takedown_grid",
             Box::new(|| {
@@ -77,6 +138,12 @@ fn main() {
         .collect();
     let doc = Json::obj([("bench", "sweep".into()), ("iters", Json::U64(iters)), ("rows", Json::Arr(rows))]);
     let text = doc.to_canonical_string();
+    if let Some(path) = compare_path {
+        match std::fs::read_to_string(&path) {
+            Ok(baseline_text) => compare(&doc, &baseline_text, threshold),
+            Err(e) => eprintln!("::warning::cannot read baseline {path}: {e}"),
+        }
+    }
     match out {
         Some(path) => {
             std::fs::write(&path, &text).unwrap_or_else(|e| {

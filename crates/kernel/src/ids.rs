@@ -172,6 +172,197 @@ impl<I: ArenaId, T> std::ops::IndexMut<I> for Arena<I, T> {
     }
 }
 
+/// Stable reference into a [`GenSlab`]: a slot index plus the generation the
+/// slot had when the value was inserted.
+///
+/// Removing a value bumps the slot's generation, so a `SlotRef` held past the
+/// value's lifetime goes stale instead of silently aliasing whatever reuses
+/// the slot — lookups and removals through a stale ref return `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlotRef {
+    index: u32,
+    generation: u32,
+}
+
+impl SlotRef {
+    /// The slot index this ref denotes.
+    pub const fn index(self) -> usize {
+        self.index as usize
+    }
+
+    /// The generation the slot had at insertion.
+    pub const fn generation(self) -> u32 {
+        self.generation
+    }
+}
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+enum Entry<T> {
+    Free { next_free: u32 },
+    Occupied(T),
+}
+
+#[derive(Debug, Clone)]
+struct GenSlot<T> {
+    generation: u32,
+    entry: Entry<T>,
+}
+
+/// A generational slab: slot-reusing storage with O(1) insert/lookup/remove
+/// and stale-handle detection.
+///
+/// Freed slots go on an intrusive free list and are reused LIFO; each free
+/// bumps the slot's generation so outstanding [`SlotRef`]s to the previous
+/// occupant stop resolving. This is the backing store for the scheduler's
+/// event queue ([`crate::calq::CalQueue`]), where it makes cancellation an
+/// O(1) generation check instead of a set-membership probe.
+///
+/// # Examples
+///
+/// ```
+/// use malsim_kernel::ids::GenSlab;
+///
+/// let mut slab: GenSlab<&str> = GenSlab::new();
+/// let a = slab.insert("a");
+/// assert_eq!(slab.remove(a), Some("a"));
+/// let b = slab.insert("b"); // reuses the slot...
+/// assert_eq!(b.index(), a.index());
+/// assert_ne!(b.generation(), a.generation());
+/// assert_eq!(slab.get(a), None, "...but the stale ref stays dead");
+/// assert_eq!(slab.get(b), Some(&"b"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GenSlab<T> {
+    slots: Vec<GenSlot<T>>,
+    free_head: u32,
+    len: usize,
+}
+
+impl<T> GenSlab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        GenSlab { slots: Vec::new(), free_head: NIL, len: 0 }
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a value, reusing a freed slot when one exists.
+    pub fn insert(&mut self, value: T) -> SlotRef {
+        self.len += 1;
+        if self.free_head != NIL {
+            let index = self.free_head;
+            let slot = &mut self.slots[index as usize];
+            let Entry::Free { next_free } = slot.entry else {
+                unreachable!("free list points at an occupied slot");
+            };
+            self.free_head = next_free;
+            slot.entry = Entry::Occupied(value);
+            return SlotRef { index, generation: slot.generation };
+        }
+        let index = u32::try_from(self.slots.len()).expect("slab capacity exceeds u32 indices");
+        assert!(index != NIL, "slab capacity exceeds u32 indices");
+        self.slots.push(GenSlot { generation: 0, entry: Entry::Occupied(value) });
+        SlotRef { index, generation: 0 }
+    }
+
+    /// Shared access through a ref; `None` when stale or out of range.
+    pub fn get(&self, r: SlotRef) -> Option<&T> {
+        match self.slots.get(r.index()) {
+            Some(GenSlot { generation, entry: Entry::Occupied(v) }) if *generation == r.generation => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Mutable access through a ref; `None` when stale or out of range.
+    pub fn get_mut(&mut self, r: SlotRef) -> Option<&mut T> {
+        match self.slots.get_mut(r.index()) {
+            Some(GenSlot { generation, entry: Entry::Occupied(v) }) if *generation == r.generation => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether the ref still resolves to its original value.
+    pub fn contains(&self, r: SlotRef) -> bool {
+        self.get(r).is_some()
+    }
+
+    /// Removes the value behind a ref, bumping the slot generation so the ref
+    /// (and any copy of it) goes stale. `None` when already stale.
+    pub fn remove(&mut self, r: SlotRef) -> Option<T> {
+        if !self.contains(r) {
+            return None;
+        }
+        self.remove_at(r.index())
+    }
+
+    /// Shared access by raw index, ignoring generations. For intrusive
+    /// structures that store `u32` links between occupied slots.
+    pub fn get_index(&self, index: usize) -> Option<&T> {
+        match self.slots.get(index) {
+            Some(GenSlot { entry: Entry::Occupied(v), .. }) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Mutable access by raw index, ignoring generations.
+    pub fn get_index_mut(&mut self, index: usize) -> Option<&mut T> {
+        match self.slots.get_mut(index) {
+            Some(GenSlot { entry: Entry::Occupied(v), .. }) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The current ref for an occupied slot, by raw index.
+    pub fn ref_at(&self, index: usize) -> Option<SlotRef> {
+        match self.slots.get(index) {
+            Some(GenSlot { generation, entry: Entry::Occupied(_) }) => {
+                Some(SlotRef { index: index as u32, generation: *generation })
+            }
+            _ => None,
+        }
+    }
+
+    /// Removes the value in a slot by raw index, bumping the generation.
+    pub fn remove_at(&mut self, index: usize) -> Option<T> {
+        let slot = self.slots.get_mut(index)?;
+        if matches!(slot.entry, Entry::Free { .. }) {
+            return None;
+        }
+        let entry = std::mem::replace(&mut slot.entry, Entry::Free { next_free: self.free_head });
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free_head = index as u32;
+        self.len -= 1;
+        match entry {
+            Entry::Occupied(v) => Some(v),
+            Entry::Free { .. } => unreachable!("checked occupied above"),
+        }
+    }
+
+    /// Iterates `(ref, &value)` over occupied slots in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotRef, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, slot)| match &slot.entry {
+            Entry::Occupied(v) => Some((SlotRef { index: i as u32, generation: slot.generation }, v)),
+            Entry::Free { .. } => None,
+        })
+    }
+}
+
+impl<T> Default for GenSlab<T> {
+    fn default() -> Self {
+        GenSlab::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

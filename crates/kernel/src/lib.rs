@@ -9,6 +9,9 @@
 //!   clock, so scenarios can express wall-clock triggers.
 //! - [`sched::Sim`] — the event queue and scheduler. Events are closures over
 //!   a caller-owned world; ordering is total and deterministic.
+//! - [`calq::CalQueue`] — the pending-event store behind the scheduler: a
+//!   bucketed calendar queue over generational slab storage with O(1)
+//!   amortized insert/pop/cancel and structural `(time, seq)` ordering.
 //! - [`rng::SimRng`] — a seeded, forkable ChaCha8 random source; the same
 //!   `(scenario, seed)` pair always yields the same trace.
 //! - [`fault::FaultPlane`] — a deterministic fault-injection schedule (link
@@ -54,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calq;
 pub mod fault;
 pub mod ids;
 pub mod invariant;
@@ -66,7 +70,9 @@ pub mod trace;
 
 /// Convenient glob-import of the kernel's commonly used items.
 pub mod prelude {
+    pub use crate::calq::CalQueue;
     pub use crate::fault::{FaultConfigError, FaultKind, FaultPlane, FaultWindow};
+    pub use crate::ids::{GenSlab, SlotRef};
     pub use crate::invariant::{InvariantChecker, InvariantViolation, LawCx};
     pub use crate::metrics::Metrics;
     pub use crate::rng::SimRng;

@@ -9,12 +9,19 @@
 //! Ordering is total and deterministic: events fire in `(time, sequence)`
 //! order, where sequence is assignment order. Two events scheduled for the
 //! same instant therefore fire in the order they were scheduled.
+//!
+//! The pending-event store is a bucketed calendar queue over generational
+//! slab storage ([`crate::calq::CalQueue`]): insert, pop, and cancel are
+//! O(1) amortized, `(time, seq)` order is structural rather than
+//! comparator-driven, and a batch of same-timestamp events drains without
+//! re-touching the priority structure.
 
-use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap, HashSet};
+use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::calq::CalQueue;
 use crate::fault::FaultPlane;
+use crate::ids::SlotRef;
 use crate::invariant::{InvariantChecker, InvariantViolation, LawCx};
 use crate::metrics::{Histogram, Metrics};
 use crate::rng::SimRng;
@@ -26,32 +33,14 @@ use crate::trace::{TraceCategory, TraceLog};
 pub type Action<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
 
 /// Handle identifying a scheduled event, usable for cancellation.
+///
+/// A handle is a generational slot reference: once its event has fired or
+/// been cancelled, the handle is stale, and [`Sim::cancel`] through it
+/// returns `false` even after the underlying slot is reused by a later
+/// event. A handle from [`Sim::schedule_every`] pins its slot and therefore
+/// stays valid — and cancellable — across every re-arm of the repetition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EventHandle(u64);
-
-struct Scheduled<W> {
-    time: SimTime,
-    seq: u64,
-    action: Action<W>,
-}
-
-impl<W> PartialEq for Scheduled<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<W> Eq for Scheduled<W> {}
-impl<W> PartialOrd for Scheduled<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<W> Ord for Scheduled<W> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
-    }
-}
+pub struct EventHandle(SlotRef);
 
 /// Deterministic discrete-event simulation core.
 ///
@@ -70,9 +59,7 @@ impl<W> Ord for Scheduled<W> {
 /// ```
 pub struct Sim<W> {
     now: SimTime,
-    next_seq: u64,
-    queue: BinaryHeap<Scheduled<W>>,
-    cancelled: HashSet<u64>,
+    queue: CalQueue<Action<W>>,
     executed: u64,
     profiler: Option<Profiler>,
     checker: Option<Box<InvariantChecker<W>>>,
@@ -109,9 +96,7 @@ impl<W> Sim<W> {
     pub fn new(start: SimTime, seed: u64) -> Self {
         Sim {
             now: start,
-            next_seq: 0,
-            queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            queue: CalQueue::new(),
             executed: 0,
             profiler: None,
             checker: None,
@@ -148,10 +133,7 @@ impl<W> Sim<W> {
         F: FnOnce(&mut W, &mut Sim<W>) + 'static,
     {
         let time = at.max(self.now);
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.queue.push(Scheduled { time, seq, action: Box::new(action) });
-        EventHandle(seq)
+        EventHandle(self.queue.insert(time, Box::new(action)))
     }
 
     /// Schedules `action` after a delay from now.
@@ -162,66 +144,69 @@ impl<W> Sim<W> {
         self.schedule_at(self.now + delay, action)
     }
 
-    /// Cancels a previously scheduled event.
+    /// Cancels a previously scheduled event: an O(1) generational slot
+    /// invalidation, no queue search.
     ///
-    /// Returns `true` if the event had not yet fired or been cancelled.
+    /// Returns `true` exactly when this call stopped a future firing: the
+    /// event was still pending, or it is a repeating event (whose handle
+    /// stays live across re-arms — cancelling from inside its own action
+    /// suppresses the pending re-arm and also returns `true`). A handle
+    /// whose event already fired or was already cancelled returns `false`.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        if handle.0 >= self.next_seq {
-            return false;
-        }
-        self.cancelled.insert(handle.0)
+        self.queue.cancel(handle.0)
     }
 
     /// Schedules a repeating action every `period`, starting one period from
     /// now, until `action` returns `false`.
+    ///
+    /// The returned handle pins one queue slot for the whole repetition, so
+    /// it cancels the repeating event no matter how many periods have
+    /// elapsed.
     pub fn schedule_every<F>(&mut self, period: SimDuration, action: F) -> EventHandle
     where
         F: FnMut(&mut W, &mut Sim<W>) -> bool + 'static,
     {
         assert!(!period.is_zero(), "repeating events require a non-zero period");
         fn rearm<W>(
+            slot: SlotRef,
             period: SimDuration,
             mut action: impl FnMut(&mut W, &mut Sim<W>) -> bool + 'static,
         ) -> Action<W> {
             Box::new(move |w, sim| {
                 if action(w, sim) {
-                    let next = rearm(period, action);
+                    let next = rearm(slot, period, action);
                     let time = sim.now + period;
-                    let seq = sim.next_seq;
-                    sim.next_seq += 1;
-                    sim.queue.push(Scheduled { time, seq, action: next });
+                    // No-op if the handle was cancelled during this dispatch.
+                    sim.queue.rearm(slot, time, next);
+                } else {
+                    sim.queue.release(slot);
                 }
             })
         }
-        let seq = self.next_seq;
-        self.next_seq += 1;
+        let slot = self.queue.reserve();
         let time = self.now + period;
-        self.queue.push(Scheduled { time, seq, action: rearm(period, action) });
-        EventHandle(seq)
+        let armed = self.queue.rearm(slot, time, rearm(slot, period, action));
+        debug_assert!(armed, "a fresh reservation cannot already be cancelled");
+        EventHandle(slot)
     }
 
     /// Executes the next pending event, advancing the clock to it.
     ///
     /// Returns `false` when the queue is empty.
     pub fn step(&mut self, world: &mut W) -> bool {
-        loop {
-            let Some(ev) = self.queue.pop() else { return false };
-            debug_assert!(ev.time >= self.now, "event queue went backwards");
-            if self.cancelled.remove(&ev.seq) {
-                continue;
-            }
-            self.now = ev.time;
-            self.executed += 1;
-            if self.profiler.is_some() {
-                self.dispatch_profiled(world, ev.action);
-            } else {
-                (ev.action)(world, self);
-            }
-            if self.checker.is_some() {
-                self.run_invariants(world);
-            }
-            return true;
+        let Some((time, action)) = self.queue.pop() else { return false };
+        debug_assert!(time >= self.now, "event queue went backwards");
+        self.now = time;
+        self.executed += 1;
+        if self.profiler.is_some() {
+            self.dispatch_profiled(world, action);
+        } else {
+            action(world, self);
         }
+        if self.checker.is_some() {
+            self.run_invariants(world);
+        }
+        true
     }
 
     /// Post-dispatch invariant sweep: the checker is moved out for the call
@@ -278,17 +263,9 @@ impl<W> Sim<W> {
             watchdog.deadline_ms.map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
         let mut executed = 0u64;
         loop {
-            let next_time = loop {
-                match self.queue.peek() {
-                    Some(ev) if self.cancelled.contains(&ev.seq) => {
-                        let ev = self.queue.pop().expect("peeked event exists");
-                        self.cancelled.remove(&ev.seq);
-                    }
-                    Some(ev) => break Some(ev.time),
-                    None => break None,
-                }
-            };
-            match next_time {
+            // `peek_time` reaps cancelled events in passing, so a tombstone
+            // never counts against the budget.
+            match self.queue.peek_time() {
                 Some(t) if t <= until => {
                     // Limits are checked only once another event is actually
                     // due, so an exactly-drained queue still reads Completed.
@@ -674,9 +651,60 @@ mod tests {
         s.schedule_in(SimDuration::from_secs(2), |w: &mut World, _| w.push(2));
         assert!(s.cancel(h));
         assert!(!s.cancel(h), "double-cancel reports false");
-        assert!(!s.cancel(EventHandle(999)), "unknown handle reports false");
         s.run(&mut w);
         assert_eq!(w, vec![2]);
+    }
+
+    #[test]
+    fn fired_handle_does_not_cancel_a_slot_reuser() {
+        let mut s = sim();
+        let mut w = Vec::new();
+        let h = s.schedule_in(SimDuration::from_secs(1), |w: &mut World, _| w.push(1));
+        s.run(&mut w);
+        assert!(!s.cancel(h), "fired handle reports false");
+        // The next event reuses the freed slot; the stale handle must not
+        // reach it through a bumped generation.
+        let h2 = s.schedule_in(SimDuration::from_secs(1), |w: &mut World, _| w.push(2));
+        assert!(!s.cancel(h), "stale handle stays dead after slot reuse");
+        s.run(&mut w);
+        assert_eq!(w, vec![1, 2]);
+        assert!(!s.cancel(h2));
+    }
+
+    #[test]
+    fn repeating_handle_cancels_across_periods() {
+        let mut s = sim();
+        let mut w = Vec::new();
+        let h = s.schedule_every(SimDuration::from_secs(10), |w: &mut World, _| {
+            w.push(w.len() as u32);
+            true // would repeat forever
+        });
+        s.run_until(&mut w, SimTime::EPOCH + SimDuration::from_secs(35));
+        assert_eq!(w, vec![0, 1, 2], "three periods elapsed");
+        assert!(s.cancel(h), "handle is still live after re-arms");
+        s.run_until(&mut w, SimTime::EPOCH + SimDuration::from_secs(200));
+        assert_eq!(w, vec![0, 1, 2], "no firings after cancellation");
+        assert!(!s.cancel(h), "cancel is idempotent on the repeating handle");
+    }
+
+    #[test]
+    fn repeating_event_can_cancel_itself_mid_dispatch() {
+        let mut s = sim();
+        let mut w = Vec::new();
+        let handle_cell = std::rc::Rc::new(std::cell::Cell::new(None::<EventHandle>));
+        let cell = handle_cell.clone();
+        let h = s.schedule_every(SimDuration::from_secs(1), move |w: &mut World, sim| {
+            w.push(w.len() as u32);
+            if w.len() == 2 {
+                let own = cell.get().expect("handle stored before run");
+                assert!(sim.cancel(own), "self-cancel mid-dispatch suppresses the re-arm");
+            }
+            true // says "keep going", but the self-cancel wins
+        });
+        handle_cell.set(Some(h));
+        s.run(&mut w);
+        assert_eq!(w, vec![0, 1], "no firings after the self-cancel");
+        assert!(!s.cancel(h));
     }
 
     #[test]

@@ -10,6 +10,7 @@ use malsim::experiments::{self, SupervisedSweepOpts};
 use malsim::report::Json;
 use malsim::scenario::ScenarioBuilder;
 use malsim::sweep::{PointRun, PoolConfig, SweepSupervisor};
+use malsim_kernel::prelude::{Sim, SimTime, StopReason, Watchdog};
 use malsim_kernel::time::SimDuration;
 use malsim_malware::common::InfectionRecord;
 use malsim_malware::world::World;
@@ -213,4 +214,80 @@ fn poisoned_e13_style_point_quarantines_without_aborting() {
     assert_eq!(report.get("poisoned").and_then(Json::as_u64), Some(1));
     assert_eq!(report.get("completed").and_then(Json::as_u64), Some(4));
     std::fs::remove_file(&path).unwrap();
+}
+
+/// Event-budget truncation landing in the middle of a same-timestamp batch:
+/// the calendar queue drains ties as one chained batch internally, but the
+/// watchdog must still be able to stop between any two of them, leaving the
+/// clock parked at the last event it actually dispatched.
+#[test]
+fn event_budget_splits_a_same_timestamp_batch_cleanly() {
+    let batch_at = SimTime::EPOCH + SimDuration::from_hours(1);
+    let mut sim: Sim<Vec<u32>> = Sim::new(SimTime::EPOCH, 3);
+    let mut world = Vec::new();
+    for tag in 0..10u32 {
+        sim.schedule_at(batch_at, move |w: &mut Vec<u32>, _| w.push(tag));
+    }
+    sim.schedule_at(batch_at + SimDuration::from_hours(1), |w: &mut Vec<u32>, _| w.push(99));
+
+    // Budget of 4 stops inside the 10-event tie.
+    let run = sim.run_until_watched(&mut world, SimTime::MAX, Watchdog::events(4));
+    assert_eq!(run.reason, StopReason::EventBudget);
+    assert_eq!(run.executed, 4);
+    assert_eq!(world, vec![0, 1, 2, 3], "ties dispatch in scheduling order");
+    assert_eq!(sim.now(), batch_at, "clock stays at the last dispatched event, not past the batch");
+
+    // Resuming finishes the batch from exactly where it stopped.
+    let rest = sim.run_until_watched(&mut world, SimTime::MAX, Watchdog::UNLIMITED);
+    assert_eq!(rest.reason, StopReason::Completed);
+    assert_eq!(world, vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 99]);
+}
+
+/// The same mid-batch truncation, pushed through the supervised sweep runner
+/// at worker counts 1, 2, and 8 (the in-process equivalent of the
+/// `MALSIM_THREADS` knob): canonical reports must be byte-identical, because
+/// the budget is simulation-deterministic and worker scheduling never touches
+/// event order inside a point.
+#[test]
+fn mid_batch_truncation_is_byte_identical_across_worker_counts() {
+    let budgets: Vec<u64> = vec![3, 7, 10, 25];
+    let reports: Vec<String> = [1usize, 2, 8]
+        .into_iter()
+        .map(|threads| {
+            let path = temp(&format!("batch-budget-{threads}"));
+            let cfg = CheckpointConfig {
+                experiment: "batch_budget",
+                base_seed: 17,
+                pool: PoolConfig::explicit(threads),
+                supervisor: SweepSupervisor::default(),
+                path: &path,
+                resume: false,
+            };
+            let out = run_checkpointed(&cfg, &budgets, |_, &budget| {
+                let batch_at = SimTime::EPOCH + SimDuration::from_hours(1);
+                let mut sim: Sim<Vec<u32>> = Sim::new(SimTime::EPOCH, 3);
+                let mut world = Vec::new();
+                for tag in 0..20u32 {
+                    sim.schedule_at(batch_at, move |w: &mut Vec<u32>, _| w.push(tag));
+                }
+                let run = sim.run_until_watched(&mut world, SimTime::MAX, Watchdog::events(budget));
+                let fired: Vec<Json> = world.iter().map(|&t| Json::from(u64::from(t))).collect();
+                PointRun {
+                    result: Json::obj([
+                        ("executed", run.executed.into()),
+                        ("now_ms", sim.now().as_millis().into()),
+                        ("completed", run.completed().into()),
+                        ("fired", Json::Arr(fired)),
+                    ]),
+                    truncation: malsim::sweep::Truncation::from_stop(run.reason),
+                    violations: Vec::new(),
+                }
+            })
+            .unwrap();
+            std::fs::remove_file(&path).unwrap();
+            out.report().to_canonical_string()
+        })
+        .collect();
+    assert_eq!(reports[0], reports[1], "threads=1 vs threads=2");
+    assert_eq!(reports[0], reports[2], "threads=1 vs threads=8");
 }
