@@ -20,6 +20,7 @@ use malsim::experiments::{
     e13_takedown_resilience_profiled_t, e1_stuxnet_end_to_end_run, e9_shamoon_wipe_run,
 };
 use malsim::report::{self, Json};
+use malsim::telemetry;
 
 /// Times `iters` runs of one experiment; `run()` returns the number of
 /// kernel events the run dispatched.
@@ -123,16 +124,42 @@ fn main() {
             }),
         ),
     ];
-    let rows: Vec<Json> = cases
+    // Time every case first with telemetry unarmed, so the wall-clock figures
+    // measure the one-branch idle path the acceptance bar is set against.
+    let timed: Vec<(Case, u64, f64)> = cases
         .into_iter()
         .map(|(experiment, run)| {
-            let (events, wall_ms) = sample(iters, run);
+            let (events, wall_ms) = sample(iters, &run);
             eprintln!("{experiment}: {events} events in {wall_ms:.1} ms/iter");
+            ((experiment, run), events, wall_ms)
+        })
+        .collect();
+    // Then arm the registry and replay each case once, untimed, to attach its
+    // deterministic structural counters (dispatches by category, calendar
+    // queue resizes/reaps) to the row. Arming is process-wide and one-way,
+    // which is why it happens only after all timing is done.
+    telemetry::arm();
+    let rows: Vec<Json> = timed
+        .into_iter()
+        .map(|((experiment, run), events, wall_ms)| {
+            telemetry::reset();
+            run();
+            let det = telemetry::deterministic_json();
+            let counter = |name: &str| det.get(name).cloned().unwrap_or(Json::U64(0));
             Json::obj([
                 ("experiment", experiment.into()),
                 ("events", Json::U64(events)),
                 ("wall_ms", Json::F64(wall_ms)),
                 ("events_per_sec", Json::F64((events as f64 / wall_ms * 1e3).round())),
+                (
+                    "telemetry",
+                    Json::obj([
+                        ("dispatches", counter("malsim_sched_dispatches_total")),
+                        ("calq_resizes", counter("malsim_calq_resizes_total")),
+                        ("calq_tombstone_reaps", counter("malsim_calq_tombstone_reaps_total")),
+                        ("calq_cursor_pullbacks", counter("malsim_calq_cursor_pullbacks_total")),
+                    ]),
+                ),
             ])
         })
         .collect();

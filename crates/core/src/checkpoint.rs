@@ -29,6 +29,7 @@ use std::sync::Mutex;
 
 use crate::report::{self, Json};
 use crate::sweep::{self, PointOutcome, PointRun, PoolConfig, SweepCtx, SweepSupervisor};
+use crate::telemetry;
 
 /// FNV-1a 64-bit hash (the checkpoint record integrity check).
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -289,6 +290,7 @@ impl Manifest {
                 None => manifest.skipped_lines += 1,
             }
         }
+        telemetry::ckpt_damaged_lines(manifest.skipped_lines as u64);
         Ok(manifest)
     }
 }
@@ -344,7 +346,15 @@ impl CheckpointWriter {
         let mut file = self.file.lock().expect("checkpoint lock never held across user code");
         writeln!(file, "{line}").map_err(io)?;
         file.flush().map_err(io)?;
-        file.sync_data().map_err(io)
+        // Time only the durability syscall, and only when telemetry is armed
+        // (`Instant::now` is not free on the unarmed path).
+        let started = telemetry::armed().then(std::time::Instant::now);
+        file.sync_data().map_err(io)?;
+        if let Some(t) = started {
+            telemetry::ckpt_fsync_micros(t.elapsed().as_micros() as u64);
+        }
+        telemetry::ckpt_line_written(line.len() as u64 + 1);
+        Ok(())
     }
 }
 
@@ -524,6 +534,7 @@ where
         }
     }
     let resumed_points = slots.len();
+    telemetry::points_resumed(resumed_points as u64);
 
     let todo: Vec<(usize, &P)> = points.iter().enumerate().filter(|(i, _)| !slots.contains_key(i)).collect();
     let writer =
@@ -533,6 +544,7 @@ where
         let ctx = SweepCtx { experiment: cfg.experiment, point: orig, base_seed: cfg.base_seed };
         let record = outcome_record(orig, sweep::supervised_point_fallible(&ctx, &supervisor, p, &run_point));
         let written = writer.record(cfg.experiment, cfg.base_seed, &record);
+        telemetry::sample_boundary();
         (record, written)
     });
     for (record, written) in fresh {

@@ -1007,7 +1007,11 @@ fn e13_point_opt(
             stick_backlog: world.usb_drives[usb].hidden_records().len(),
         };
         let violations = sim.take_violations();
-        (row, sim.finish_profile(), Truncation::from_stop(watched.reason), violations)
+        let profile = sim.finish_profile();
+        if let Some(summary) = &profile {
+            crate::telemetry::record_profile(summary);
+        }
+        (row, profile, Truncation::from_stop(watched.reason), violations)
     }
 }
 

@@ -58,6 +58,7 @@ use malsim_kernel::sched::Watchdog;
 use crate::checkpoint::{self, fnv1a64, CheckpointError, CheckpointRecord, CheckpointWriter, PointStatus};
 use crate::report::{self, Json};
 use crate::sweep::{self, PointRun, PoolConfig, ScriptFaultInfo, SweepCtx, SweepSupervisor};
+use crate::telemetry;
 
 /// Scheduling priority of a job, expressed as a weight in the weighted-fair
 /// queue: a `High` job receives 16× the dispatch share of a `Low` one when
@@ -417,6 +418,9 @@ pub struct JobOutcome {
     pub base_seed: u64,
     /// The job's WFQ weight class.
     pub priority: Priority,
+    /// The budget the job ran under (used to derive the degraded-reason
+    /// breakdown in [`JobOutcome::report`]).
+    pub budget: JobBudget,
     /// Terminal verdict.
     pub status: JobStatus,
     /// Per-point records in point order.
@@ -432,6 +436,25 @@ pub struct JobOutcome {
 impl JobOutcome {
     fn count(&self, status: PointStatus) -> usize {
         self.points.iter().filter(|r| r.status == status).count()
+    }
+
+    fn count_truncation(&self, kind: &str) -> usize {
+        self.points.iter().filter(|r| r.truncation.as_deref() == Some(kind)).count()
+    }
+
+    /// The degraded-reason breakdown: why this job is less than `completed`,
+    /// diagnosable from the report alone. Every field is a pure function of
+    /// the point records and the budget — a poisoned point by definition
+    /// burned the full retry budget, so `retries_burned` needs no run
+    /// history and survives kill/resume byte-identically.
+    fn degraded_breakdown(&self) -> Json {
+        let poisoned = self.count(PointStatus::Poisoned) as u64;
+        Json::obj([
+            ("retries_burned", Json::U64(poisoned * u64::from(self.budget.retries))),
+            ("truncated_event_budget", Json::U64(self.count_truncation("event_budget") as u64)),
+            ("truncated_host_deadline", Json::U64(self.count_truncation("host_deadline") as u64)),
+            ("script_faults", Json::U64(self.count(PointStatus::ScriptFault) as u64)),
+        ])
     }
 
     /// The job report. Contains only deterministic, run-history-free data
@@ -470,6 +493,7 @@ impl JobOutcome {
             ("poisoned", Json::U64(self.count(PointStatus::Poisoned) as u64)),
             ("script_faults", Json::U64(self.count(PointStatus::ScriptFault) as u64)),
             ("cancelled", Json::U64(self.count(PointStatus::Cancelled) as u64)),
+            ("degraded", self.degraded_breakdown()),
             ("rows", Json::Arr(rows)),
         ])
     }
@@ -641,6 +665,7 @@ fn load_journal(path: &Path) -> Result<(BTreeMap<String, JournalJob>, usize), Ch
             }
         }
     }
+    telemetry::ckpt_damaged_lines(skipped as u64);
     Ok((jobs, skipped))
 }
 
@@ -755,7 +780,10 @@ impl JobQueue {
     /// resume) inconsistent submissions with a typed [`Rejected`] instead
     /// of queueing them.
     pub fn submit(&mut self, spec: JobSpec) -> Result<JobHandle, Rejected> {
-        let reject = |reason| Rejected { job_id: spec.job_id.clone(), reason };
+        let reject = |reason| {
+            telemetry::jobs_rejected(&reason);
+            Rejected { job_id: spec.job_id.clone(), reason }
+        };
         if spec.grid.is_empty() {
             return Err(reject(RejectReason::EmptyGrid));
         }
@@ -783,6 +811,7 @@ impl JobQueue {
         let handle = JobHandle { job_id: spec.job_id.clone(), token: token.clone() };
         self.specs.push(spec);
         self.tokens.push(token);
+        telemetry::jobs_admitted(self.specs.len());
         Ok(handle)
     }
 
@@ -830,6 +859,7 @@ impl JobQueue {
                         st.resumed += 1;
                     }
                 }
+                telemetry::points_resumed(st.resumed as u64);
                 if entry.terminal == Some(JobStatus::Cancelled) {
                     // The job was cancelled before the kill; points lost in
                     // flight stay cancelled rather than re-running.
@@ -840,6 +870,7 @@ impl JobQueue {
                                 w.record(&spec.job_id, spec.base_seed, &rec)?;
                             }
                             slot.insert(rec);
+                            telemetry::jobs_cancelled_points(1);
                         }
                     }
                 }
@@ -877,8 +908,12 @@ impl JobQueue {
                             }
                             st.records.insert(idx, copy);
                             st.cached += 1;
+                            telemetry::cache_hit();
                         }
-                        ClaimState::Owner { .. } => st.parked.push((idx, addr)),
+                        ClaimState::Owner { .. } => {
+                            telemetry::cache_park();
+                            st.parked.push((idx, addr));
+                        }
                     },
                     // An address collision with different content: evaluate
                     // the point ourselves rather than serve a wrong record.
@@ -910,6 +945,14 @@ impl JobQueue {
         if let Some(e) = sched.error {
             return Err(JobError::Journal(e));
         }
+        // End-of-run WFQ fairness: each tenant's virtual-time lag behind the
+        // fleet minimum. Final vtimes are a pure function of the dispatch
+        // counts, so the gauge is deterministic for deterministic workloads.
+        if let Some(&min) = sched.vtime.values().min() {
+            for (tenant, &vt) in &sched.vtime {
+                telemetry::wfq_lag_set(tenant, vt - min);
+            }
+        }
         let outcomes = specs
             .into_iter()
             .zip(sched.jobs)
@@ -920,6 +963,7 @@ impl JobQueue {
                 experiment: spec.experiment,
                 base_seed: spec.base_seed,
                 priority: spec.priority,
+                budget: spec.budget,
                 points: st.records.into_values().collect(),
                 evaluated_points: st.evaluated,
                 cached_points: st.cached,
@@ -1057,6 +1101,7 @@ fn complete(
     st.inflight -= 1;
     st.evaluated += 1;
     st.records.insert(task.point, record);
+    telemetry::sample_boundary();
 }
 
 /// Re-assigns an orphaned claim (owner cancelled or poisoned) to the first
@@ -1069,6 +1114,7 @@ fn promote_or_drop(sched: &mut Sched, addr: &str) {
             st.pending.push_back(idx);
             sched.cache.get_mut(addr).expect("claim exists while parked on").state =
                 ClaimState::Owner { job: j, point: idx };
+            telemetry::cache_promotion();
             return;
         }
     }
@@ -1089,6 +1135,7 @@ fn settle(sched: &mut Sched, specs: &[JobSpec], tokens: &[CancelToken], writer: 
         sched.jobs[j].cancel_seen = true;
         let pending: Vec<usize> = sched.jobs[j].pending.drain(..).collect();
         let parked: Vec<(usize, String)> = std::mem::take(&mut sched.jobs[j].parked);
+        telemetry::jobs_cancelled_points((pending.len() + parked.len()) as u64);
         for &idx in pending.iter().chain(parked.iter().map(|(idx, _)| idx)) {
             let rec = CheckpointRecord::cancelled(idx);
             if let Some(w) = writer {
@@ -1125,6 +1172,7 @@ fn settle(sched: &mut Sched, specs: &[JobSpec], tokens: &[CancelToken], writer: 
                     }
                     sched.jobs[j].records.insert(idx, copy);
                     sched.jobs[j].cached += 1;
+                    telemetry::cache_hit();
                 }
                 _ => still.push((idx, addr)),
             }

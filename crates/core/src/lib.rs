@@ -56,6 +56,7 @@ pub mod report;
 pub mod scenario;
 pub mod script_api;
 pub mod sweep;
+pub mod telemetry;
 
 pub use error::Error;
 
@@ -79,6 +80,7 @@ pub mod prelude {
     pub use crate::sweep::{
         self, PointOutcome, PointRun, PoolConfig, ScriptFaultInfo, SweepSupervisor, Truncation,
     };
+    pub use crate::telemetry;
     pub use malsim_analysis::prelude::*;
     pub use malsim_kernel::prelude::*;
     pub use malsim_malware::prelude::*;

@@ -33,6 +33,8 @@ use malsim_kernel::invariant::InvariantViolation;
 use malsim_kernel::rng::SimRng;
 use malsim_kernel::sched::{ProfileSummary, StopReason, Watchdog};
 
+use crate::telemetry;
+
 /// The identity of one sweep point: which experiment, which point index, and
 /// the sweep's base seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -374,17 +376,24 @@ where
     loop {
         attempts += 1;
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_point(ctx, point))) {
-            Ok(Ok(run)) => return PointOutcome::Completed { run, attempts },
+            Ok(Ok(run)) => {
+                telemetry::points_retried(u64::from(attempts - 1));
+                telemetry::point_completed(run.truncation);
+                return PointOutcome::Completed { run, attempts };
+            }
             Ok(Err(fault)) => {
+                telemetry::point_script_fault();
                 return PointOutcome::ScriptFault {
                     script_id: fault.script_id,
                     error: fault.error,
                     fuel_used: fault.fuel_used,
                     point: ctx.point,
-                }
+                };
             }
             Err(payload) => {
                 if attempts > supervisor.retries {
+                    telemetry::points_retried(u64::from(attempts - 1));
+                    telemetry::point_quarantined();
                     return PointOutcome::Poisoned {
                         panic_msg: panic_message(payload),
                         seed: ctx.derived_seed(),

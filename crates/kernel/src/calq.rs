@@ -117,6 +117,24 @@ pub struct CalQueue<T> {
     live: usize,
     next_seq: u64,
     resizes: u64,
+    tombstone_reaps: u64,
+    cursor_pullbacks: u64,
+}
+
+/// Always-on structural counters of one [`CalQueue`], all deterministic:
+/// they depend only on the sequence of operations, never on wall time or
+/// thread interleaving. Snapshot via [`CalQueue::stats`] (or
+/// [`Sim::queue_stats`](crate::sched::Sim::queue_stats)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Ring rebuilds (growth, shrink, or width re-derivation).
+    pub resizes: u64,
+    /// Cancelled nodes unchained and freed — lazily by the dequeue cursor,
+    /// in bulk when the queue drains, or during a rebuild.
+    pub tombstone_reaps: u64,
+    /// Inserts that landed behind a scanned-ahead cursor and pulled it back
+    /// (the price of peeking far into a sparse schedule).
+    pub cursor_pullbacks: u64,
 }
 
 impl<T> Default for CalQueue<T> {
@@ -133,6 +151,8 @@ impl<T> std::fmt::Debug for CalQueue<T> {
             .field("buckets", &self.buckets.len())
             .field("width_ms", &(1u64 << self.shift))
             .field("resizes", &self.resizes)
+            .field("tombstone_reaps", &self.tombstone_reaps)
+            .field("cursor_pullbacks", &self.cursor_pullbacks)
             .finish()
     }
 }
@@ -149,6 +169,8 @@ impl<T> CalQueue<T> {
             live: 0,
             next_seq: 0,
             resizes: 0,
+            tombstone_reaps: 0,
+            cursor_pullbacks: 0,
         }
     }
 
@@ -170,6 +192,25 @@ impl<T> CalQueue<T> {
     /// How many times the ring has been rebuilt.
     pub fn resizes(&self) -> u64 {
         self.resizes
+    }
+
+    /// Cancelled nodes reaped so far (see [`QueueStats::tombstone_reaps`]).
+    pub fn tombstone_reaps(&self) -> u64 {
+        self.tombstone_reaps
+    }
+
+    /// Cursor pull-backs so far (see [`QueueStats::cursor_pullbacks`]).
+    pub fn cursor_pullbacks(&self) -> u64 {
+        self.cursor_pullbacks
+    }
+
+    /// Snapshot of the queue's structural counters.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            resizes: self.resizes,
+            tombstone_reaps: self.tombstone_reaps,
+            cursor_pullbacks: self.cursor_pullbacks,
+        }
     }
 
     /// Current bucket width in milliseconds (always a power of two).
@@ -335,6 +376,7 @@ impl<T> CalQueue<T> {
                         self.unlink_head(b);
                         self.linked -= 1;
                         self.slab.remove_at(head as usize);
+                        self.tombstone_reaps += 1;
                     }
                     NodeState::Reserved | NodeState::ReservedCancelled => {
                         unreachable!("reserved slots are never chained")
@@ -375,6 +417,7 @@ impl<T> CalQueue<T> {
                 debug_assert!(matches!(node.state, NodeState::Tombstone));
                 let next = node.next;
                 self.slab.remove_at(cur as usize);
+                self.tombstone_reaps += 1;
                 cur = next;
             }
             self.buckets[b] = List::EMPTY;
@@ -395,6 +438,7 @@ impl<T> CalQueue<T> {
         // node's bucket and break `(time, seq)` order.
         if vbucket < self.cursor {
             self.cursor = vbucket;
+            self.cursor_pullbacks += 1;
         }
         let mask = self.buckets.len() as u64 - 1;
         let b = (vbucket & mask) as usize;
@@ -468,6 +512,7 @@ impl<T> CalQueue<T> {
                     NodeState::Queued(_) => order.push((node.time, node.seq, cur)),
                     NodeState::Tombstone => {
                         self.slab.remove_at(cur as usize);
+                        self.tombstone_reaps += 1;
                     }
                     NodeState::Reserved | NodeState::ReservedCancelled => {
                         unreachable!("reserved slots are never chained")
@@ -670,6 +715,55 @@ mod tests {
         assert_eq!(q.pop(), Some((ms(100), 0)));
         assert_eq!(q.pop(), Some((ms(5000), 1)));
         assert_eq!(q.pop(), Some((ms(1 << 30), 9)));
+    }
+
+    #[test]
+    fn structural_counters_track_reaps_and_pullbacks() {
+        let mut q: CalQueue<u32> = CalQueue::new();
+        assert_eq!(q.stats(), QueueStats::default());
+
+        // A cancel is not a reap: the tombstone is only counted when the
+        // cursor (or a drain, or a rebuild) actually unchains it.
+        let a = q.insert(ms(10), 1);
+        q.insert(ms(20), 2);
+        assert!(q.cancel(a));
+        assert_eq!(q.tombstone_reaps(), 0);
+        assert_eq!(q.pop(), Some((ms(20), 2)));
+        assert_eq!(q.tombstone_reaps(), 1, "the cursor reaped the tombstone in passing");
+
+        // Draining with only tombstones left purges (and counts) the rest.
+        let b = q.insert(ms(30), 3);
+        let c = q.insert(ms(40), 4);
+        assert!(q.cancel(b));
+        assert!(q.cancel(c));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.tombstone_reaps(), 3);
+
+        // A peek that walks far ahead, then an insert behind the cursor.
+        q.insert(ms(1 << 30), 9);
+        assert_eq!(q.peek_time(), Some(ms(1 << 30)));
+        assert_eq!(q.cursor_pullbacks(), 0);
+        q.insert(ms(100), 0);
+        assert_eq!(q.cursor_pullbacks(), 1, "the insert pulled the cursor back");
+        assert_eq!(q.stats().cursor_pullbacks, 1);
+    }
+
+    #[test]
+    fn rebuild_counts_tombstones_it_drops() {
+        let mut q: CalQueue<u64> = CalQueue::new();
+        let handles: Vec<_> = (0..100u64).map(|i| q.insert(ms(i * 7), i)).collect();
+        for h in handles.iter().step_by(2) {
+            assert!(q.cancel(*h));
+        }
+        let reaped_before = q.tombstone_reaps();
+        // Grow past the resize threshold; the rebuild must drop (and count)
+        // every tombstone still chained.
+        for i in 100..2000u64 {
+            q.insert(ms(i * 7), i);
+        }
+        assert!(q.resizes() > 0);
+        assert_eq!(q.tombstone_reaps(), reaped_before + 50, "rebuild reaped the cancelled half");
+        assert_eq!(q.len(), q.live_len(), "no tombstones survive a rebuild");
     }
 
     #[test]

@@ -31,6 +31,9 @@
 //! - [`sched::Watchdog`] — per-run limits (deterministic event budget,
 //!   host-clock deadline) with graceful truncation via
 //!   [`sched::Sim::run_until_watched`].
+//! - [`telemetry::TelemetryHook`] — a process-wide observer interface a host
+//!   layer can install once; armed simulations feed it per-dispatch
+//!   callbacks, unarmed ones pay a single branch.
 //! - [`crate::define_id!`] / [`ids::Arena`] — typed handles for entity tables.
 //!
 //! # Examples
@@ -65,12 +68,13 @@ pub mod metrics;
 pub mod rng;
 pub mod sched;
 pub mod span;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
 /// Convenient glob-import of the kernel's commonly used items.
 pub mod prelude {
-    pub use crate::calq::CalQueue;
+    pub use crate::calq::{CalQueue, QueueStats};
     pub use crate::fault::{FaultConfigError, FaultKind, FaultPlane, FaultWindow};
     pub use crate::ids::{GenSlab, SlotRef};
     pub use crate::invariant::{InvariantChecker, InvariantViolation, LawCx};
@@ -78,6 +82,7 @@ pub mod prelude {
     pub use crate::rng::SimRng;
     pub use crate::sched::{EventHandle, ProfileRow, ProfileSummary, Sim, StopReason, Watchdog, WatchedRun};
     pub use crate::span::{Span, SpanId, SpanLog};
+    pub use crate::telemetry::TelemetryHook;
     pub use crate::time::{SimDuration, SimTime, TimeError};
     pub use crate::trace::{TraceCategory, TraceConfig, TraceEvent, TraceLog};
 }

@@ -19,13 +19,14 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use crate::calq::CalQueue;
+use crate::calq::{CalQueue, QueueStats};
 use crate::fault::FaultPlane;
 use crate::ids::SlotRef;
 use crate::invariant::{InvariantChecker, InvariantViolation, LawCx};
 use crate::metrics::{Histogram, Metrics};
 use crate::rng::SimRng;
 use crate::span::{SpanId, SpanLog};
+use crate::telemetry::{self, TelemetryHook};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceCategory, TraceLog};
 
@@ -63,6 +64,12 @@ pub struct Sim<W> {
     executed: u64,
     profiler: Option<Profiler>,
     checker: Option<Box<InvariantChecker<W>>>,
+    /// The process-wide telemetry hook, captured at construction (see
+    /// [`crate::telemetry`]); `None` in processes that never install one.
+    telemetry: Option<&'static dyn TelemetryHook>,
+    /// Queue-stats watermark of the last hook flush, so each `run*` call
+    /// reports only the delta it produced.
+    tele_flushed: QueueStats,
     dispatch_cat: Option<TraceCategory>,
     /// Deterministic random source for the run.
     pub rng: SimRng,
@@ -100,6 +107,8 @@ impl<W> Sim<W> {
             executed: 0,
             profiler: None,
             checker: None,
+            telemetry: telemetry::installed(),
+            tele_flushed: QueueStats::default(),
             dispatch_cat: None,
             rng: SimRng::seed_from(seed),
             trace: TraceLog::new(),
@@ -200,6 +209,11 @@ impl<W> Sim<W> {
         self.executed += 1;
         if self.profiler.is_some() {
             self.dispatch_profiled(world, action);
+        } else if let Some(hook) = self.telemetry {
+            let depth = self.queue.len();
+            self.dispatch_cat = None;
+            action(world, self);
+            hook.dispatch(self.dispatch_cat.take(), depth);
         } else {
             action(world, self);
         }
@@ -226,15 +240,35 @@ impl<W> Sim<W> {
         let started = std::time::Instant::now();
         action(world, self);
         let nanos = started.elapsed().as_nanos() as u64;
-        let category = self.dispatch_cat.take().map(TraceCategory::name);
+        let cat = self.dispatch_cat.take();
+        if let Some(hook) = self.telemetry {
+            hook.dispatch(cat, depth);
+        }
         if let Some(p) = self.profiler.as_mut() {
-            p.note(category, nanos, depth);
+            p.note(cat.map(TraceCategory::name), nanos, depth);
         }
     }
 
     /// Runs until the queue drains.
     pub fn run(&mut self, world: &mut W) {
         while self.step(world) {}
+        self.flush_queue_stats();
+    }
+
+    /// Reports the queue's structural-counter delta since the last flush to
+    /// the telemetry hook. Called at the end of every `run*` entry point;
+    /// callers driving [`Sim::step`] by hand are not flushed (their counters
+    /// are still readable via [`Sim::queue_stats`]).
+    fn flush_queue_stats(&mut self) {
+        if let Some(hook) = self.telemetry {
+            let now = self.queue.stats();
+            hook.queue_stats(QueueStats {
+                resizes: now.resizes - self.tele_flushed.resizes,
+                tombstone_reaps: now.tombstone_reaps - self.tele_flushed.tombstone_reaps,
+                cursor_pullbacks: now.cursor_pullbacks - self.tele_flushed.cursor_pullbacks,
+            });
+            self.tele_flushed = now;
+        }
     }
 
     /// Runs events with `time <= until`, then sets the clock to `until`.
@@ -270,6 +304,7 @@ impl<W> Sim<W> {
                     // Limits are checked only once another event is actually
                     // due, so an exactly-drained queue still reads Completed.
                     if executed >= budget {
+                        self.flush_queue_stats();
                         return WatchedRun { reason: StopReason::EventBudget, executed };
                     }
                     if let Some(d) = deadline {
@@ -277,6 +312,7 @@ impl<W> Sim<W> {
                         // a deadline meant to catch runaway points, not to
                         // time them.
                         if executed.is_multiple_of(256) && std::time::Instant::now() >= d {
+                            self.flush_queue_stats();
                             return WatchedRun { reason: StopReason::HostDeadline, executed };
                         }
                     }
@@ -287,6 +323,7 @@ impl<W> Sim<W> {
             }
         }
         self.now = self.now.max(until);
+        self.flush_queue_stats();
         WatchedRun { reason: StopReason::Completed, executed }
     }
 
@@ -296,6 +333,7 @@ impl<W> Sim<W> {
         while n < max_events && self.step(world) {
             n += 1;
         }
+        self.flush_queue_stats();
         n
     }
 
@@ -356,9 +394,16 @@ impl<W> Sim<W> {
     }
 
     fn note_dispatch(&mut self, category: TraceCategory) {
-        if self.profiler.is_some() && self.dispatch_cat.is_none() {
+        if self.dispatch_cat.is_none() && (self.profiler.is_some() || self.telemetry.is_some()) {
             self.dispatch_cat = Some(category);
         }
+    }
+
+    /// Snapshot of the pending-event queue's structural counters (ring
+    /// resizes, tombstone reaps, cursor pull-backs). Always on — they are
+    /// plain field increments — and fully deterministic.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
     }
 
     /// Arms the scheduler profiling probe. Until [`Sim::finish_profile`] is

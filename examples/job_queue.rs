@@ -14,7 +14,14 @@
 //!
 //! Usage: `cargo run --release --example job_queue [seed] [threads]
 //!   [--journal <path>] [--resume] [--out-dir <dir>]
-//!   [--point-sleep-ms <n>] [--cancel-after <n>]`
+//!   [--point-sleep-ms <n>] [--cancel-after <n>] [--metrics-out <dir>]`
+//!
+//! With `--metrics-out <dir>` (or `MALSIM_METRICS=1`) the telemetry plane is
+//! armed; the directory receives `metrics.prom` (Prometheus text exposition),
+//! `metrics.json` (full snapshot), `metrics_deterministic.json` (the
+//! deterministic section only — byte-identical across runs and thread
+//! counts), and `metrics.jsonl` (one deterministic sample per point
+//! boundary).
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -25,6 +32,7 @@ use malsim::report::Json;
 use malsim::scenario::ScenarioBuilder;
 use malsim::script_api;
 use malsim::sweep::{PointRun, PoolConfig};
+use malsim::telemetry;
 
 /// The red-team tenant's script suite: two benign probes bracketing a fuel
 /// bomb and a capability violation.
@@ -43,6 +51,7 @@ fn main() {
     let mut journal: Option<PathBuf> = None;
     let mut resume = false;
     let mut out_dir: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
     let mut stagger_ms = 0u64;
     let mut cancel_after = 2usize;
     let mut positional: Vec<String> = Vec::new();
@@ -61,12 +70,14 @@ fn main() {
             "--out-dir" => out_dir = Some(PathBuf::from(value(&mut args, "--out-dir"))),
             "--point-sleep-ms" => stagger_ms = value(&mut args, "--point-sleep-ms").parse().unwrap_or(0),
             "--cancel-after" => cancel_after = value(&mut args, "--cancel-after").parse().unwrap_or(2),
+            "--metrics-out" => metrics_out = Some(PathBuf::from(value(&mut args, "--metrics-out"))),
             other if !other.starts_with("--") => positional.push(other.to_owned()),
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: job_queue [seed] [threads] [--journal <path>] [--resume] \
-                     [--out-dir <dir>] [--point-sleep-ms <n>] [--cancel-after <n>]"
+                     [--out-dir <dir>] [--point-sleep-ms <n>] [--cancel-after <n>] \
+                     [--metrics-out <dir>]"
                 );
                 std::process::exit(2);
             }
@@ -78,6 +89,21 @@ fn main() {
         Some(n) => PoolConfig::explicit(n),
         None => PoolConfig::from_env(),
     };
+
+    // Arm the telemetry plane before any simulation exists so every kernel
+    // instance picks up the hook. `MALSIM_METRICS=1` arms without writing.
+    telemetry::arm_if_env();
+    if let Some(dir) = &metrics_out {
+        telemetry::arm();
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        });
+        telemetry::set_jsonl_sink(&dir.join("metrics.jsonl")).unwrap_or_else(|e| {
+            eprintln!("error: cannot open metrics.jsonl: {e}");
+            std::process::exit(1);
+        });
+    }
 
     let pacing = JobBudget { stagger_ms, ..JobBudget::default() };
     let cfg = QueueConfig { pool, max_jobs: 3, journal, resume, ..QueueConfig::default() };
@@ -177,5 +203,19 @@ fn main() {
             });
         }
         println!("wrote {} report(s) to {}", run.outcomes.len(), dir.display());
+    }
+    if let Some(dir) = metrics_out {
+        telemetry::clear_jsonl_sink();
+        let write = |name: &str, body: String| {
+            let path = dir.join(name);
+            std::fs::write(&path, body).unwrap_or_else(|e| {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            });
+        };
+        write("metrics.prom", telemetry::render_prometheus());
+        write("metrics.json", telemetry::render_snapshot());
+        write("metrics_deterministic.json", telemetry::render_deterministic());
+        println!("wrote metrics to {}", dir.display());
     }
 }

@@ -13,6 +13,9 @@
 //! * `--profile` — print the scheduler's dispatch-profiling summary.
 //! * `--check-invariants` — run the kernel + world invariant checker after
 //!   every dispatched event and report what it saw (exit 1 on violations).
+//!
+//! Setting `MALSIM_METRICS=1` arms the process-wide telemetry plane; every
+//! output above stays byte-identical (telemetry only observes).
 
 use malsim::prelude::*;
 
@@ -48,6 +51,10 @@ fn main() {
             }
         }
     }
+
+    // `MALSIM_METRICS=1` arms the telemetry plane; the trace and report
+    // outputs must stay byte-identical either way (telemetry only observes).
+    telemetry::arm_if_env();
 
     let seed = 2010;
     let days = 30;

@@ -20,6 +20,10 @@ use malsim::prelude::*;
 /// a broken substrate reports the full blast radius at once.
 #[test]
 fn experiments_match_golden_snapshots() {
+    // With `MALSIM_METRICS=1` the whole suite runs with the telemetry plane
+    // armed, proving the goldens stay byte-identical while every kernel
+    // dispatch and job counter is being recorded (CI's `telemetry` job).
+    telemetry::arm_if_env();
     let threads = sweep::threads_from_env();
     let mut failures = Vec::new();
     for spec in experiments::golden_specs() {

@@ -158,14 +158,14 @@ fn real_schedule_at(at: SimTime, nested: &[Op], w: &mut RealWorld, sim: &mut Sim
     w.handles.push(h);
 }
 
-fn run_real(program: &[Op]) -> (Vec<Obs>, u64) {
+fn run_real(program: &[Op]) -> (Vec<Obs>, u64, QueueStats) {
     let mut sim: Sim<RealWorld> = Sim::new(SimTime::EPOCH, 1);
     let mut w = RealWorld::default();
     for op in program {
         exec_real(op, &mut w, &mut sim);
     }
     sim.run(&mut w);
-    (w.log, sim.executed())
+    (w.log, sim.executed(), sim.queue_stats())
 }
 
 // ---------------------------------------------------------------------------
@@ -289,7 +289,7 @@ fn check_seed(seed: u64) {
     let mut g = Gen(seed.wrapping_mul(0x9e37_79b9).wrapping_add(seed));
     let top_level = 4 + g.below(40) as usize;
     let program = gen_ops(&mut g, top_level, 2);
-    let (real_log, real_executed) = run_real(&program);
+    let (real_log, real_executed, real_stats) = run_real(&program);
     let (model_log, model_executed) = run_model(&program);
     if real_log != model_log {
         let first = real_log
@@ -305,6 +305,18 @@ fn check_seed(seed: u64) {
         );
     }
     assert_eq!(real_executed, model_executed, "seed {seed}: executed-event counts diverge");
+    // The queue's structural telemetry is pinned by the model too: every
+    // cancel that reported `stopped` tombstoned a queued node, and a run
+    // that drains the queue reaps every tombstone — lazily, in bulk at the
+    // drain, or during a rebuild. (Reserved-slot cancels, which are freed
+    // without a reap, cannot occur here: only `Once` events run nested ops,
+    // so no cancel ever lands on a mid-fire repeating event.)
+    let stopped_cancels =
+        model_log.iter().filter(|o| matches!(o, Obs::Cancelled { stopped: true, .. })).count() as u64;
+    assert_eq!(
+        real_stats.tombstone_reaps, stopped_cancels,
+        "seed {seed}: tombstone reaps diverge from the model's stopped-cancel count",
+    );
 }
 
 #[test]
@@ -335,7 +347,7 @@ fn tie_heavy_programs_match_the_model() {
                 program.push(Op::Every { period_ms: 100, fires: 1 + g.below(4) as u32 });
             }
         }
-        let (real_log, _) = run_real(&program);
+        let (real_log, _, _) = run_real(&program);
         let (model_log, _) = run_model(&program);
         assert_eq!(real_log, model_log, "seed {seed} diverged (tie-heavy)");
     }
@@ -354,7 +366,7 @@ fn sparse_far_future_programs_match_the_model() {
         }];
         let extra = 10 + g.below(20) as usize;
         program.extend(gen_ops(&mut g, extra, 1));
-        let (real_log, _) = run_real(&program);
+        let (real_log, _, _) = run_real(&program);
         let (model_log, _) = run_model(&program);
         assert_eq!(real_log, model_log, "seed {seed} diverged (sparse)");
     }
