@@ -21,12 +21,31 @@
 //! [`Manifest::skipped_lines`] and the affected points simply re-run — and
 //! strict where silence would be wrong: records from a different experiment
 //! or base seed fail loudly with [`CheckpointError::WrongSweep`].
+//!
+//! ## Storage faults
+//!
+//! All persistence goes through a [`StorageBackend`]
+//! (see [`chaosfs`](crate::chaosfs)), so checkpoint durability can be
+//! soak-tested under injected I/O faults. Transient errors (`EINTR`,
+//! timeouts) are retried with bounded backoff per [`IoRetryPolicy`]; fatal
+//! ones never fail the sweep. A fatal *read* degrades [`Manifest::load_with`]
+//! to an empty manifest carrying a typed [`Manifest::load_fault`] (the
+//! affected points re-run); a fatal *write or fsync* quarantines the
+//! [`CheckpointWriter`] — further appends become no-ops, the grid still
+//! completes, and the typed reason surfaces as
+//! [`SweepOutcomes::storage_fault`]. The fault is deliberately **not** part
+//! of [`SweepOutcomes::report`]: reports carry only deterministic,
+//! run-history-free data, and whether this particular run's disk misbehaved
+//! is run history. [`repair_journal`] compacts a damaged journal down to its
+//! self-hash-valid lines.
 
 use std::collections::BTreeMap;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+use crate::chaosfs::{
+    classify, FaultClass, IoRetryPolicy, StorageBackend, StorageFault, StorageFile, StorageOp, REAL_FS,
+};
 use crate::report::{self, Json};
 use crate::sweep::{self, PointOutcome, PointRun, PoolConfig, SweepCtx, SweepSupervisor};
 use crate::telemetry;
@@ -48,6 +67,9 @@ pub enum CheckpointError {
     Io {
         /// The checkpoint path involved.
         path: PathBuf,
+        /// The typed error kind, so callers and the retry classifier
+        /// ([`crate::chaosfs::classify`]) never parse strings.
+        kind: std::io::ErrorKind,
         /// The underlying I/O error, rendered.
         detail: String,
     },
@@ -66,7 +88,7 @@ pub enum CheckpointError {
 impl std::fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CheckpointError::Io { path, detail } => {
+            CheckpointError::Io { path, detail, .. } => {
                 write!(f, "checkpoint i/o error on {}: {detail}", path.display())
             }
             CheckpointError::WrongSweep { path, expected, found } => {
@@ -81,6 +103,11 @@ impl std::fmt::Display for CheckpointError {
 }
 
 impl std::error::Error for CheckpointError {}
+
+/// Wraps a `std::io::Error` with its path, preserving the typed kind.
+pub(crate) fn io_error(path: &Path, e: &std::io::Error) -> CheckpointError {
+    CheckpointError::Io { path: path.to_owned(), kind: e.kind(), detail: e.to_string() }
+}
 
 /// Terminal status of one checkpointed point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -266,6 +293,38 @@ pub struct Manifest {
     pub records: BTreeMap<usize, CheckpointRecord>,
     /// Lines that were torn, corrupt, or failed their hash check.
     pub skipped_lines: usize,
+    /// The typed reason the file could not be read at all, if loading
+    /// degraded to a fresh start on a fatal storage fault.
+    pub load_fault: Option<StorageFault>,
+}
+
+/// Reads `path` through `backend`, retrying transient faults with bounded
+/// backoff. `Ok(None)` is a missing file; a fatal fault is returned typed.
+pub(crate) fn read_with_retry(
+    path: &Path,
+    backend: &dyn StorageBackend,
+) -> Result<Option<String>, StorageFault> {
+    let policy = IoRetryPolicy::default();
+    let mut attempt = 0u32;
+    loop {
+        match backend.read_to_string(path) {
+            Ok(text) => return Ok(Some(text)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) if classify(e.kind()) == FaultClass::Transient && policy.should_retry(attempt) => {
+                telemetry::ckpt_io_retry();
+                std::thread::sleep(std::time::Duration::from_millis(policy.backoff_ms(attempt)));
+                attempt += 1;
+            }
+            Err(e) => {
+                return Err(StorageFault {
+                    op: StorageOp::Read,
+                    kind: e.kind(),
+                    detail: e.to_string(),
+                    retries: attempt,
+                })
+            }
+        }
+    }
 }
 
 impl Manifest {
@@ -273,10 +332,28 @@ impl Manifest {
     /// damaged lines are skipped and counted; a record from a different
     /// `(experiment, base_seed)` is a hard [`CheckpointError::WrongSweep`].
     pub fn load(path: &Path, experiment: &str, base_seed: u64) -> Result<Manifest, CheckpointError> {
-        let text = match std::fs::read_to_string(path) {
-            Ok(text) => text,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Manifest::default()),
-            Err(e) => return Err(CheckpointError::Io { path: path.to_owned(), detail: e.to_string() }),
+        Manifest::load_with(path, &REAL_FS, experiment, base_seed)
+    }
+
+    /// Like [`Manifest::load`], through an explicit [`StorageBackend`].
+    ///
+    /// Transient read faults are retried with bounded backoff; a fatal one
+    /// does **not** fail the resume — it degrades to an empty manifest with
+    /// the typed reason in [`Manifest::load_fault`], so every point simply
+    /// re-runs and the report still reproduces.
+    pub fn load_with(
+        path: &Path,
+        backend: &dyn StorageBackend,
+        experiment: &str,
+        base_seed: u64,
+    ) -> Result<Manifest, CheckpointError> {
+        let text = match read_with_retry(path, backend) {
+            Ok(Some(text)) => text,
+            Ok(None) => return Ok(Manifest::default()),
+            Err(fault) => {
+                telemetry::ckpt_journal_quarantined();
+                return Ok(Manifest { load_fault: Some(fault), ..Manifest::default() });
+            }
         };
         let mut manifest = Manifest::default();
         for line in text.lines() {
@@ -299,29 +376,167 @@ impl Manifest {
 ///
 /// The file lock is held only while serialising one already-computed record
 /// — never across user code — so a panicking point cannot poison it.
+///
+/// The writer absorbs storage faults instead of failing the sweep: transient
+/// errors are retried with bounded backoff, and a fatal one (a failed fsync
+/// above all) **quarantines** the journal — the file handle is dropped,
+/// every later append is a silent no-op, and the typed reason is available
+/// from [`CheckpointWriter::quarantine`]. Losing persistence degrades a
+/// future resume, never the run in progress.
 #[derive(Debug)]
 pub struct CheckpointWriter {
     path: PathBuf,
-    file: Mutex<std::fs::File>,
+    policy: IoRetryPolicy,
+    inner: Mutex<WriterState>,
+}
+
+#[derive(Debug)]
+struct WriterState {
+    /// `None` once quarantined.
+    file: Option<Box<dyn StorageFile>>,
+    /// The fault that quarantined this writer, if any.
+    quarantined: Option<StorageFault>,
+    /// A failed append attempt may have left torn bytes at the end of the
+    /// file; the next attempt starts with a newline to terminate them so
+    /// the fresh line parses (the loader skips and counts the junk).
+    dirty_tail: bool,
+}
+
+/// Appends the whole buffer, looping over legal short writes.
+fn append_fully(file: &mut dyn StorageFile, mut buf: &[u8]) -> std::io::Result<()> {
+    while !buf.is_empty() {
+        match file.append(buf) {
+            Ok(0) => {
+                return Err(std::io::Error::new(std::io::ErrorKind::WriteZero, "append accepted zero bytes"))
+            }
+            Ok(n) => buf = &buf[n..],
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// One durable line: append + flush with transient retry, then fsync.
+/// A failed fsync is **always** fatal whatever its kind — after it the
+/// kernel page-cache state is unknowable, so a retried fsync that "works"
+/// could still silently drop the line (the fsyncgate lesson).
+fn write_durable_line(st: &mut WriterState, policy: &IoRetryPolicy, line: &[u8]) -> Result<(), StorageFault> {
+    let mut attempt = 0u32;
+    loop {
+        let file = st.file.as_mut().expect("caller checks quarantine before writing");
+        let mut buf = Vec::with_capacity(line.len() + 2);
+        if st.dirty_tail {
+            buf.push(b'\n');
+        }
+        buf.extend_from_slice(line);
+        buf.push(b'\n');
+        match append_fully(file.as_mut(), &buf).and_then(|()| file.flush()) {
+            Ok(()) => {}
+            Err(e) => {
+                // Bytes may have landed before the error; mark the tail
+                // dirty so a retry self-heals the line framing.
+                st.dirty_tail = true;
+                if classify(e.kind()) == FaultClass::Transient && policy.should_retry(attempt) {
+                    telemetry::ckpt_io_retry();
+                    std::thread::sleep(std::time::Duration::from_millis(policy.backoff_ms(attempt)));
+                    attempt += 1;
+                    continue;
+                }
+                return Err(StorageFault {
+                    op: StorageOp::Append,
+                    kind: e.kind(),
+                    detail: e.to_string(),
+                    retries: attempt,
+                });
+            }
+        }
+        // Time only the durability syscall, and only when telemetry is armed
+        // (`Instant::now` is not free on the unarmed path).
+        let started = telemetry::armed().then(std::time::Instant::now);
+        match file.fsync() {
+            Ok(()) => {
+                if let Some(t) = started {
+                    telemetry::ckpt_fsync_micros(t.elapsed().as_micros() as u64);
+                }
+                st.dirty_tail = false;
+                return Ok(());
+            }
+            Err(e) => {
+                return Err(StorageFault {
+                    op: StorageOp::Fsync,
+                    kind: e.kind(),
+                    detail: e.to_string(),
+                    retries: attempt,
+                })
+            }
+        }
+    }
 }
 
 impl CheckpointWriter {
     /// Creates (or truncates) the checkpoint file for a fresh sweep.
     pub fn create(path: &Path) -> Result<CheckpointWriter, CheckpointError> {
-        let file = std::fs::File::create(path)
-            .map_err(|e| CheckpointError::Io { path: path.to_owned(), detail: e.to_string() })?;
-        Ok(CheckpointWriter { path: path.to_owned(), file: Mutex::new(file) })
+        Ok(CheckpointWriter::create_with(path, &REAL_FS))
     }
 
     /// Opens the checkpoint file for appending (creating it if missing), for
     /// a resumed sweep.
     pub fn append(path: &Path) -> Result<CheckpointWriter, CheckpointError> {
-        let file = std::fs::File::options()
-            .create(true)
-            .append(true)
-            .open(path)
-            .map_err(|e| CheckpointError::Io { path: path.to_owned(), detail: e.to_string() })?;
-        Ok(CheckpointWriter { path: path.to_owned(), file: Mutex::new(file) })
+        Ok(CheckpointWriter::append_with(path, &REAL_FS))
+    }
+
+    /// Like [`CheckpointWriter::create`], through an explicit backend.
+    /// Infallible: a fatal open fault yields an already-quarantined writer
+    /// (the sweep runs without persistence) rather than an error.
+    pub fn create_with(path: &Path, backend: &dyn StorageBackend) -> CheckpointWriter {
+        CheckpointWriter::open_with(path, backend, false)
+    }
+
+    /// Like [`CheckpointWriter::append`], through an explicit backend, with
+    /// the same degrade-instead-of-fail contract as
+    /// [`CheckpointWriter::create_with`].
+    pub fn append_with(path: &Path, backend: &dyn StorageBackend) -> CheckpointWriter {
+        CheckpointWriter::open_with(path, backend, true)
+    }
+
+    fn open_with(path: &Path, backend: &dyn StorageBackend, append: bool) -> CheckpointWriter {
+        let policy = IoRetryPolicy::default();
+        let mut attempt = 0u32;
+        let state = loop {
+            let opened = if append { backend.open_append(path) } else { backend.create(path) };
+            match opened {
+                Ok(file) => break WriterState { file: Some(file), quarantined: None, dirty_tail: false },
+                Err(e) if classify(e.kind()) == FaultClass::Transient && policy.should_retry(attempt) => {
+                    telemetry::ckpt_io_retry();
+                    std::thread::sleep(std::time::Duration::from_millis(policy.backoff_ms(attempt)));
+                    attempt += 1;
+                }
+                Err(e) => {
+                    telemetry::ckpt_journal_quarantined();
+                    break WriterState {
+                        file: None,
+                        quarantined: Some(StorageFault {
+                            op: if append { StorageOp::Open } else { StorageOp::Create },
+                            kind: e.kind(),
+                            detail: e.to_string(),
+                            retries: attempt,
+                        }),
+                        dirty_tail: false,
+                    };
+                }
+            }
+        };
+        CheckpointWriter { path: path.to_owned(), policy, inner: Mutex::new(state) }
+    }
+
+    /// The fault that quarantined this writer, if storage failed fatally.
+    pub fn quarantine(&self) -> Option<StorageFault> {
+        self.inner.lock().expect("checkpoint lock never held across user code").quarantined.clone()
+    }
+
+    /// The journal path this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
     }
 
     /// Appends one record as a single compact-JSON line, flushed **and
@@ -340,22 +555,168 @@ impl CheckpointWriter {
     /// Appends one arbitrary record as a single compact-JSON line with the
     /// same flush+fsync durability contract as [`CheckpointWriter::record`].
     /// The job journal writes its state transitions through this.
+    ///
+    /// Storage faults never surface as `Err`: transients are retried per the
+    /// writer's [`IoRetryPolicy`], and a fatal fault quarantines the writer
+    /// (this and every later append return `Ok` without persisting — see
+    /// [`CheckpointWriter::quarantine`]).
     pub fn append_json(&self, record: &Json) -> Result<(), CheckpointError> {
         let line = record.to_compact_string();
-        let io = |e: std::io::Error| CheckpointError::Io { path: self.path.clone(), detail: e.to_string() };
-        let mut file = self.file.lock().expect("checkpoint lock never held across user code");
-        writeln!(file, "{line}").map_err(io)?;
-        file.flush().map_err(io)?;
-        // Time only the durability syscall, and only when telemetry is armed
-        // (`Instant::now` is not free on the unarmed path).
-        let started = telemetry::armed().then(std::time::Instant::now);
-        file.sync_data().map_err(io)?;
-        if let Some(t) = started {
-            telemetry::ckpt_fsync_micros(t.elapsed().as_micros() as u64);
+        let mut st = self.inner.lock().expect("checkpoint lock never held across user code");
+        if st.quarantined.is_some() {
+            return Ok(());
         }
-        telemetry::ckpt_line_written(line.len() as u64 + 1);
-        Ok(())
+        match write_durable_line(&mut st, &self.policy, line.as_bytes()) {
+            Ok(()) => {
+                telemetry::ckpt_line_written(line.len() as u64 + 1);
+                Ok(())
+            }
+            Err(fault) => {
+                st.file = None;
+                st.quarantined = Some(fault);
+                telemetry::ckpt_journal_quarantined();
+                Ok(())
+            }
+        }
     }
+}
+
+/// Validates a self-hashed journal object: its `hash` field must equal the
+/// FNV-1a hash of the object with that field blanked. Job-state transitions
+/// are hashed this way, mirroring the row hash on point records.
+pub(crate) fn self_hash_valid(v: &Json) -> bool {
+    let (Json::Obj(pairs), Some(hash)) = (v, v.get("hash").and_then(Json::as_str)) else {
+        return false;
+    };
+    let blanked = Json::Obj(
+        pairs
+            .iter()
+            .map(|(k, val)| {
+                let val = if k == "hash" { Json::Str(String::new()) } else { val.clone() };
+                (k.clone(), val)
+            })
+            .collect(),
+    );
+    hash == format!("{:016x}", fnv1a64(blanked.to_compact_string().as_bytes()))
+}
+
+/// Classifies one journal/checkpoint line: `Some(key)` if the line is
+/// self-consistent (its hash validates), where equal keys mean "the same
+/// logical slot" — the last valid line per key is the journal's truth.
+/// `None` means the line is damaged (torn, tampered, unparseable) and
+/// contributes nothing.
+///
+/// Keys: point records map to `point/<scope>/<seed>/<index>`; a job's
+/// admission transition to `transition/<job>/admitted`; its terminal
+/// transition to `transition/<job>/terminal`. The durability attestation in
+/// `examples/chaos_soak.rs` uses the same keys to prove no fsynced record
+/// was lost across a crash.
+pub fn journal_line_key(line: &str) -> Option<String> {
+    let v = report::parse(line).ok()?;
+    if v.get("kind").and_then(Json::as_str) == Some("transition") {
+        if !self_hash_valid(&v) {
+            return None;
+        }
+        let job_id = v.get("job_id").and_then(Json::as_str)?;
+        let status = v.get("status").and_then(Json::as_str)?;
+        let slot = if status == "admitted" { "admitted" } else { "terminal" };
+        return Some(format!("transition/{job_id}/{slot}"));
+    }
+    let (scope, seed) =
+        (v.get("experiment").and_then(Json::as_str)?, v.get("base_seed").and_then(Json::as_u64)?);
+    // Parse under the line's own identity: the key namespaces the scope, so
+    // records from different sweeps/jobs can share a file (the job journal).
+    let rec = CheckpointRecord::from_line(line, Path::new(""), scope, seed).ok()??;
+    Some(format!("point/{scope}/{seed}/{}", rec.point))
+}
+
+/// What [`repair_journal`] did to the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairSummary {
+    /// Non-empty lines examined.
+    pub lines_seen: usize,
+    /// Lines kept (one per logical slot, the last valid line winning).
+    pub kept: usize,
+    /// Lines dropped: damaged, or superseded by a later line for the slot.
+    pub dropped: usize,
+    /// File size before the repair, in bytes.
+    pub bytes_before: u64,
+    /// File size after the repair, in bytes.
+    pub bytes_after: u64,
+}
+
+/// Repairs and compacts a journal in place: keeps only self-hash-valid
+/// lines, collapses each logical slot (see [`journal_line_key`]) to its
+/// last valid line, and atomically renames the rewritten file over the
+/// original. Slot order follows first appearance, so admissions still
+/// precede their records.
+///
+/// Unlike the lenient loaders this returns real errors: a repair that
+/// cannot read, durably write, or rename has repaired nothing.
+pub fn repair_journal(path: &Path) -> Result<RepairSummary, CheckpointError> {
+    repair_journal_with(path, &REAL_FS)
+}
+
+/// Like [`repair_journal`], through an explicit [`StorageBackend`].
+pub fn repair_journal_with(
+    path: &Path,
+    backend: &dyn StorageBackend,
+) -> Result<RepairSummary, CheckpointError> {
+    let text = match read_with_retry(path, backend) {
+        Ok(Some(text)) => text,
+        Ok(None) => {
+            let e = std::io::Error::new(std::io::ErrorKind::NotFound, "no journal to repair");
+            return Err(io_error(path, &e));
+        }
+        Err(fault) => {
+            let e = std::io::Error::new(fault.kind, fault.detail);
+            return Err(io_error(path, &e));
+        }
+    };
+    let mut order: Vec<String> = Vec::new();
+    let mut slots: BTreeMap<String, &str> = BTreeMap::new();
+    let mut lines_seen = 0usize;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines_seen += 1;
+        let Some(key) = journal_line_key(line) else { continue };
+        if !slots.contains_key(&key) {
+            order.push(key.clone());
+        }
+        slots.insert(key, line);
+    }
+    let mut compacted = String::with_capacity(text.len());
+    for key in &order {
+        compacted.push_str(slots[key]);
+        compacted.push('\n');
+    }
+    // Write the compacted journal beside the original, fsync it, then
+    // atomically rename it into place — a crash mid-repair leaves either
+    // the old file or the new one, never a mix.
+    let staging = path.with_extension("repair");
+    let fault_err = |fault: StorageFault| {
+        let e = std::io::Error::new(fault.kind, fault.detail);
+        io_error(&staging, &e)
+    };
+    let policy = IoRetryPolicy::default();
+    let mut st = match backend.create(&staging) {
+        Ok(file) => WriterState { file: Some(file), quarantined: None, dirty_tail: false },
+        Err(e) => return Err(io_error(&staging, &e)),
+    };
+    for key in &order {
+        write_durable_line(&mut st, &policy, slots[key].as_bytes()).map_err(fault_err)?;
+    }
+    drop(st);
+    backend.rename(&staging, path).map_err(|e| io_error(path, &e))?;
+    Ok(RepairSummary {
+        lines_seen,
+        kept: order.len(),
+        dropped: lines_seen - order.len(),
+        bytes_before: text.len() as u64,
+        bytes_after: compacted.len() as u64,
+    })
 }
 
 /// One point's slot in the final sweep report.
@@ -381,6 +742,11 @@ pub struct SweepOutcomes {
     pub resumed_points: usize,
     /// Damaged checkpoint lines that were skipped during load.
     pub skipped_lines: usize,
+    /// The typed reason checkpoint persistence degraded during this run (a
+    /// fatal load fault or a writer quarantine), if it did. Deliberately
+    /// **not** part of [`SweepOutcomes::report`]: the report carries only
+    /// deterministic, run-history-free data, and this is run history.
+    pub storage_fault: Option<StorageFault>,
 }
 
 impl SweepOutcomes {
@@ -439,6 +805,10 @@ pub struct CheckpointConfig<'a> {
     pub path: &'a Path,
     /// Resume from `path` instead of truncating it.
     pub resume: bool,
+    /// Storage backend for the checkpoint file; `None` is the real
+    /// filesystem. Chaos soaks pass a seeded
+    /// [`ChaosFs`](crate::chaosfs::ChaosFs) here.
+    pub backend: Option<&'a dyn StorageBackend>,
 }
 
 pub(crate) fn outcome_record(point: usize, outcome: PointOutcome<Json>) -> CheckpointRecord {
@@ -520,8 +890,9 @@ where
     P: Sync + std::fmt::Debug,
     F: Fn(&SweepCtx, &P) -> Result<PointRun<Json>, sweep::ScriptFaultInfo> + Sync,
 {
+    let backend: &dyn StorageBackend = cfg.backend.unwrap_or(&REAL_FS);
     let manifest = if cfg.resume {
-        Manifest::load(cfg.path, cfg.experiment, cfg.base_seed)?
+        Manifest::load_with(cfg.path, backend, cfg.experiment, cfg.base_seed)?
     } else {
         Manifest::default()
     };
@@ -537,8 +908,11 @@ where
     telemetry::points_resumed(resumed_points as u64);
 
     let todo: Vec<(usize, &P)> = points.iter().enumerate().filter(|(i, _)| !slots.contains_key(i)).collect();
-    let writer =
-        if cfg.resume { CheckpointWriter::append(cfg.path)? } else { CheckpointWriter::create(cfg.path)? };
+    let writer = if cfg.resume {
+        CheckpointWriter::append_with(cfg.path, backend)
+    } else {
+        CheckpointWriter::create_with(cfg.path, backend)
+    };
     let supervisor = cfg.supervisor;
     let fresh = sweep::run(cfg.experiment, cfg.base_seed, &todo, cfg.pool.resolve(), |_, &(orig, p)| {
         let ctx = SweepCtx { experiment: cfg.experiment, point: orig, base_seed: cfg.base_seed };
@@ -558,6 +932,7 @@ where
         points: slots.into_values().collect(),
         resumed_points,
         skipped_lines: manifest.skipped_lines,
+        storage_fault: manifest.load_fault.or_else(|| writer.quarantine()),
     })
 }
 
@@ -763,6 +1138,7 @@ mod tests {
             supervisor: SweepSupervisor::default(),
             path: &full_path,
             resume: false,
+            backend: None,
         };
         let full = run_checkpointed(&cfg, &points, eval).unwrap();
         let full_report = full.report().to_canonical_string();
@@ -818,6 +1194,7 @@ mod tests {
             supervisor: SweepSupervisor::default(),
             path: &path,
             resume: false,
+            backend: None,
         };
         let first = run_checkpointed(&cfg, &points, eval).unwrap();
         assert_eq!(first.points[1].record.status, PointStatus::Poisoned);
@@ -859,6 +1236,7 @@ mod tests {
             supervisor: SweepSupervisor { retries: 5, ..SweepSupervisor::default() },
             path: &full_path,
             resume: false,
+            backend: None,
         };
         let full = run_checkpointed_fallible(&cfg, &points, eval).unwrap();
         let full_report = full.report().to_canonical_string();
@@ -891,5 +1269,172 @@ mod tests {
         assert_eq!(fault_runs.load(Ordering::SeqCst), expected_runs);
         std::fs::remove_file(&full_path).unwrap();
         std::fs::remove_file(&partial_path).unwrap();
+    }
+
+    #[test]
+    fn fatal_read_degrades_to_an_empty_manifest_with_a_typed_fault() {
+        // Reading a directory as a file is a fatal (non-NotFound) error.
+        let dir = std::env::temp_dir();
+        let manifest = Manifest::load(&dir, "test", 7).unwrap();
+        assert!(manifest.records.is_empty());
+        let fault = manifest.load_fault.expect("fatal read must surface a typed fault");
+        assert_eq!(fault.op, StorageOp::Read);
+        assert_ne!(fault.kind, std::io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn repairing_a_missing_journal_is_a_typed_io_error() {
+        let err = repair_journal(Path::new("/nonexistent/never/sweep.ckpt")).unwrap_err();
+        let CheckpointError::Io { kind, .. } = err else { panic!("expected Io, got {err}") };
+        assert_eq!(kind, std::io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn fsync_failure_quarantines_the_writer_and_the_run_continues() {
+        use crate::chaosfs::{ChaosFs, FaultSchedule};
+        let schedule = FaultSchedule { fsync_fail_permille: 1000, ..FaultSchedule::quiet(17) };
+        let chaos = ChaosFs::new(schedule);
+        let path = temp_path("fsync-quarantine");
+        let writer = CheckpointWriter::create_with(&path, &chaos);
+        assert!(writer.quarantine().is_none(), "opening alone does not fsync");
+        let rec = CheckpointRecord::cancelled(0);
+        writer.record("test", 7, &rec).unwrap();
+        let fault = writer.quarantine().expect("the first fsync fails and quarantines");
+        assert_eq!(fault.op, StorageOp::Fsync);
+        // Later appends are silent no-ops: the run continues unpersisted.
+        writer.record("test", 7, &CheckpointRecord::cancelled(1)).unwrap();
+        assert_eq!(chaos.stats().injected.get("fsync_fail"), Some(&1), "no retried fsync");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn disk_full_quarantines_but_the_sweep_completes() {
+        use crate::chaosfs::{ChaosFs, FaultSchedule};
+        let points: Vec<u64> = (0..5).collect();
+        let eval = |ctx: &SweepCtx, &p: &u64| {
+            PointRun::complete(Json::obj([("param", Json::U64(p)), ("seed", Json::U64(ctx.derived_seed()))]))
+        };
+        let clean_path = temp_path("enospc-clean");
+        let cfg = CheckpointConfig {
+            experiment: "enospc",
+            base_seed: 29,
+            pool: PoolConfig::explicit(2),
+            supervisor: SweepSupervisor::default(),
+            path: &clean_path,
+            resume: false,
+            backend: None,
+        };
+        let clean = run_checkpointed(&cfg, &points, eval).unwrap();
+        assert!(clean.storage_fault.is_none());
+
+        // Now the same sweep against a disk with room for ~2 records.
+        let chaos = ChaosFs::new(FaultSchedule { disk_capacity: Some(300), ..FaultSchedule::quiet(5) });
+        let chaos_path = temp_path("enospc-chaos");
+        let full = run_checkpointed(
+            &CheckpointConfig { path: &chaos_path, backend: Some(&chaos), ..cfg },
+            &points,
+            eval,
+        )
+        .unwrap();
+        let fault = full.storage_fault.clone().expect("ENOSPC must quarantine");
+        assert_eq!(fault.kind, std::io::ErrorKind::StorageFull);
+        assert_eq!(full.points.len(), 5, "the grid still completes");
+        assert_eq!(
+            full.report().to_canonical_string(),
+            clean.report().to_canonical_string(),
+            "storage faults never perturb report bytes"
+        );
+        std::fs::remove_file(&clean_path).unwrap();
+        std::fs::remove_file(&chaos_path).unwrap();
+    }
+
+    #[test]
+    fn transient_faults_are_absorbed_and_every_record_lands() {
+        use crate::chaosfs::{ChaosFs, FaultSchedule};
+        let schedule = FaultSchedule {
+            eintr_permille: 100,
+            short_write_permille: 100,
+            torn_write_permille: 100,
+            ..FaultSchedule::quiet(23)
+        };
+        let chaos = ChaosFs::new(schedule);
+        let path = temp_path("transient");
+        let writer = CheckpointWriter::create_with(&path, &chaos);
+        for point in 0..40 {
+            let rec = CheckpointRecord {
+                point,
+                status: PointStatus::Completed,
+                truncation: None,
+                row: Some(row(point)),
+                panic_msg: None,
+                params: None,
+                script_id: None,
+                script_error: None,
+                fuel_used: None,
+                violations: vec![],
+            };
+            writer.record("test", 7, &rec).unwrap();
+        }
+        assert!(writer.quarantine().is_none(), "transients alone never quarantine");
+        assert!(!chaos.stats().injected.is_empty(), "this schedule injects within 40 records");
+        let manifest = Manifest::load(&path, "test", 7).unwrap();
+        assert_eq!(manifest.records.len(), 40, "every record survives the chaos");
+        for point in 0..40 {
+            assert_eq!(manifest.records[&point].row, Some(row(point)));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn repair_keeps_the_last_valid_line_per_slot_and_drops_damage() {
+        let path = temp_path("repair");
+        let writer = CheckpointWriter::create(&path).unwrap();
+        let mut rec = CheckpointRecord {
+            point: 0,
+            status: PointStatus::Completed,
+            truncation: None,
+            row: Some(row(0)),
+            panic_msg: None,
+            params: None,
+            script_id: None,
+            script_error: None,
+            fuel_used: None,
+            violations: vec![],
+        };
+        writer.record("test", 7, &rec).unwrap();
+        rec.row = Some(row(5));
+        writer.record("test", 7, &rec).unwrap();
+        rec.point = 1;
+        rec.row = Some(row(1));
+        writer.record("test", 7, &rec).unwrap();
+        // Damage: a tampered duplicate of point 1 and a torn tail.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        let tampered = text.lines().last().unwrap().replace("\"value\":10", "\"value\":11");
+        text.push_str(&tampered);
+        text.push('\n');
+        text.push_str("{\"experiment\":\"test\",\"base_se");
+        std::fs::write(&path, &text).unwrap();
+
+        let summary = repair_journal(&path).unwrap();
+        assert_eq!(summary.lines_seen, 5);
+        assert_eq!(summary.kept, 2, "one line per point slot");
+        assert_eq!(summary.dropped, 3, "superseded + tampered + torn");
+        assert!(summary.bytes_after < summary.bytes_before);
+
+        let repaired = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(repaired.lines().count(), 2);
+        let manifest = Manifest::load(&path, "test", 7).unwrap();
+        assert_eq!(manifest.skipped_lines, 0, "a repaired journal is fully valid");
+        assert_eq!(manifest.records[&0].row, Some(row(5)), "last valid line won");
+        assert_eq!(manifest.records[&1].row, Some(row(1)), "tampered duplicate lost");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn journal_line_keys_classify_records_and_transitions() {
+        let rec = CheckpointRecord::cancelled(3).to_json("job-a", 9).to_compact_string();
+        assert_eq!(journal_line_key(&rec).as_deref(), Some("point/job-a/9/3"));
+        assert_eq!(journal_line_key("not json"), None);
+        assert_eq!(journal_line_key(&rec[..rec.len() - 4]), None, "torn lines have no key");
     }
 }

@@ -159,7 +159,11 @@ mod tests {
         assert_eq!(err.to_string(), "retry: retries exhausted after 3 attempts: dns: all dead");
         assert!(err.source().is_some(), "source chain is wired");
 
-        let ckpt = CheckpointError::Io { path: "/tmp/x".into(), detail: "denied".into() };
+        let ckpt = CheckpointError::Io {
+            path: "/tmp/x".into(),
+            kind: std::io::ErrorKind::PermissionDenied,
+            detail: "denied".into(),
+        };
         let err: Error = ckpt.into();
         assert!(err.to_string().starts_with("checkpoint: "), "{err}");
         assert!(err.source().unwrap().to_string().contains("/tmp/x"));
@@ -202,7 +206,12 @@ mod tests {
             }
             .into(),
             RetryExhausted { attempts: 1, last_error: "x".into() }.into(),
-            CheckpointError::Io { path: "/tmp/x".into(), detail: "y".into() }.into(),
+            CheckpointError::Io {
+                path: "/tmp/x".into(),
+                kind: std::io::ErrorKind::Other,
+                detail: "y".into(),
+            }
+            .into(),
             Rejected { job_id: "j".into(), reason: crate::jobs::RejectReason::EmptyGrid }.into(),
         ];
         for err in cases {

@@ -867,6 +867,7 @@ pub fn e13_takedown_resilience_supervised(
         supervisor: opts.supervisor,
         path: opts.ckpt_path,
         resume: opts.resume,
+        backend: None,
     };
     checkpoint::run_checkpointed(&cfg, fractions, |ctx, &frac| {
         let point_opts = E13PointOptions {

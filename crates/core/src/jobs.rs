@@ -40,6 +40,14 @@
 //! re-evaluating its points; a changed resubmission is rejected with
 //! [`RejectReason::JournalMismatch`] rather than silently spliced.
 //!
+//! The journal rides through a [`StorageBackend`]
+//! (see [`chaosfs`](crate::chaosfs)): transient I/O faults are retried with
+//! bounded backoff, and a fatal fault (disk full, a failed fsync)
+//! quarantines the journal instead of aborting the run — every grid still
+//! completes, reports stay byte-identical, and the typed reason surfaces as
+//! [`QueueRun::storage_degraded`] / [`JobOutcome::storage_degraded`]. Only
+//! crash-tolerance for a *future* resume is lost.
+//!
 //! Identical work is deduplicated across tenants by a content-addressed
 //! result cache: each deterministic point is addressed by the FNV-1a hash
 //! of the canonical JSON of `(experiment, seed policy, effective seed,
@@ -55,6 +63,7 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use malsim_kernel::sched::Watchdog;
 
+use crate::chaosfs::{StorageBackend, StorageFault, REAL_FS};
 use crate::checkpoint::{self, fnv1a64, CheckpointError, CheckpointRecord, CheckpointWriter, PointStatus};
 use crate::report::{self, Json};
 use crate::sweep::{self, PointRun, PoolConfig, ScriptFaultInfo, SweepCtx, SweepSupervisor};
@@ -431,6 +440,12 @@ pub struct JobOutcome {
     pub cached_points: usize,
     /// Points restored from the journal on resume.
     pub resumed_points: usize,
+    /// The typed reason journal persistence degraded during this run, if it
+    /// did (shared across the queue — the journal is one file). The
+    /// [`JobStatus`] stays a pure function of the point records so reports
+    /// remain byte-identical under storage chaos; this field is the
+    /// out-of-band "degraded, and here is why" signal.
+    pub storage_degraded: Option<StorageFault>,
 }
 
 impl JobOutcome {
@@ -506,6 +521,10 @@ pub struct QueueRun {
     pub outcomes: Vec<JobOutcome>,
     /// Damaged journal lines skipped during resume.
     pub skipped_lines: usize,
+    /// The typed reason journal persistence degraded during this run (a
+    /// fatal load fault or a writer quarantine), if it did. The grids still
+    /// completed; only crash-tolerance for a *future* resume was lost.
+    pub storage_degraded: Option<StorageFault>,
 }
 
 /// Configuration for a [`JobQueue`].
@@ -521,6 +540,9 @@ pub struct QueueConfig {
     pub journal: Option<PathBuf>,
     /// Resume from the journal instead of truncating it.
     pub resume: bool,
+    /// Storage backend for the journal; `None` is the real filesystem.
+    /// Chaos soaks pass a seeded [`ChaosFs`](crate::chaosfs::ChaosFs) here.
+    pub storage: Option<Arc<dyn StorageBackend>>,
 }
 
 impl Default for QueueConfig {
@@ -531,6 +553,7 @@ impl Default for QueueConfig {
             max_points_per_job: 4096,
             journal: None,
             resume: false,
+            storage: None,
         }
     }
 }
@@ -594,13 +617,28 @@ fn transition(spec: &JobSpec, status: &str) -> Json {
     fields(&hash)
 }
 
-/// Replays a job journal. Damaged lines (torn writes, failed hashes) are
-/// skipped and counted; a missing file is an empty journal.
-fn load_journal(path: &Path) -> Result<(BTreeMap<String, JournalJob>, usize), CheckpointError> {
-    let text = match std::fs::read_to_string(path) {
-        Ok(text) => text,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((BTreeMap::new(), 0)),
-        Err(e) => return Err(CheckpointError::Io { path: path.to_owned(), detail: e.to_string() }),
+/// What a journal replay recovered.
+#[derive(Debug, Default)]
+struct JournalLoad {
+    jobs: BTreeMap<String, JournalJob>,
+    skipped: usize,
+    /// Set when the file could not be read at all: the queue degrades to a
+    /// fresh start (every point re-runs) instead of failing the run.
+    load_fault: Option<StorageFault>,
+}
+
+/// Replays a job journal through `backend`. Damaged lines (torn writes,
+/// failed hashes) are skipped and counted; a missing file is an empty
+/// journal; a fatal read fault degrades to an empty journal with the typed
+/// reason in [`JournalLoad::load_fault`].
+fn load_journal(path: &Path, backend: &dyn StorageBackend) -> Result<JournalLoad, CheckpointError> {
+    let text = match checkpoint::read_with_retry(path, backend) {
+        Ok(Some(text)) => text,
+        Ok(None) => return Ok(JournalLoad::default()),
+        Err(fault) => {
+            telemetry::ckpt_journal_quarantined();
+            return Ok(JournalLoad { load_fault: Some(fault), ..JournalLoad::default() });
+        }
     };
     let mut jobs: BTreeMap<String, JournalJob> = BTreeMap::new();
     let mut skipped = 0usize;
@@ -614,28 +652,14 @@ fn load_journal(path: &Path) -> Result<(BTreeMap<String, JournalJob>, usize), Ch
         };
         if v.get("kind").and_then(Json::as_str) == Some("transition") {
             // Integrity gate: the self-hash must cover the line with its own
-            // hash field blanked.
-            let (Json::Obj(pairs), Some(hash)) = (&v, v.get("hash").and_then(Json::as_str)) else {
-                skipped += 1;
-                continue;
-            };
-            let blanked = Json::Obj(
-                pairs
-                    .iter()
-                    .map(|(k, val)| {
-                        let val = if k == "hash" { Json::Str(String::new()) } else { val.clone() };
-                        (k.clone(), val)
-                    })
-                    .collect(),
-            );
-            let expect = format!("{:016x}", fnv1a64(blanked.to_compact_string().as_bytes()));
+            // hash field blanked (shared with the repair pass).
             let (Some(job_id), Some(status)) =
                 (v.get("job_id").and_then(Json::as_str), v.get("status").and_then(Json::as_str))
             else {
                 skipped += 1;
                 continue;
             };
-            if hash != expect {
+            if !checkpoint::self_hash_valid(&v) {
                 skipped += 1;
                 continue;
             }
@@ -666,7 +690,7 @@ fn load_journal(path: &Path) -> Result<(BTreeMap<String, JournalJob>, usize), Ch
         }
     }
     telemetry::ckpt_damaged_lines(skipped as u64);
-    Ok((jobs, skipped))
+    Ok(JournalLoad { jobs, skipped, load_fault: None })
 }
 
 /// One entry of the content-addressed result cache / claim table.
@@ -753,17 +777,28 @@ pub struct JobQueue {
     tokens: Vec<CancelToken>,
     journal_jobs: BTreeMap<String, JournalJob>,
     journal_skipped: usize,
+    journal_fault: Option<StorageFault>,
 }
 
 impl JobQueue {
     /// Creates a queue; with `cfg.resume`, replays the journal up front so
-    /// admission can verify resubmitted identities.
+    /// admission can verify resubmitted identities. A journal that cannot
+    /// be read at all (a fatal storage fault) degrades to a fresh start —
+    /// every point re-runs — with the typed reason carried through to
+    /// [`QueueRun::storage_degraded`].
     pub fn new(cfg: QueueConfig) -> Result<JobQueue, JobError> {
-        let (journal_jobs, journal_skipped) = match (&cfg.journal, cfg.resume) {
-            (Some(path), true) => load_journal(path)?,
-            _ => (BTreeMap::new(), 0),
+        let loaded = match (&cfg.journal, cfg.resume) {
+            (Some(path), true) => load_journal(path, cfg.storage.as_deref().unwrap_or(&REAL_FS))?,
+            _ => JournalLoad::default(),
         };
-        Ok(JobQueue { cfg, specs: Vec::new(), tokens: Vec::new(), journal_jobs, journal_skipped })
+        Ok(JobQueue {
+            cfg,
+            specs: Vec::new(),
+            tokens: Vec::new(),
+            journal_jobs: loaded.jobs,
+            journal_skipped: loaded.skipped,
+            journal_fault: loaded.load_fault,
+        })
     }
 
     /// Jobs admitted so far.
@@ -827,15 +862,15 @@ impl JobQueue {
     where
         F: Fn(&JobPoint<'_>) -> Result<PointRun<Json>, ScriptFaultInfo> + Sync,
     {
-        let JobQueue { cfg, specs, tokens, journal_jobs, journal_skipped } = self;
-        let writer = match &cfg.journal {
-            Some(path) => Some(if cfg.resume {
-                CheckpointWriter::append(path)?
+        let JobQueue { cfg, specs, tokens, journal_jobs, journal_skipped, journal_fault } = self;
+        let backend: &dyn StorageBackend = cfg.storage.as_deref().unwrap_or(&REAL_FS);
+        let writer = cfg.journal.as_ref().map(|path| {
+            if cfg.resume {
+                CheckpointWriter::append_with(path, backend)
             } else {
-                CheckpointWriter::create(path)?
-            }),
-            None => None,
-        };
+                CheckpointWriter::create_with(path, backend)
+            }
+        });
         let writer = writer.as_ref();
 
         // Seed per-job state: restore journal records, register resumed
@@ -953,6 +988,13 @@ impl JobQueue {
                 telemetry::wfq_lag_set(tenant, vt - min);
             }
         }
+        // Storage degradation is queue-wide (one journal file): a fatal load
+        // fault or a writer quarantine marks every outcome with the typed
+        // reason, out of band of the byte-stable reports.
+        let storage_degraded = journal_fault.or_else(|| writer.and_then(|w| w.quarantine()));
+        if storage_degraded.is_some() {
+            telemetry::jobs_degraded_storage(sched.jobs.len() as u64);
+        }
         let outcomes = specs
             .into_iter()
             .zip(sched.jobs)
@@ -968,9 +1010,10 @@ impl JobQueue {
                 evaluated_points: st.evaluated,
                 cached_points: st.cached,
                 resumed_points: st.resumed,
+                storage_degraded: storage_degraded.clone(),
             })
             .collect();
-        Ok(QueueRun { outcomes, skipped_lines: journal_skipped })
+        Ok(QueueRun { outcomes, skipped_lines: journal_skipped, storage_degraded })
     }
 }
 
@@ -1254,14 +1297,14 @@ mod tests {
         let line = transition(&s, "admitted").to_compact_string();
         let path = std::env::temp_dir().join(format!("malsim-jobs-transition-{}.jnl", std::process::id()));
         std::fs::write(&path, format!("{line}\n")).unwrap();
-        let (jobs, skipped) = load_journal(&path).unwrap();
-        assert_eq!(skipped, 0);
-        assert_eq!(jobs["job-a"].identity.as_deref(), Some(s.identity_hash().as_str()));
+        let loaded = load_journal(&path, &REAL_FS).unwrap();
+        assert_eq!(loaded.skipped, 0);
+        assert_eq!(loaded.jobs["job-a"].identity.as_deref(), Some(s.identity_hash().as_str()));
         // A tampered status fails the self-hash and is counted, not trusted.
         std::fs::write(&path, format!("{}\n", line.replace("admitted", "cancelled"))).unwrap();
-        let (jobs, skipped) = load_journal(&path).unwrap();
-        assert_eq!(skipped, 1);
-        assert!(jobs.is_empty());
+        let loaded = load_journal(&path, &REAL_FS).unwrap();
+        assert_eq!(loaded.skipped, 1);
+        assert!(loaded.jobs.is_empty());
         std::fs::remove_file(&path).unwrap();
     }
 

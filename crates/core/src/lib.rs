@@ -45,6 +45,7 @@
 
 pub mod activity;
 pub mod armory;
+pub mod chaosfs;
 pub mod checkpoint;
 pub mod error;
 pub mod experiments;
@@ -64,6 +65,7 @@ pub use error::Error;
 pub mod prelude {
     pub use crate::activity;
     pub use crate::armory::Pki;
+    pub use crate::chaosfs::{self, ChaosFs, FaultSchedule, RealFs, StorageBackend};
     pub use crate::checkpoint::{self, CheckpointConfig, SweepOutcomes};
     pub use crate::error::Error;
     pub use crate::experiments;

@@ -24,6 +24,11 @@
 //! [`SweepCtx::base_seed`]: the arms then share corpora, topologies, and
 //! fault prefixes, and differ only in the treatment — the paired design the
 //! shape tests rely on.
+//!
+//! The contract survives hostile storage, too: the checkpointed runner
+//! ([`crate::checkpoint`]) persists through a [`crate::chaosfs`] backend
+//! that retries transient I/O faults and quarantines on fatal ones, so a
+//! failing disk can cost durability but never perturb the sweep's bytes.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

@@ -25,6 +25,12 @@
 //!   (completed, truncated by kind, quarantined, script-faulted), retries
 //!   burned, points resumed from checkpoints, journal lines and bytes
 //!   written, fsync latency, and damaged lines skipped on resume.
+//! - **`core::chaosfs`** — storage faults injected by kind, transient I/O
+//!   retries burned by the checkpoint layer, journal quarantines, and jobs
+//!   whose persistence degraded under a fatal storage fault. Deterministic
+//!   for a fixed fault schedule at one worker thread; multi-threaded chaos
+//!   runs interleave the schedule nondeterministically, so armed chaos
+//!   workloads only byte-compare snapshots at `MALSIM_THREADS=1`.
 //!
 //! ## Determinism contract
 //!
@@ -56,6 +62,7 @@ use malsim_kernel::sched::ProfileSummary;
 use malsim_kernel::telemetry::TelemetryHook;
 use malsim_kernel::trace::TraceCategory;
 
+use crate::chaosfs::IoFaultKind;
 use crate::jobs::RejectReason;
 use crate::report::Json;
 use crate::sweep::Truncation;
@@ -156,6 +163,11 @@ const REJECT_REASONS: [&str; 5] =
 /// Truncation-kind labels (must stay in sync with [`truncation_index`]).
 const TRUNCATION_KINDS: [&str; 2] = ["event_budget", "host_deadline"];
 
+/// Injected-storage-fault labels (must stay in sync with
+/// [`IoFaultKind::ALL`]; the unit tests assert the correspondence).
+const CHAOS_KINDS: [&str; 7] =
+    ["fsync_fail", "short_write", "torn_write", "disk_full", "eintr", "open_fail", "read_fail"];
+
 static SCHED_DISPATCHES: [Cell; TraceCategory::ALL.len() + 1] =
     [const { Cell::new() }; TraceCategory::ALL.len() + 1];
 static SCHED_QUEUE_DEPTH_MAX: Cell = Cell::new();
@@ -178,6 +190,10 @@ static CACHE_PROMOTIONS: Cell = Cell::new();
 static CKPT_LINES: Cell = Cell::new();
 static CKPT_BYTES: Cell = Cell::new();
 static CKPT_DAMAGED_LINES: Cell = Cell::new();
+static CHAOS_FAULTS: [Cell; CHAOS_KINDS.len()] = [const { Cell::new() }; CHAOS_KINDS.len()];
+static CKPT_IO_RETRIES: Cell = Cell::new();
+static CKPT_JOURNAL_QUARANTINED: Cell = Cell::new();
+static JOBS_DEGRADED_STORAGE: Cell = Cell::new();
 static FSYNC_HIST: Hist<{ FSYNC_BOUNDS_US.len() }> = Hist::new(FSYNC_BOUNDS_US);
 
 /// Per-tenant WFQ lag behind the fleet's minimum virtual time; written once
@@ -301,6 +317,12 @@ pub fn reset() {
     CKPT_LINES.clear();
     CKPT_BYTES.clear();
     CKPT_DAMAGED_LINES.clear();
+    for c in &CHAOS_FAULTS {
+        c.clear();
+    }
+    CKPT_IO_RETRIES.clear();
+    CKPT_JOURNAL_QUARANTINED.clear();
+    JOBS_DEGRADED_STORAGE.clear();
     FSYNC_HIST.clear();
     lock(&WFQ_LAG).clear();
     *lock(&PROFILE) = ProfileAgg::new();
@@ -440,6 +462,46 @@ pub(crate) fn ckpt_damaged_lines(n: u64) {
         return;
     }
     CKPT_DAMAGED_LINES.add(n);
+}
+
+fn chaos_index(kind: IoFaultKind) -> usize {
+    match kind {
+        IoFaultKind::FsyncFail => 0,
+        IoFaultKind::ShortWrite => 1,
+        IoFaultKind::TornWrite => 2,
+        IoFaultKind::DiskFull => 3,
+        IoFaultKind::Eintr => 4,
+        IoFaultKind::OpenFail => 5,
+        IoFaultKind::ReadFail => 6,
+    }
+}
+
+pub(crate) fn chaos_fault_injected(kind: IoFaultKind) {
+    if !armed() {
+        return;
+    }
+    CHAOS_FAULTS[chaos_index(kind)].add(1);
+}
+
+pub(crate) fn ckpt_io_retry() {
+    if !armed() {
+        return;
+    }
+    CKPT_IO_RETRIES.add(1);
+}
+
+pub(crate) fn ckpt_journal_quarantined() {
+    if !armed() {
+        return;
+    }
+    CKPT_JOURNAL_QUARANTINED.add(1);
+}
+
+pub(crate) fn jobs_degraded_storage(n: u64) {
+    if !armed() || n == 0 {
+        return;
+    }
+    JOBS_DEGRADED_STORAGE.add(n);
 }
 
 // ---------------------------------------------------------------------------
@@ -658,6 +720,28 @@ fn collect() -> Vec<Metric> {
             "malsim_ckpt_damaged_lines_total",
             "Damaged (torn or hash-failed) lines skipped while replaying checkpoints and journals.",
             &CKPT_DAMAGED_LINES,
+        ),
+        Metric {
+            name: "malsim_chaos_faults_injected_total",
+            help: "Storage faults injected by the chaos backend, by kind.",
+            kind: "counter",
+            deterministic: true,
+            value: Value::Labeled { key: "kind", items: labeled_from(CHAOS_KINDS, &CHAOS_FAULTS) },
+        },
+        counter(
+            "malsim_ckpt_io_retries_total",
+            "Transient storage faults retried with backoff by the checkpoint layer.",
+            &CKPT_IO_RETRIES,
+        ),
+        counter(
+            "malsim_ckpt_journal_quarantined_total",
+            "Checkpoint/journal files quarantined after a fatal storage fault.",
+            &CKPT_JOURNAL_QUARANTINED,
+        ),
+        counter(
+            "malsim_jobs_degraded_storage_total",
+            "Jobs whose journal persistence degraded under a fatal storage fault.",
+            &JOBS_DEGRADED_STORAGE,
         ),
         Metric {
             name: "malsim_ckpt_fsync_micros",

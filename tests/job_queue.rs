@@ -401,6 +401,102 @@ fn changed_resubmission_is_rejected_on_resume() {
     std::fs::remove_file(&journal).unwrap();
 }
 
+/// Disk-full mid-journal: once the chaos disk runs out of space the journal
+/// quarantines with a typed `StorageFull` fault, but every job still runs to
+/// completion and reports the same bytes as a journal-free run.
+#[test]
+fn disk_full_mid_journal_degrades_storage_but_completes() {
+    use malsim::chaosfs::{ChaosFs, FaultSchedule};
+    use std::sync::Arc;
+
+    let clean = {
+        let mut queue =
+            JobQueue::new(QueueConfig { pool: PoolConfig::explicit(2), ..QueueConfig::default() }).unwrap();
+        queue.submit(spec("atlas", "tenant-a", sim_grid(4, 8))).unwrap();
+        queue.submit(spec("bolt", "tenant-b", sim_grid(3, 8))).unwrap();
+        queue.run(eval).unwrap()
+    };
+    assert!(clean.storage_degraded.is_none());
+
+    // Room for roughly two records, then hard ENOSPC on every append.
+    let chaos = ChaosFs::new(FaultSchedule { disk_capacity: Some(500), ..FaultSchedule::quiet(3) });
+    let journal = temp("enospc");
+    let cfg = QueueConfig {
+        pool: PoolConfig::explicit(2),
+        journal: Some(journal.clone()),
+        storage: Some(Arc::new(chaos.clone())),
+        ..QueueConfig::default()
+    };
+    let mut queue = JobQueue::new(cfg).unwrap();
+    queue.submit(spec("atlas", "tenant-a", sim_grid(4, 8))).unwrap();
+    queue.submit(spec("bolt", "tenant-b", sim_grid(3, 8))).unwrap();
+    let run = queue.run(eval).unwrap();
+
+    let fault = run.storage_degraded.as_ref().expect("ENOSPC must surface as a typed fault");
+    assert_eq!(fault.kind, std::io::ErrorKind::StorageFull);
+    for (clean, chaos) in clean.outcomes.iter().zip(&run.outcomes) {
+        assert_eq!(chaos.points.len(), clean.points.len(), "{}: the grid still completes", chaos.job_id);
+        assert_eq!(chaos.storage_degraded.as_ref().map(|f| f.kind), Some(std::io::ErrorKind::StorageFull));
+        assert_eq!(
+            chaos.report().to_canonical_string(),
+            clean.report().to_canonical_string(),
+            "{}: storage faults never perturb report bytes",
+            chaos.job_id
+        );
+    }
+    assert!(chaos.stats().injected.contains_key("disk_full"), "{:?}", chaos.stats().injected);
+    let _ = std::fs::remove_file(&journal);
+}
+
+/// Fsync failure mid-journal: the first failed fsync quarantines the writer
+/// (fsyncgate semantics — a failed fsync is never retried), the run keeps
+/// going without persistence, and a repaired journal resumes what was durable.
+#[test]
+fn fsync_failure_mid_journal_quarantines_then_repair_salvages_the_durable_prefix() {
+    use malsim::chaosfs::{ChaosFs, FaultSchedule};
+    use std::sync::Arc;
+
+    // Fail every third fsync: some records land durably before quarantine.
+    let chaos = ChaosFs::new(FaultSchedule { fsync_fail_permille: 333, ..FaultSchedule::quiet(11) });
+    let journal = temp("fsync-fail");
+    let cfg = QueueConfig {
+        pool: PoolConfig::explicit(1),
+        journal: Some(journal.clone()),
+        storage: Some(Arc::new(chaos.clone())),
+        ..QueueConfig::default()
+    };
+    let mut queue = JobQueue::new(cfg).unwrap();
+    queue.submit(spec("quill", "tenant-a", sim_grid(5, 8))).unwrap();
+    let run = queue.run(eval).unwrap();
+    let original = run.outcomes[0].report().to_canonical_string();
+    let fault = run.storage_degraded.as_ref().expect("a failed fsync must quarantine");
+    assert_eq!(run.outcomes[0].status, JobStatus::Completed, "status stays a pure function of records");
+    assert!(fault.to_string().contains("fsync"), "{fault}");
+    assert!(chaos.stats().injected.contains_key("fsync_fail"), "{:?}", chaos.stats().injected);
+
+    // The on-disk journal holds whatever prefix survived; repair compacts it
+    // to self-hash-valid lines and the resume re-runs only what was lost.
+    let summary = malsim::checkpoint::repair_journal(&journal).unwrap();
+    assert_eq!(summary.dropped, summary.lines_seen - summary.kept);
+    let mut queue = JobQueue::new(QueueConfig {
+        pool: PoolConfig::explicit(1),
+        journal: Some(journal.clone()),
+        resume: true,
+        ..QueueConfig::default()
+    })
+    .unwrap();
+    queue.submit(spec("quill", "tenant-a", sim_grid(5, 8))).unwrap();
+    let resumed = queue.run(eval).unwrap();
+    assert_eq!(resumed.skipped_lines, 0, "repair leaves only valid lines");
+    assert!(resumed.storage_degraded.is_none());
+    assert_eq!(
+        resumed.outcomes[0].report().to_canonical_string(),
+        original,
+        "resume over the repaired journal is byte-identical"
+    );
+    std::fs::remove_file(&journal).unwrap();
+}
+
 /// A hostile scenario script run as a job degrades its own points to typed
 /// script faults while the benign tenant's job completes untouched.
 #[test]

@@ -87,6 +87,7 @@ fn checkpointed_hostile_sweep_resumes_byte_identically() {
         supervisor: SweepSupervisor::default(),
         path: &full_path,
         resume: false,
+        backend: None,
     };
     let full = run_checkpointed_fallible(&cfg, HOSTILE_SUITE, |ctx, (_, src)| {
         run_suite_point(ctx.derived_seed(), src)

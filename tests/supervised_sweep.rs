@@ -137,6 +137,7 @@ fn seeded_violation_surfaces_through_the_checkpoint_pipeline() {
         supervisor: SweepSupervisor::default(),
         path: &path,
         resume: false,
+        backend: None,
     };
     let corrupt = |_: &malsim::sweep::SweepCtx, _: &u32| {
         let (mut world, mut sim) = ScenarioBuilder::new(1).office_lan(2);
@@ -186,6 +187,7 @@ fn poisoned_e13_style_point_quarantines_without_aborting() {
         supervisor: SweepSupervisor::default(),
         path: &path,
         resume: false,
+        backend: None,
     };
     let grid: Vec<f64> = vec![0.0, 0.25, 0.5, 0.75, 1.0];
     let out = run_checkpointed(&cfg, &grid, |ctx, &frac| {
@@ -214,6 +216,101 @@ fn poisoned_e13_style_point_quarantines_without_aborting() {
     assert_eq!(report.get("poisoned").and_then(Json::as_u64), Some(1));
     assert_eq!(report.get("completed").and_then(Json::as_u64), Some(4));
     std::fs::remove_file(&path).unwrap();
+}
+
+/// Disk-full mid-sweep on real scenario points: the checkpoint quarantines
+/// with a typed `StorageFull` fault, the grid still completes, and the
+/// report is byte-identical to a run on a healthy disk.
+#[test]
+fn disk_full_mid_sweep_quarantines_the_checkpoint_but_the_grid_completes() {
+    use malsim::chaosfs::{ChaosFs, FaultSchedule};
+
+    let clean_path = temp("chaos-clean");
+    let cfg = CheckpointConfig {
+        experiment: "enospc-chaos",
+        base_seed: 13,
+        pool: PoolConfig::explicit(2),
+        supervisor: SweepSupervisor::default(),
+        path: &clean_path,
+        resume: false,
+        backend: None,
+    };
+    let eval = |ctx: &malsim::sweep::SweepCtx, &frac: &f64| {
+        let (mut world, mut sim) = ScenarioBuilder::new(ctx.derived_seed()).office_lan(3);
+        sim.schedule_in(SimDuration::from_hours(1), |_: &mut World, _| {});
+        sim.run(&mut world);
+        PointRun::complete(Json::obj([("frac", frac.into()), ("hosts", world.hosts.len().into())]))
+    };
+    let clean = run_checkpointed(&cfg, FRACTIONS, eval).unwrap();
+    assert!(clean.storage_fault.is_none());
+
+    let chaos = ChaosFs::new(FaultSchedule { disk_capacity: Some(400), ..FaultSchedule::quiet(13) });
+    let chaos_path = temp("chaos-enospc");
+    let out = run_checkpointed(
+        &CheckpointConfig { path: &chaos_path, backend: Some(&chaos), ..cfg },
+        FRACTIONS,
+        eval,
+    )
+    .unwrap();
+    let fault = out.storage_fault.clone().expect("ENOSPC must quarantine the checkpoint");
+    assert_eq!(fault.kind, std::io::ErrorKind::StorageFull);
+    assert_eq!(out.points.len(), FRACTIONS.len(), "the grid still completes");
+    assert_eq!(
+        out.report().to_canonical_string(),
+        clean.report().to_canonical_string(),
+        "a quarantined checkpoint never perturbs report bytes"
+    );
+    std::fs::remove_file(&clean_path).unwrap();
+    let _ = std::fs::remove_file(&chaos_path);
+}
+
+/// Fsync failure mid-sweep: the writer quarantines on the first failed
+/// fsync (never retried), later points stop persisting, and resuming from
+/// the surviving durable prefix converges to the same bytes.
+#[test]
+fn fsync_failure_mid_sweep_still_resumes_byte_identically() {
+    use malsim::chaosfs::{ChaosFs, FaultSchedule};
+
+    let clean_path = temp("fsync-clean");
+    let cfg = CheckpointConfig {
+        experiment: "fsync-chaos",
+        base_seed: 21,
+        pool: PoolConfig::explicit(2),
+        supervisor: SweepSupervisor::default(),
+        path: &clean_path,
+        resume: false,
+        backend: None,
+    };
+    let eval = |ctx: &malsim::sweep::SweepCtx, &frac: &f64| {
+        let (mut world, mut sim) = ScenarioBuilder::new(ctx.derived_seed()).office_lan(3);
+        sim.schedule_in(SimDuration::from_hours(1), |_: &mut World, _| {});
+        sim.run(&mut world);
+        PointRun::complete(Json::obj([("frac", frac.into()), ("hosts", world.hosts.len().into())]))
+    };
+    let clean = run_checkpointed(&cfg, FRACTIONS, eval).unwrap();
+    let clean_report = clean.report().to_canonical_string();
+
+    let chaos = ChaosFs::new(FaultSchedule { fsync_fail_permille: 1000, ..FaultSchedule::quiet(21) });
+    let chaos_path = temp("fsync-chaos");
+    let out = run_checkpointed(
+        &CheckpointConfig { path: &chaos_path, backend: Some(&chaos), ..cfg },
+        FRACTIONS,
+        eval,
+    )
+    .unwrap();
+    let fault = out.storage_fault.clone().expect("an fsync failure must quarantine");
+    assert!(fault.to_string().contains("fsync"), "{fault}");
+    assert_eq!(out.report().to_canonical_string(), clean_report, "degraded, never diverged");
+
+    // Whatever prefix reached the disk before quarantine is valid; resuming
+    // over it re-runs only the lost points and lands on the same bytes.
+    let resumed =
+        run_checkpointed(&CheckpointConfig { path: &chaos_path, resume: true, ..cfg }, FRACTIONS, eval)
+            .unwrap();
+    assert!(resumed.storage_fault.is_none());
+    assert_eq!(resumed.report().to_canonical_string(), clean_report, "resume over the durable prefix");
+    std::fs::remove_file(&clean_path).unwrap();
+    let _ = std::fs::remove_file(&chaos_path);
 }
 
 /// Event-budget truncation landing in the middle of a same-timestamp batch:
@@ -262,6 +359,7 @@ fn mid_batch_truncation_is_byte_identical_across_worker_counts() {
                 supervisor: SweepSupervisor::default(),
                 path: &path,
                 resume: false,
+                backend: None,
             };
             let out = run_checkpointed(&cfg, &budgets, |_, &budget| {
                 let batch_at = SimTime::EPOCH + SimDuration::from_hours(1);
